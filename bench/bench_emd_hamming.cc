@@ -1,0 +1,91 @@
+// Experiment E1 (Corollary 3.5): the EMD protocol on ({0,1}^d, Hamming).
+//
+// Claim: one round, O(k d log n log(dn)) bits, and with probability >= 5/8
+//   EMD(S_A, S'_B) <= O(log n) * EMD_k(S_A, S_B).
+// Table: per n — protocol success rate, median approximation ratio (against
+// exact EMD_k), measured bits vs the formula value and vs naive transfer.
+// The reproduction target is the SHAPE: ratios should track ~log n (not d),
+// success should beat 5/8, and measured bits should scale with the formula.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/emd_multiscale.h"
+#include "emd/emd.h"
+#include "workload/generators.h"
+
+namespace rsr {
+namespace {
+
+void Run() {
+  bench::Banner("E1 / Corollary 3.5 — EMD model on Hamming space",
+                "EMD(S_A,S'_B) <= O(log n) EMD_k; comm O(k d log n log(dn)) bits; "
+                "success >= 5/8");
+
+  const size_t dim = 128;
+  const size_t k = 2;
+  const int kTrials = 12;
+  bench::Header(
+      "      n   success  med-ratio  p95-ratio   med-bits   formula-bits  naive-bits");
+
+  for (size_t n : {32, 64, 128, 256}) {
+    int successes = 0;
+    std::vector<double> ratios, bits;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      NoisyPairConfig config;
+      config.metric = MetricKind::kHamming;
+      config.dim = dim;
+      config.delta = 1;
+      config.n = n;
+      config.outliers = k;
+      config.noise = 2;
+      config.outlier_dist = 40;
+      config.seed = 1000 * n + trial;
+      auto workload = GenerateNoisyPair(config);
+      if (!workload.ok()) continue;
+
+      MultiscaleEmdParams params;
+      params.base.metric = MetricKind::kHamming;
+      params.base.dim = dim;
+      params.base.delta = 1;
+      params.base.k = k;
+      params.base.d1 = 4.0 * k;  // noise floor: 2k noisy pairs at distance <=4
+      params.base.d2 = static_cast<double>(2 * dim * n);
+      params.base.seed = 77 * n + trial;
+      params.interval_ratio = 4.0;
+      auto report =
+          RunMultiscaleEmdProtocol(workload->alice, workload->bob, params);
+      if (!report.ok() || report->failure) continue;
+      ++successes;
+
+      Metric metric(MetricKind::kHamming);
+      double emdk =
+          EmdK(workload->alice, workload->bob, metric, k);
+      double after = EmdExact(workload->alice, report->s_b_prime, metric);
+      ratios.push_back(after / std::max(emdk, 1.0));
+      bits.push_back(static_cast<double>(report->comm.total_bits()));
+    }
+    bench::Stats ratio_stats = bench::Summarize(ratios);
+    bench::Stats bit_stats = bench::Summarize(bits);
+    double formula = static_cast<double>(k) * dim * std::log2(double(n)) *
+                     std::log2(double(dim) * double(n));
+    std::printf("%7zu   %3d/%-3d  %9.2f  %9.2f  %9.0f   %12.0f  %10.0f\n", n,
+                successes, kTrials, ratio_stats.median, ratio_stats.p95,
+                bit_stats.median, formula, bench::NaiveBits(n, dim, 1));
+  }
+  std::printf(
+      "\nExpectation: success >= 5/8 of trials; med-ratio stays O(log n).\n"
+      "med-bits is nearly FLAT in n while naive-bits doubles with n — that\n"
+      "slope is the O(k d log n log(dn)) claim. The absolute constant is\n"
+      "4 q^2 = 36 RIBLT cells per k times ~2 log(D2/D1) interval-levels, so\n"
+      "the crossover against naive sits near n ~ 10^4 at these parameters;\n"
+      "formula-bits omits that constant.\n");
+}
+
+}  // namespace
+}  // namespace rsr
+
+int main() {
+  rsr::Run();
+  return 0;
+}

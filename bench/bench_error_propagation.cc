@@ -1,0 +1,91 @@
+// Experiment E4 (Lemma 3.10 / Figure 1): error propagation in breadth-first
+// RIBLT peeling.
+//
+// Model (paper, Section 3): a random hypergraph G^q_{m,cm} with one random
+// "error" edge; peeling forwards the error to adjacent cells. Claim: for
+// c < 1/(q(q-1)) the total contamination sum_v C_v is O(1) in expectation.
+// Realization: m-cell RIBLT holding cm random 1-dim pairs at base value B;
+// one additional insert/delete pair with equal key and value offset +E
+// leaves a hidden error in that key's cells (exactly Figure 1's black cell).
+// Contamination = sum over extracted pairs of |value - B| / E.
+// Table: per (q, c) — decode rate and contamination mean/median/p95; the
+// threshold at c = 1/(q(q-1)) is the reproduction target.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sketch/riblt.h"
+#include "util/random.h"
+
+namespace rsr {
+namespace {
+
+void Run() {
+  bench::Banner(
+      "E4 / Lemma 3.10, Figure 1 — RIBLT error propagation",
+      "For c < 1/(q(q-1)), breadth-first peeling spreads a planted value "
+      "error to O(1) extractions");
+
+  const size_t m = 3000;
+  const Coord kBase = 1000;
+  const Coord kError = 100;
+  const Coord kDelta = 100000;
+  const int kTrials = 40;
+
+  bench::Header(
+      "  q      c   c*=1/(q(q-1))   decode-rate   contam-mean  contam-med   contam-p95");
+  for (int q : {3, 4}) {
+    double threshold = 1.0 / (static_cast<double>(q) * (q - 1));
+    for (double c : {0.05, 0.10, threshold, 0.25, 0.40, 0.60}) {
+      int decoded = 0, trials = 0;
+      std::vector<double> contamination;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        ++trials;
+        RibltParams params;
+        params.num_cells = m;
+        params.num_hashes = q;
+        params.dim = 1;
+        params.delta = kDelta;
+        params.seed = 90000 + 1000 * q + trial +
+                      static_cast<uint64_t>(c * 1e6);
+        Riblt table(params);
+        Rng rng(params.seed ^ 0xabc);
+        size_t keys = static_cast<size_t>(c * static_cast<double>(m));
+        for (size_t i = 0; i < keys; ++i) {
+          table.Insert(rng.Next(), Point(std::vector<Coord>{kBase}));
+        }
+        // The planted canceled pair: equal key, values differing by kError.
+        uint64_t error_key = rng.Next();
+        table.Insert(error_key, Point(std::vector<Coord>{kBase + kError}));
+        table.Delete(error_key, Point(std::vector<Coord>{kBase}));
+
+        Rng decode_rng(trial + 1);
+        auto result = table.Decode(keys + 2, keys + 2, &decode_rng);
+        if (!result.ok()) continue;
+        ++decoded;
+        double contaminated = 0;
+        for (const auto& pair : result->inserted) {
+          contaminated += std::abs(static_cast<double>(pair.value[0] - kBase)) /
+                          static_cast<double>(kError);
+        }
+        contamination.push_back(contaminated);
+      }
+      bench::Stats stats = bench::Summarize(contamination);
+      std::printf("%3d  %5.3f        %6.3f     %5d/%-5d   %11.2f  %10.2f  %11.2f\n",
+                  q, c, threshold, decoded, trials, stats.mean, stats.median,
+                  stats.p95);
+    }
+  }
+  std::printf(
+      "\nExpectation: contamination stays O(1) (a few extractions) below the\n"
+      "threshold and grows sharply beyond it; decode-rate stays high until\n"
+      "the peeling threshold c*_q (see E5).\n");
+}
+
+}  // namespace
+}  // namespace rsr
+
+int main() {
+  rsr::Run();
+  return 0;
+}

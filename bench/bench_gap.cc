@@ -1,0 +1,129 @@
+// Experiment E7 (Theorem 4.2, Corollaries 4.3/4.4): the Gap protocol.
+//
+// Claims: (i) guarantee — every point of S_A ends within r2 of S'_B, with
+// failure probability <= 1/n; (ii) communication O((k + rho n) polylog n +
+// k log|U|) bits, sublinear in the naive n d bits for high-dimensional data;
+// (iii) both set-of-sets reconcilers preserve the guarantee, trading bits.
+// Tables: sweep n and k on Hamming (Cor 4.3 regime) and l1 (Cor 4.4 regime).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/gap_protocol.h"
+#include "workload/generators.h"
+
+namespace rsr {
+namespace {
+
+struct GapOutcome {
+  int guarantee_ok = 0;
+  int trials = 0;
+  bench::Stats bits;
+  bench::Stats transmitted;
+  double rho = 0;
+};
+
+GapOutcome RunSetting(MetricKind metric_kind, size_t dim, Coord delta,
+                      size_t n, size_t k, double r1, double r2,
+                      double noise, double outlier_dist,
+                      SetsReconcilerMode mode, uint64_t seed_base) {
+  GapOutcome outcome;
+  std::vector<double> bits, transmitted;
+  Metric metric(metric_kind);
+  const int kTrials = 10;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    NoisyPairConfig config;
+    config.metric = metric_kind;
+    config.dim = dim;
+    config.delta = delta;
+    config.n = n;
+    config.outliers = k;
+    config.noise = noise;
+    config.outlier_dist = outlier_dist;
+    config.seed = seed_base + trial;
+    auto workload = GenerateNoisyPair(config);
+    if (!workload.ok()) continue;
+    ++outcome.trials;
+
+    GapProtocolParams params;
+    params.metric = metric_kind;
+    params.dim = dim;
+    params.delta = delta;
+    params.r1 = r1;
+    params.r2 = r2;
+    params.k = k;
+    params.h_multiplier = 4.0;
+    params.reconciler.mode = mode;
+    params.seed = seed_base * 13 + trial;
+    auto report = RunGapProtocol(workload->alice, workload->bob, params);
+    if (!report.ok()) continue;
+    outcome.rho = report->derived.rho;
+    double gap =
+        bench::WorstCaseGap(workload->alice, report->s_b_prime, metric);
+    outcome.guarantee_ok += (gap <= r2 + 1e-9);
+    bits.push_back(static_cast<double>(report->comm.total_bits()));
+    transmitted.push_back(static_cast<double>(report->transmitted.size()));
+  }
+  outcome.bits = bench::Summarize(bits);
+  outcome.transmitted = bench::Summarize(transmitted);
+  return outcome;
+}
+
+void Run() {
+  bench::Banner("E7 / Theorem 4.2, Corollaries 4.3-4.4 — Gap Guarantee",
+                "Every S_A point within r2 of S'_B whp; comm O((k+rho n) "
+                "polylog n + k log|U|) vs naive n d log Delta");
+
+  std::printf("\n(a) Hamming, d=1024, r1=4, r2=192, fingerprint reconciler\n");
+  bench::Header(
+      "      n    k    rho    guarantee    med-bits     naive-bits    med-|T_A|");
+  for (size_t n : {64, 128, 256}) {
+    for (size_t k : {1, 4}) {
+      GapOutcome o =
+          RunSetting(MetricKind::kHamming, 1024, 1, n, k, 4, 192, 2, 320,
+                     SetsReconcilerMode::kFingerprint, 10 * n + k);
+      std::printf("%7zu  %3zu  %5.3f    %3d/%-5d  %10.0f   %12.0f   %10.1f\n",
+                  n, k, o.rho, o.guarantee_ok, o.trials, o.bits.median,
+                  bench::NaiveBits(n, 1024, 1), o.transmitted.median);
+    }
+  }
+
+  std::printf(
+      "\n(b) l1, Delta=4095, n=128, k=2, r1=4, r2=300: dimension sweep\n"
+      "    (Cor 4.4: 'even with r2/r1 = O(1), for large d we still improve\n"
+      "    significantly over the naive solution' — crossover expected)\n");
+  bench::Header(
+      "      d    rho    guarantee    med-bits     naive-bits    med-|T_A|");
+  for (size_t d : {8, 32, 128, 512}) {
+    GapOutcome o = RunSetting(MetricKind::kL1, d, 4095, 128, 2, 4, 300, 2,
+                              500, SetsReconcilerMode::kFingerprint,
+                              700 * d + 2);
+    std::printf("%7zu  %5.3f    %3d/%-5d  %10.0f   %12.0f   %10.1f\n", d,
+                o.rho, o.guarantee_ok, o.trials, o.bits.median,
+                bench::NaiveBits(128, d, 4095), o.transmitted.median);
+  }
+
+  std::printf("\n(c) reconciler ablation, Hamming d=1024, n=128, k=2\n");
+  bench::Header("  reconciler     guarantee    med-bits");
+  for (auto mode : {SetsReconcilerMode::kFingerprint,
+                    SetsReconcilerMode::kVerbatim}) {
+    GapOutcome o = RunSetting(MetricKind::kHamming, 1024, 1, 128, 2, 4, 192,
+                              2, 320, mode, 31415);
+    std::printf("  %-12s    %3d/%-5d  %10.0f\n",
+                mode == SetsReconcilerMode::kFingerprint ? "fingerprint"
+                                                         : "verbatim",
+                o.guarantee_ok, o.trials, o.bits.median);
+  }
+  std::printf(
+      "\nExpectation: guarantee holds in every trial; med-bits sublinear in\n"
+      "naive-bits for the Hamming (high-d) regime; |T_A| ~ k; fingerprint\n"
+      "reconciler no more expensive than verbatim.\n");
+}
+
+}  // namespace
+}  // namespace rsr
+
+int main() {
+  rsr::Run();
+  return 0;
+}

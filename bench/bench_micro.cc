@@ -1,0 +1,190 @@
+// Experiment E11: microbenchmarks (google-benchmark) for the hashing, LSH,
+// sketch, and matching primitives — the engineering baseline behind the
+// protocol-level time bounds of Theorems 3.4 and 4.2.
+#include <benchmark/benchmark.h>
+
+#include "emd/emd.h"
+#include "hashing/hash64.h"
+#include "hashing/kindependent.h"
+#include "hashing/pairwise.h"
+#include "hashing/tabulation.h"
+#include "lsh/bit_sampling.h"
+#include "lsh/grid.h"
+#include "lsh/pstable.h"
+#include "sketch/iblt.h"
+#include "sketch/riblt.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace rsr {
+namespace {
+
+void BM_Mix64(benchmark::State& state) {
+  uint64_t x = 12345;
+  for (auto _ : state) {
+    x = Mix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Mix64);
+
+void BM_PairwiseHash(benchmark::State& state) {
+  Rng rng(1);
+  PairwiseHash h = PairwiseHash::Draw(&rng);
+  uint64_t x = 999;
+  for (auto _ : state) {
+    x = h.Eval(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_PairwiseHash);
+
+void BM_KIndependentHash(benchmark::State& state) {
+  Rng rng(2);
+  KIndependentHash h = KIndependentHash::Draw(static_cast<int>(state.range(0)),
+                                              &rng);
+  uint64_t x = 999;
+  for (auto _ : state) {
+    x = h.Eval(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_KIndependentHash)->Arg(3)->Arg(5);
+
+void BM_TabulationHash(benchmark::State& state) {
+  Rng rng(3);
+  TabulationHash h = TabulationHash::Draw(&rng);
+  uint64_t x = 999;
+  for (auto _ : state) {
+    x = h.Eval(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_TabulationHash);
+
+void BM_PairwiseVectorHash(benchmark::State& state) {
+  Rng rng(4);
+  PairwiseVectorHash h = PairwiseVectorHash::Draw(&rng);
+  std::vector<uint64_t> v(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < v.size(); ++i) v[i] = i * 7919;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Eval(v));
+  }
+}
+BENCHMARK(BM_PairwiseVectorHash)->Arg(8)->Arg(64);
+
+void BM_LshEval(benchmark::State& state, const LshFamily& family,
+                size_t dim, Coord delta) {
+  Rng rng(5);
+  auto h = family.Draw(&rng);
+  Point p = GenerateUniform(1, dim, delta, &rng)[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h->Eval(p));
+  }
+}
+
+void BM_BitSamplingEval(benchmark::State& state) {
+  BitSamplingFamily family(256, 512.0);
+  BM_LshEval(state, family, 256, 1);
+}
+BENCHMARK(BM_BitSamplingEval);
+
+void BM_GridEval(benchmark::State& state) {
+  GridFamily family(8, 32.0);
+  BM_LshEval(state, family, 8, 1023);
+}
+BENCHMARK(BM_GridEval);
+
+void BM_PStableEval(benchmark::State& state) {
+  PStableFamily family(8, 32.0);
+  BM_LshEval(state, family, 8, 1023);
+}
+BENCHMARK(BM_PStableEval);
+
+void BM_IbltInsert(benchmark::State& state) {
+  IbltParams params;
+  params.num_cells = 1024;
+  params.seed = 6;
+  Iblt table(params);
+  uint64_t key = 1;
+  for (auto _ : state) {
+    table.Insert(key++);
+  }
+}
+BENCHMARK(BM_IbltInsert);
+
+void BM_IbltDecode(benchmark::State& state) {
+  IbltParams params;
+  params.num_cells = 1024;
+  params.seed = 7;
+  Iblt table(params);
+  Rng rng(8);
+  for (int i = 0; i < 512; ++i) table.Insert(rng.Next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Decode());
+  }
+}
+BENCHMARK(BM_IbltDecode);
+
+void BM_RibltInsert(benchmark::State& state) {
+  RibltParams params;
+  params.num_cells = 288;  // 4 q^2 k with q=3, k=8
+  params.dim = 8;
+  params.delta = 1023;
+  params.seed = 9;
+  Riblt table(params);
+  Rng rng(10);
+  Point p = GenerateUniform(1, 8, 1023, &rng)[0];
+  uint64_t key = 1;
+  for (auto _ : state) {
+    table.Insert(key++, p);
+  }
+}
+BENCHMARK(BM_RibltInsert);
+
+void BM_RibltDecode(benchmark::State& state) {
+  RibltParams params;
+  params.num_cells = 288;
+  params.dim = 8;
+  params.delta = 1023;
+  params.seed = 11;
+  Riblt table(params);
+  Rng rng(12);
+  for (int i = 0; i < 16; ++i) {
+    table.Insert(rng.Next(), GenerateUniform(1, 8, 1023, &rng)[0]);
+  }
+  for (auto _ : state) {
+    Rng decode_rng(13);
+    benchmark::DoNotOptimize(table.Decode(64, 32, &decode_rng));
+  }
+}
+BENCHMARK(BM_RibltDecode);
+
+void BM_EmdExact(benchmark::State& state) {
+  Rng rng(14);
+  size_t n = static_cast<size_t>(state.range(0));
+  PointSet x = GenerateUniform(n, 4, 1023, &rng);
+  PointSet y = GenerateUniform(n, 4, 1023, &rng);
+  Metric metric(MetricKind::kL2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmdExact(x, y, metric));
+  }
+}
+BENCHMARK(BM_EmdExact)->Arg(32)->Arg(128);
+
+void BM_EmdKAll(benchmark::State& state) {
+  Rng rng(15);
+  size_t n = static_cast<size_t>(state.range(0));
+  PointSet x = GenerateUniform(n, 4, 1023, &rng);
+  PointSet y = GenerateUniform(n, 4, 1023, &rng);
+  Metric metric(MetricKind::kL2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmdKAll(x, y, metric));
+  }
+}
+BENCHMARK(BM_EmdKAll)->Arg(32)->Arg(64);
+
+}  // namespace
+}  // namespace rsr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Experiment E12 (extension; Mitzenmacher & Pagh [23]): multi-party union
+// reconciliation over the sum-cell RIBLT.
+//
+// Claim (the cited multi-party setting): s parties can all reach the union
+// with one broadcast each, sized by the total difference mass (elements not
+// shared by all parties) rather than the set sizes. Tables: (a) sweep party
+// count at fixed difference mass; (b) sweep difference mass at fixed s —
+// communication should track the mass and be flat in the shared-set size.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/multiparty.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace rsr {
+namespace {
+
+std::vector<PointSet> MakeParties(size_t s, size_t shared, size_t unique_each,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  PointSet common = GenerateUniform(shared, 2, 4095, &rng);
+  std::vector<PointSet> parties(s);
+  for (auto& set : parties) {
+    set = common;
+    PointSet extra = GenerateUniform(unique_each, 2, 4095, &rng);
+    set.insert(set.end(), extra.begin(), extra.end());
+  }
+  return parties;
+}
+
+void Run() {
+  bench::Banner("E12 (extension) / [23] — multi-party union reconciliation",
+                "One broadcast per party; cost ~ total difference mass, not "
+                "set size");
+
+  std::printf("\n(a) sweep party count (shared=400, unique/party=4)\n");
+  bench::Header("      s   all-union   total-bits   bits-per-party");
+  for (size_t s : {2, 3, 5, 8, 12}) {
+    int ok = 0, trials = 0;
+    std::vector<double> bits;
+    for (int trial = 0; trial < 8; ++trial) {
+      auto parties = MakeParties(s, 400, 4, 100 * s + trial);
+      MultiPartyParams params;
+      params.dim = 2;
+      params.delta = 4095;
+      params.sketch_cells = 36 * (s * 4 + 4);
+      params.seed = 55 * s + trial;
+      auto report = RunMultiPartyUnion(parties, params);
+      if (!report.ok()) continue;
+      ++trials;
+      ok += report->all_ok;
+      bits.push_back(static_cast<double>(report->comm.total_bits()));
+    }
+    bench::Stats stats = bench::Summarize(bits);
+    std::printf("%7zu   %4d/%-5d %11.0f   %13.0f\n", s, ok, trials,
+                stats.median, stats.median / static_cast<double>(s));
+  }
+
+  std::printf("\n(b) sweep shared-set size at s=4, unique/party=4\n");
+  bench::Header(" shared   all-union   total-bits");
+  for (size_t shared : {100, 400, 1600, 6400}) {
+    int ok = 0, trials = 0;
+    std::vector<double> bits;
+    for (int trial = 0; trial < 6; ++trial) {
+      auto parties = MakeParties(4, shared, 4, 77 * shared + trial);
+      MultiPartyParams params;
+      params.dim = 2;
+      params.delta = 4095;
+      params.sketch_cells = 36 * 20;
+      params.seed = 99 * shared + trial;
+      auto report = RunMultiPartyUnion(parties, params);
+      if (!report.ok()) continue;
+      ++trials;
+      ok += report->all_ok;
+      bits.push_back(static_cast<double>(report->comm.total_bits()));
+    }
+    std::printf("%7zu   %4d/%-5d %11.0f\n", shared, ok, trials,
+                bench::Summarize(bits).median);
+  }
+  std::printf(
+      "\nExpectation: union reached in every trial; bits grow with the\n"
+      "difference mass (a) and only logarithmically with the shared size\n"
+      "(b) — the sketches' cells get denser varints but no more cells.\n");
+}
+
+}  // namespace
+}  // namespace rsr
+
+int main() {
+  rsr::Run();
+  return 0;
+}

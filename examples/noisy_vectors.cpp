@@ -1,0 +1,92 @@
+// Synchronizing machine-learning feature vectors (EMD model, l2).
+//
+// The paper's database motivation: two replicas hold quantized embedding
+// vectors that drifted apart through lossy compression / recomputation
+// (small l2 noise on every vector), plus a handful of genuinely new vectors
+// on one side. Exact set reconciliation pays for EVERY vector because noisy
+// copies never cancel; the robust protocol pays only for the k new ones.
+//
+// This example runs all three strategies on the same data and prints the
+// cost/quality trade-off.
+#include <cstdio>
+
+#include "core/emd_multiscale.h"
+#include "core/naive.h"
+#include "core/quadtree_baseline.h"
+#include "emd/emd.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace rsr;
+  const size_t kDim = 8;       // small quantized embedding
+  const Coord kDelta = 255;    // 8-bit quantization per coordinate
+  const size_t kVectors = 150;
+  const size_t kNew = 3;
+
+  NoisyPairConfig config;
+  config.metric = MetricKind::kL2;
+  config.dim = kDim;
+  config.delta = kDelta;
+  config.n = kVectors;
+  config.outliers = kNew;
+  config.noise = 2.0;          // quantization drift
+  config.outlier_dist = 120.0;
+  config.seed = 4096;
+  auto workload = GenerateNoisyPair(config);
+  if (!workload.ok()) {
+    std::printf("workload failed: %s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+  Metric metric(MetricKind::kL2);
+  double emdk = EmdK(workload->alice, workload->bob, metric, kNew);
+
+  std::printf("%zu vectors, dim=%zu, %zu new on each side; EMD_k = %.1f\n\n",
+              kVectors, kDim, kNew, emdk);
+  std::printf("%-26s %12s %12s %10s\n", "strategy", "bits sent",
+              "EMD(A, B')", "vs EMD_k");
+  std::printf("%s\n", std::string(64, '-').c_str());
+
+  // 1. Robust protocol (this paper).
+  MultiscaleEmdParams ours;
+  ours.base.metric = MetricKind::kL2;
+  ours.base.dim = kDim;
+  ours.base.delta = kDelta;
+  ours.base.k = kNew;
+  ours.base.seed = 11;
+  auto ours_report =
+      RunMultiscaleEmdProtocol(workload->alice, workload->bob, ours);
+  if (ours_report.ok() && !ours_report->failure) {
+    double after = EmdExact(workload->alice, ours_report->s_b_prime, metric);
+    std::printf("%-26s %12zu %12.1f %9.1fx\n", "LSH+RIBLT (this paper)",
+                ours_report->comm.total_bits(), after,
+                after / std::max(emdk, 1.0));
+  }
+
+  // 2. Quadtree baseline (Chen et al. [7]).
+  QuadtreeEmdParams quadtree;
+  quadtree.dim = kDim;
+  quadtree.delta = kDelta;
+  quadtree.k = kNew;
+  quadtree.seed = 12;
+  auto qt_report =
+      RunQuadtreeEmdProtocol(workload->alice, workload->bob, quadtree);
+  if (qt_report.ok() && !qt_report->failure) {
+    double after = EmdExact(workload->alice, qt_report->s_b_prime, metric);
+    std::printf("%-26s %12zu %12.1f %9.1fx\n", "quadtree+IBLT [7]",
+                qt_report->comm.total_bits(), after,
+                after / std::max(emdk, 1.0));
+  }
+
+  // 3. Naive full transfer (exact, expensive).
+  NaiveReport naive =
+      RunNaiveFullTransfer(workload->alice, workload->bob, false);
+  std::printf("%-26s %12zu %12.1f %9s\n", "naive full transfer",
+              naive.comm.total_bits(),
+              EmdExact(workload->alice, naive.s_b_prime, metric), "exact");
+  std::printf(
+      "\nAt this toy scale naive wins on bits (its cost grows with n; the\n"
+      "sketches' cost does not — see bench_emd_l2). The quality story is\n"
+      "scale-free: both sketch protocols repair to within a small factor of\n"
+      "EMD_k, and ours does so independent of dimension (bench_vs_quadtree).\n");
+  return 0;
+}

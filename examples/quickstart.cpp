@@ -1,0 +1,73 @@
+// Quickstart: robust set reconciliation in ~40 lines.
+//
+// Alice and Bob each hold 100 noisy observations of the same 2-D objects;
+// Alice additionally saw 2 objects Bob missed. One message from Alice lets
+// Bob repair his set so it is close to hers in earth mover's distance —
+// using a fraction of the bits a full transfer would cost.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/emd_multiscale.h"
+#include "core/naive.h"
+#include "emd/emd.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace rsr;
+
+  // 1. A synthetic "two sensors" workload: shared ground truth, per-party
+  //    noise within distance 2, and 2 fresh objects per party.
+  NoisyPairConfig config;
+  config.metric = MetricKind::kL2;
+  config.dim = 2;
+  config.delta = 1023;   // coordinates in [0, 1023]^2
+  config.n = 100;
+  config.outliers = 2;   // the k interesting differences
+  config.noise = 2.0;
+  config.outlier_dist = 100.0;
+  config.seed = 2024;
+  auto workload = GenerateNoisyPair(config);
+  if (!workload.ok()) {
+    std::printf("workload generation failed: %s\n",
+                workload.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Run the one-round EMD protocol (Algorithm 1 under the interval
+  //    decomposition of Corollary 3.6). The seed is the shared public coins.
+  MultiscaleEmdParams params;
+  params.base.metric = MetricKind::kL2;
+  params.base.dim = 2;
+  params.base.delta = 1023;
+  params.base.k = 2;
+  params.base.seed = 7;
+  auto report =
+      RunMultiscaleEmdProtocol(workload->alice, workload->bob, params);
+  if (!report.ok() || report->failure) {
+    std::printf("protocol reported failure (retry with a new seed)\n");
+    return 1;
+  }
+
+  // 3. Evaluate: how close is Bob's repaired set to Alice's?
+  Metric metric(MetricKind::kL2);
+  double before = EmdExact(workload->alice, workload->bob, metric);
+  double after = EmdExact(workload->alice, report->s_b_prime, metric);
+  double best = EmdK(workload->alice, workload->bob, metric, 2);
+  NaiveReport naive =
+      RunNaiveFullTransfer(workload->alice, workload->bob, false);
+
+  std::printf("EMD(Alice, Bob) before protocol : %8.1f\n", before);
+  std::printf("EMD(Alice, Bob) after protocol  : %8.1f\n", after);
+  std::printf("EMD_k lower bound (k=2)         : %8.1f\n", best);
+  std::printf("bits sent (robust protocol)     : %8zu\n",
+              report->comm.total_bits());
+  std::printf("bits sent (naive full transfer) : %8zu\n",
+              naive.comm.total_bits());
+  std::printf(
+      "\nNote: at toy scale the naive transfer is cheaper — the protocol's\n"
+      "cost is ~flat in n (O(k d log n log(D2/D1)) bits) while naive grows\n"
+      "linearly; see bench_emd_l2 for the scaling and the crossover.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "core/emd_multiscale.h"
+
+#include <cmath>
+
+#include "hashing/hash64.h"
+
+namespace rsr {
+
+Result<MultiscaleEmdReport> RunMultiscaleEmdProtocol(
+    const PointSet& alice, const PointSet& bob,
+    const MultiscaleEmdParams& params) {
+  if (params.interval_ratio <= 1.0) {
+    return Status::InvalidArgument("interval_ratio must exceed 1");
+  }
+  if (alice.size() != bob.size() || alice.empty()) {
+    return Status::InvalidArgument("|S_A| must equal |S_B| and be positive");
+  }
+  const size_t n = alice.size();
+  Metric metric(params.base.metric);
+  double d1 = std::max(1.0, params.base.d1);
+  double d2 = params.base.d2 > 0
+                  ? params.base.d2
+                  : static_cast<double>(n) *
+                        metric.Diameter(params.base.dim, params.base.delta);
+  if (d2 < d1) return Status::InvalidArgument("d2 must be >= d1");
+
+  MultiscaleEmdReport report;
+  size_t interval_count = 0;
+  for (double lo = d1; lo < d2;
+       lo *= params.interval_ratio) {
+    double hi = std::min(lo * params.interval_ratio, d2);
+    EmdProtocolParams interval = params.base;
+    interval.d1 = lo;
+    interval.d2 = hi;
+    interval.seed = HashCombine(params.base.seed, 0x5ca1e'000ULL + interval_count);
+    RSR_ASSIGN_OR_RETURN(EmdProtocolReport sub,
+                         RunEmdProtocol(alice, bob, interval));
+    // All interval messages travel together: still one round overall.
+    report.comm.Append(sub.comm);
+    report.intervals.push_back(std::move(sub));
+    ++interval_count;
+    if (hi >= d2) break;
+  }
+  if (report.intervals.empty()) {
+    // Degenerate d1 == d2: run the single interval directly.
+    EmdProtocolParams interval = params.base;
+    interval.d1 = d1;
+    interval.d2 = d1;
+    interval.seed = HashCombine(params.base.seed, 0x5ca1e'000ULL);
+    RSR_ASSIGN_OR_RETURN(EmdProtocolReport sub,
+                         RunEmdProtocol(alice, bob, interval));
+    report.comm.Append(sub.comm);
+    report.intervals.push_back(std::move(sub));
+  }
+
+  // Use the smallest-index interval that did not report failure.
+  for (size_t j = 0; j < report.intervals.size(); ++j) {
+    if (!report.intervals[j].failure) {
+      report.chosen_interval = j;
+      report.s_b_prime = report.intervals[j].s_b_prime;
+      return report;
+    }
+  }
+  report.failure = true;
+  return report;
+}
+
+}  // namespace rsr

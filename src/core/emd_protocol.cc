@@ -1,0 +1,188 @@
+#include "core/emd_protocol.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "emd/assignment.h"
+#include "emd/emd.h"
+#include "hashing/hash64.h"
+#include "hashing/pairwise.h"
+#include "lsh/mlsh.h"
+#include "sketch/riblt.h"
+
+namespace rsr {
+
+namespace {
+
+// Level keys are Theta(log n) bits in the paper; 40 bits keeps the birthday
+// collision probability below n^2/2^40 (~1e-5 at n = 4096) while letting
+// RIBLT key sums serialize as short varints.
+constexpr uint64_t kLevelKeyMask = (uint64_t{1} << 40) - 1;
+
+/// Evaluates all s MLSH draws on every point; row per point.
+std::vector<std::vector<uint64_t>> EvaluateAll(
+    const PointSet& points,
+    const std::vector<std::unique_ptr<LshFunction>>& functions) {
+  std::vector<std::vector<uint64_t>> evals(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    evals[i].resize(functions.size());
+    for (size_t g = 0; g < functions.size(); ++g) {
+      evals[i][g] = functions[g]->Eval(points[i]);
+    }
+  }
+  return evals;
+}
+
+}  // namespace
+
+Result<EmdProtocolReport> RunEmdProtocol(const PointSet& alice,
+                                         const PointSet& bob,
+                                         const EmdProtocolParams& params) {
+  if (alice.size() != bob.size() || alice.empty()) {
+    return Status::InvalidArgument("|S_A| must equal |S_B| and be positive");
+  }
+  const size_t n = alice.size();
+  ValidatePointSet(alice, params.dim, params.delta);
+  ValidatePointSet(bob, params.dim, params.delta);
+
+  EmdProtocolReport report;
+  RSR_ASSIGN_OR_RETURN(report.derived, DeriveEmdParameters(params, n));
+  const EmdDerived& derived = report.derived;
+
+  // Public coins: both parties derive identical hash functions from the seed.
+  Rng shared(params.seed);
+  std::unique_ptr<MlshFamily> family =
+      MakeMlshFamily(params.metric, params.dim, derived.w);
+  std::vector<std::unique_ptr<LshFunction>> draws =
+      DrawMany(*family, derived.s, &shared);
+  PairwiseVectorHash level_key_hash = PairwiseVectorHash::Draw(&shared);
+
+  // ---- Alice: build and "send" the t RIBLTs (single message). ----
+  std::vector<std::vector<uint64_t>> alice_evals = EvaluateAll(alice, draws);
+  RibltParams riblt_params;
+  riblt_params.num_cells = derived.cells;
+  riblt_params.num_hashes = params.num_hashes;
+  riblt_params.dim = params.dim;
+  riblt_params.delta = params.delta;
+
+  Transcript transcript;
+  ByteWriter message;
+  report.levels.resize(derived.levels);
+  std::vector<Riblt> tables;
+  tables.reserve(derived.levels);
+  for (size_t level = 1; level <= derived.levels; ++level) {
+    size_t prefix = LevelPrefixLength(derived, level);
+    report.levels[level - 1].prefix_len = prefix;
+    RibltParams level_params = riblt_params;
+    level_params.seed = HashCombine(params.seed, 0xeb1'0000ULL + level);
+    Riblt table(level_params);
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t key = level_key_hash.Eval(alice_evals[i], prefix) & kLevelKeyMask;
+      table.Insert(key, alice[i]);
+    }
+    table.WriteTo(&message);
+    tables.push_back(std::move(table));
+  }
+  transcript.Send("A->B level RIBLTs", message);
+
+  // ---- Bob: parse, delete his pairs, decode finest feasible level. ----
+  ByteReader reader(message.buffer());
+  std::vector<std::vector<uint64_t>> bob_evals = EvaluateAll(bob, draws);
+  Rng bob_coins(Mix64(params.seed) ^ 0xb0b);  // decoder-local rounding coins
+
+  const size_t max_pairs = 4 * params.k;
+  const size_t max_per_side = 2 * params.k;
+  size_t decoded_level = 0;
+  RibltDecodeResult best;
+  std::vector<Riblt> received;
+  received.reserve(derived.levels);
+  for (size_t level = 1; level <= derived.levels; ++level) {
+    RibltParams level_params = riblt_params;
+    level_params.seed = HashCombine(params.seed, 0xeb1'0000ULL + level);
+    RSR_ASSIGN_OR_RETURN(Riblt table, Riblt::ReadFrom(&reader, level_params));
+    received.push_back(std::move(table));
+  }
+  RSR_RETURN_NOT_OK(reader.FinishAndCheckConsumed());
+
+  for (size_t level = derived.levels; level >= 1; --level) {
+    Riblt& table = received[level - 1];
+    size_t prefix = LevelPrefixLength(derived, level);
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t key = level_key_hash.Eval(bob_evals[i], prefix) & kLevelKeyMask;
+      table.Delete(key, bob[i]);
+    }
+    Result<RibltDecodeResult> decoded =
+        table.Decode(max_pairs, max_per_side, &bob_coins);
+    EmdLevelOutcome& outcome = report.levels[level - 1];
+    if (decoded.ok()) {
+      outcome.decoded = true;
+      outcome.pairs_alice = decoded->inserted.size();
+      outcome.pairs_bob = decoded->deleted.size();
+      if (decoded_level == 0) {
+        decoded_level = level;
+        best = std::move(*decoded);
+        // Coarser levels are not needed; keep scanning only to fill
+        // diagnostics cheaply? Decoding coarser levels costs little and the
+        // outcomes are useful to benches, so continue.
+      }
+    }
+    if (level == 1) break;  // size_t guard
+  }
+
+  report.comm = transcript.stats();
+  if (decoded_level == 0) {
+    report.failure = true;
+    return report;
+  }
+  report.decoded_level = decoded_level;
+  for (const RibltPair& pair : best.inserted) report.x_a.push_back(pair.value);
+  for (const RibltPair& pair : best.deleted) report.x_b.push_back(pair.value);
+
+  // ---- Repair: S'_B = (S_B \ Y_B) ∪ X_A, with |S'_B| = n. ----
+  Metric metric(params.metric);
+  PointSet x_a = report.x_a;
+  PointSet x_b = report.x_b;
+
+  // Keep |X_A| <= |X_B| by trimming X_A (drop lexicographically largest —
+  // deterministic; see DESIGN.md "size repair").
+  if (x_a.size() > x_b.size()) {
+    std::sort(x_a.begin(), x_a.end());
+    report.trimmed_from_x_a = x_a.size() - x_b.size();
+    x_a.resize(x_b.size());
+  }
+
+  std::vector<char> removed(n, 0);
+  if (!x_b.empty()) {
+    // Min-cost matching of X_B (rows) into S_B (columns).
+    CostMatrix cost = DistanceMatrix(x_b, bob, metric);
+    AssignmentResult assignment = MinCostAssignment(cost);
+    if (x_a.size() < x_b.size()) {
+      // Remove only |X_A| of the matched points so |S'_B| stays n. Keep the
+      // pairs with the largest matching cost unmatched (least confident).
+      std::vector<size_t> order(x_b.size());
+      for (size_t r = 0; r < x_b.size(); ++r) order[r] = r;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return cost[a][static_cast<size_t>(assignment.row_to_col[a])] <
+               cost[b][static_cast<size_t>(assignment.row_to_col[b])];
+      });
+      report.kept_in_y_b = x_b.size() - x_a.size();
+      for (size_t r = 0; r < x_a.size(); ++r) {
+        removed[static_cast<size_t>(assignment.row_to_col[order[r]])] = 1;
+      }
+    } else {
+      for (size_t r = 0; r < x_b.size(); ++r) {
+        removed[static_cast<size_t>(assignment.row_to_col[r])] = 1;
+      }
+    }
+  }
+
+  report.s_b_prime.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!removed[i]) report.s_b_prime.push_back(bob[i]);
+  }
+  for (const Point& p : x_a) report.s_b_prime.push_back(p);
+  RSR_CHECK_EQ(report.s_b_prime.size(), n);
+  return report;
+}
+
+}  // namespace rsr

@@ -1,0 +1,58 @@
+// The Earth Mover's Distance protocol (Algorithm 1, Theorem 3.4).
+//
+// One round: Alice builds t = ceil(log2(D2/D1)) + 1 RIBLTs; the level-i key
+// of a point is a pairwise-independent hash of the prefix of s_i MLSH
+// evaluations, and the value is the point itself. Bob deletes his pairs,
+// finds the finest level i* that decodes to at most 4k pairs (2k per party),
+// matches the decoded X_B against S_B at minimum cost (Hungarian) to pick
+// the removal set Y_B, and outputs S'_B = (S_B \ Y_B) ∪ X_A.
+//
+// Guarantee (Theorem 3.4): with constant probability,
+//   EMD(S_A, S'_B) <= O(alpha^{-1} log n) * EMD_k(S_A, S_B),
+// with O(k d log(Delta n) log(D2/D1)) bits of one-way communication.
+#ifndef RSR_CORE_EMD_PROTOCOL_H_
+#define RSR_CORE_EMD_PROTOCOL_H_
+
+#include "core/params.h"
+#include "core/transcript.h"
+#include "geometry/point.h"
+#include "util/status.h"
+
+namespace rsr {
+
+struct EmdLevelOutcome {
+  size_t prefix_len = 0;   // s_i MLSH draws hashed into the level key
+  bool decoded = false;
+  size_t pairs_alice = 0;  // |X_A| at this level (if decoded)
+  size_t pairs_bob = 0;    // |X_B|
+};
+
+struct EmdProtocolReport {
+  /// True iff no level decoded (the protocol "reports failure").
+  bool failure = false;
+  /// Bob's output set (|S'_B| = n on success).
+  PointSet s_b_prime;
+  /// i*, 1-based; 0 on failure.
+  size_t decoded_level = 0;
+  std::vector<EmdLevelOutcome> levels;
+  /// Points extracted at level i*.
+  PointSet x_a, x_b;
+  /// Size repair bookkeeping (|X_A| != |X_B| handling; see DESIGN.md).
+  size_t trimmed_from_x_a = 0;
+  size_t kept_in_y_b = 0;
+  CommStats comm;
+  EmdDerived derived;
+};
+
+/// Runs Algorithm 1. Requires |alice| == |bob| >= 1, equal dimensions, all
+/// coordinates in [0, delta]. A DecodeFailure at every level is NOT an error
+/// status: the report comes back with failure = true (the paper's protocol
+/// explicitly reports failure with probability <= 1/8 when
+/// EMD_k <= D2).
+Result<EmdProtocolReport> RunEmdProtocol(const PointSet& alice,
+                                         const PointSet& bob,
+                                         const EmdProtocolParams& params);
+
+}  // namespace rsr
+
+#endif  // RSR_CORE_EMD_PROTOCOL_H_

@@ -1,0 +1,39 @@
+// Low-dimension Gap protocol (Theorem 4.5, Appendix E.1).
+//
+// Uses the one-sided-error grid LSH (p2 = 0): far pairs NEVER share a key
+// entry, so m = 1 and a single matching entry certifies closeness. With
+// rho_hat = r1 d / r2 < 1, h = Theta(log n / log(1/rho_hat)) entries make a
+// close pair share at least one entry with probability 1 - 1/poly(n). Alice
+// transmits every element whose key shares no entry with any of Bob's keys.
+// For constant-dimension l_p (p in [1,2]) this beats the general protocol by
+// roughly a log(r2/r1) factor in communication.
+#ifndef RSR_CORE_GAP_LOWDIM_H_
+#define RSR_CORE_GAP_LOWDIM_H_
+
+#include "core/gap_protocol.h"
+
+namespace rsr {
+
+struct LowDimGapParams {
+  /// l1 or l2 (the one-sided grid is an l_p construction).
+  MetricKind metric = MetricKind::kL1;
+  size_t dim = 0;
+  Coord delta = 0;
+  double r1 = 0;
+  double r2 = 0;
+  size_t k = 1;
+  /// h = ceil(h_multiplier * log2 n / log2(1/rho_hat)).
+  double h_multiplier = 1.0;
+  SetsReconcilerParams reconciler;
+  uint64_t seed = 0;
+};
+
+/// Runs the protocol. Requires rho_hat = r1 * dim / r2 < 1 (the theorem's
+/// applicability regime); otherwise returns InvalidArgument.
+Result<GapProtocolReport> RunLowDimGapProtocol(const PointSet& alice,
+                                               const PointSet& bob,
+                                               const LowDimGapParams& params);
+
+}  // namespace rsr
+
+#endif  // RSR_CORE_GAP_LOWDIM_H_

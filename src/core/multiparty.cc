@@ -1,0 +1,108 @@
+#include "core/multiparty.h"
+
+#include <algorithm>
+#include <string>
+
+#include "hashing/hash64.h"
+#include "sketch/riblt.h"
+#include "util/random.h"
+
+namespace rsr {
+
+Result<MultiPartyReport> RunMultiPartyUnion(
+    const std::vector<PointSet>& parties, const MultiPartyParams& params) {
+  const size_t s = parties.size();
+  if (s < 2) return Status::InvalidArgument("need at least two parties");
+  if (params.dim == 0 || params.delta < 1 || params.sketch_cells == 0) {
+    return Status::InvalidArgument("dim, delta, sketch_cells required");
+  }
+  for (const PointSet& set : parties) {
+    ValidatePointSet(set, params.dim, params.delta);
+  }
+
+  RibltParams sketch_params;
+  sketch_params.num_cells = params.sketch_cells;
+  sketch_params.num_hashes = params.num_hashes;
+  sketch_params.dim = params.dim;
+  sketch_params.delta = params.delta;
+  sketch_params.seed = params.seed;
+
+  // Deduplicate within each party (set semantics) and build the sketches.
+  std::vector<PointSet> deduped(s);
+  std::vector<Riblt> sketches;
+  sketches.reserve(s);
+  Transcript transcript;
+  std::vector<std::vector<uint8_t>> wire(s);
+  for (size_t i = 0; i < s; ++i) {
+    deduped[i] = parties[i];
+    std::sort(deduped[i].begin(), deduped[i].end());
+    deduped[i].erase(std::unique(deduped[i].begin(), deduped[i].end()),
+                     deduped[i].end());
+    Riblt sketch(sketch_params);
+    for (const Point& p : deduped[i]) {
+      sketch.Insert(p.ContentHash(params.seed), p);
+    }
+    ByteWriter writer;
+    sketch.WriteTo(&writer);
+    transcript.Send("party " + std::to_string(i) + " broadcast", writer);
+    wire[i] = writer.buffer();
+    sketches.push_back(std::move(sketch));
+  }
+
+  MultiPartyReport report;
+  report.comm = transcript.stats();
+  report.final_sets.resize(s);
+  report.party_ok.assign(s, false);
+  report.all_ok = true;
+
+  const size_t max_decode =
+      params.max_decode > 0 ? params.max_decode : params.sketch_cells;
+  for (size_t i = 0; i < s; ++i) {
+    // Party i parses every broadcast (including its own echo) from the wire.
+    Riblt combined(sketch_params);
+    bool parse_ok = true;
+    for (size_t j = 0; j < s; ++j) {
+      ByteReader reader(wire[j].data(), wire[j].size());
+      auto parsed = Riblt::ReadFrom(&reader, sketch_params);
+      if (!parsed.ok()) {
+        parse_ok = false;
+        break;
+      }
+      RSR_RETURN_NOT_OK(combined.AddScaled(*parsed, 1));
+    }
+    if (!parse_ok) {
+      report.final_sets[i] = deduped[i];
+      report.all_ok = false;
+      continue;
+    }
+    RSR_RETURN_NOT_OK(
+        combined.AddScaled(sketches[i], -static_cast<int64_t>(s)));
+
+    Rng decode_rng(Mix64(params.seed) ^ (0xdeca + i));
+    auto decoded = combined.Decode(max_decode, max_decode, &decode_rng);
+    report.final_sets[i] = deduped[i];
+    if (!decoded.ok()) {
+      report.all_ok = false;
+      continue;
+    }
+    report.party_ok[i] = true;
+    // Positive counts = elements party i is missing (multiplicity m > 0
+    // among the other parties); each distinct key yields m identical copies,
+    // add one.
+    std::sort(decoded->inserted.begin(), decoded->inserted.end(),
+              [](const RibltPair& a, const RibltPair& b) {
+                return a.key < b.key;
+              });
+    uint64_t last_key = 0;
+    bool have_last = false;
+    for (const RibltPair& pair : decoded->inserted) {
+      if (have_last && pair.key == last_key) continue;
+      last_key = pair.key;
+      have_last = true;
+      report.final_sets[i].push_back(pair.value);
+    }
+  }
+  return report;
+}
+
+}  // namespace rsr

@@ -1,0 +1,55 @@
+// Multi-party exact set reconciliation (Mitzenmacher & Pagh [23]).
+//
+// s parties each hold a point set and all want the union. Each party
+// broadcasts ONE sum-cell sketch of its set; party i then decodes
+//   T = sum_j T_j - s * T_i.
+// An element held by every party contributes s - s = 0 and vanishes; an
+// element of multiplicity m < s survives with count m - s*[i has it], so the
+// decoded load — and therefore the sketch size — is proportional to the
+// total difference mass sum_x (s - multiplicity(x)), not to the set sizes.
+// The sum-cell RIBLT is exactly the right substrate (XOR cells would cancel
+// even-multiplicity elements); this is the same linearity Algorithm 1
+// exploits, reused for the paper's cited multi-party setting.
+#ifndef RSR_CORE_MULTIPARTY_H_
+#define RSR_CORE_MULTIPARTY_H_
+
+#include <vector>
+
+#include "core/transcript.h"
+#include "geometry/point.h"
+#include "util/status.h"
+
+namespace rsr {
+
+struct MultiPartyParams {
+  size_t dim = 0;
+  Coord delta = 0;
+  /// Sketch cells per party; should be ~4 q^2 x the expected per-party
+  /// decode load (elements not shared by all parties).
+  size_t sketch_cells = 0;
+  int num_hashes = 3;
+  /// Decode cap (0 = sketch_cells, always decodable load).
+  size_t max_decode = 0;
+  /// Shared seed (public coins).
+  uint64_t seed = 0;
+};
+
+struct MultiPartyReport {
+  /// Per party: its input set extended with every decoded missing element.
+  std::vector<PointSet> final_sets;
+  /// Per party: whether its combined sketch decoded (failure leaves the
+  /// party with its input set).
+  std::vector<bool> party_ok;
+  bool all_ok = false;
+  /// One broadcast message per party.
+  CommStats comm;
+};
+
+/// Runs the one-round broadcast protocol. Within-party duplicate points are
+/// treated as a single copy (set semantics).
+Result<MultiPartyReport> RunMultiPartyUnion(
+    const std::vector<PointSet>& parties, const MultiPartyParams& params);
+
+}  // namespace rsr
+
+#endif  // RSR_CORE_MULTIPARTY_H_

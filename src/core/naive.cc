@@ -1,0 +1,145 @@
+#include "core/naive.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "hashing/hash64.h"
+#include "sketch/iblt.h"
+
+namespace rsr {
+
+NaiveReport RunNaiveFullTransfer(const PointSet& alice, const PointSet& bob,
+                                 bool union_mode) {
+  NaiveReport report;
+  ByteWriter message;
+  message.PutVarint64(alice.size());
+  for (const Point& p : alice) p.WriteTo(&message);
+  Transcript transcript;
+  transcript.Send("A->B full point set", message);
+  report.comm = transcript.stats();
+
+  ByteReader reader(message.buffer());
+  uint64_t count = reader.GetVarint64();
+  PointSet received;
+  for (uint64_t i = 0; i < count; ++i) {
+    received.push_back(Point::ReadFrom(&reader));
+  }
+  if (union_mode) {
+    report.s_b_prime = bob;
+    for (auto& p : received) report.s_b_prime.push_back(std::move(p));
+  } else {
+    report.s_b_prime = std::move(received);
+  }
+  return report;
+}
+
+namespace {
+
+std::vector<uint8_t> PackPoint(const Point& p) {
+  std::vector<uint8_t> out(p.dim() * 8);
+  for (size_t j = 0; j < p.dim(); ++j) {
+    uint64_t v = static_cast<uint64_t>(p[j]);
+    for (int b = 0; b < 8; ++b) {
+      out[j * 8 + b] = static_cast<uint8_t>(v >> (8 * b));
+    }
+  }
+  return out;
+}
+
+Point UnpackPoint(const std::vector<uint8_t>& bytes, size_t dim) {
+  std::vector<Coord> coords(dim, 0);
+  for (size_t j = 0; j < dim; ++j) {
+    uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) {
+      v |= static_cast<uint64_t>(bytes[j * 8 + b]) << (8 * b);
+    }
+    coords[j] = static_cast<Coord>(v);
+  }
+  return Point(std::move(coords));
+}
+
+/// Occurrence-salted content keys (canonical order: lexicographic).
+std::vector<uint64_t> SaltedPointKeys(PointSet points, uint64_t seed,
+                                      std::vector<Point>* sorted_out) {
+  std::sort(points.begin(), points.end());
+  std::vector<uint64_t> keys(points.size());
+  size_t run_start = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i > 0 && points[i] != points[i - 1]) run_start = i;
+    keys[i] = HashCombine(points[i].ContentHash(seed),
+                          static_cast<uint64_t>(i - run_start));
+  }
+  if (sorted_out != nullptr) *sorted_out = std::move(points);
+  return keys;
+}
+
+}  // namespace
+
+Result<ExactReconReport> RunExactIbltReconciliation(
+    const PointSet& alice, const PointSet& bob,
+    const ExactReconParams& params) {
+  if (alice.empty() && bob.empty()) {
+    return Status::InvalidArgument("both point sets empty");
+  }
+  if (params.num_cells == 0) {
+    return Status::InvalidArgument("num_cells must be positive");
+  }
+  ExactReconReport report;
+
+  IbltParams iblt_params;
+  iblt_params.num_cells = params.num_cells;
+  iblt_params.num_hashes = params.num_hashes;
+  iblt_params.value_size = params.dim * 8;
+  iblt_params.seed = params.seed;
+
+  PointSet alice_sorted;
+  std::vector<uint64_t> alice_keys =
+      SaltedPointKeys(alice, params.seed, &alice_sorted);
+  Iblt table(iblt_params);
+  for (size_t i = 0; i < alice_sorted.size(); ++i) {
+    table.InsertKv(alice_keys[i], PackPoint(alice_sorted[i]));
+  }
+  ByteWriter message;
+  table.WriteTo(&message);
+  Transcript transcript;
+  transcript.Send("A->B exact IBLT", message);
+  report.comm = transcript.stats();
+
+  ByteReader reader(message.buffer());
+  RSR_ASSIGN_OR_RETURN(Iblt received, Iblt::ReadFrom(&reader, iblt_params));
+  PointSet bob_sorted;
+  std::vector<uint64_t> bob_keys =
+      SaltedPointKeys(bob, params.seed, &bob_sorted);
+  std::unordered_map<uint64_t, size_t> bob_key_to_index;
+  for (size_t i = 0; i < bob_sorted.size(); ++i) {
+    received.DeleteKv(bob_keys[i], PackPoint(bob_sorted[i]));
+    bob_key_to_index[bob_keys[i]] = i;
+  }
+  IbltDecodeResult decoded = received.Decode();
+  if (!decoded.complete) {
+    report.failure = true;
+    return report;
+  }
+  report.diff_size = decoded.entries.size();
+
+  std::vector<char> removed(bob_sorted.size(), 0);
+  PointSet additions;
+  for (const IbltEntry& entry : decoded.entries) {
+    if (entry.count > 0) {
+      additions.push_back(UnpackPoint(entry.value, params.dim));
+    } else {
+      auto it = bob_key_to_index.find(entry.key);
+      if (it == bob_key_to_index.end()) {
+        return Status::Corruption("decoded unknown Bob-side key");
+      }
+      removed[it->second] = 1;
+    }
+  }
+  for (size_t i = 0; i < bob_sorted.size(); ++i) {
+    if (!removed[i]) report.s_b_prime.push_back(bob_sorted[i]);
+  }
+  for (auto& p : additions) report.s_b_prime.push_back(std::move(p));
+  return report;
+}
+
+}  // namespace rsr

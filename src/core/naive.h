@@ -1,0 +1,52 @@
+// Trivial baselines: full transfer and exact IBLT set reconciliation.
+//
+// Full transfer is the paper's reference point "the naive O(n log|U|)
+// communication". Exact IBLT reconciliation is standard (non-robust) set
+// reconciliation: perfect when the sets differ in a few *identical* points
+// (EMD_k = 0 regime), but it pays for every noisy point because near-equal
+// points do not cancel — which is the motivation for robust reconciliation.
+#ifndef RSR_CORE_NAIVE_H_
+#define RSR_CORE_NAIVE_H_
+
+#include "core/transcript.h"
+#include "geometry/point.h"
+#include "util/status.h"
+
+namespace rsr {
+
+struct NaiveReport {
+  PointSet s_b_prime;
+  CommStats comm;
+};
+
+/// Alice ships S_A verbatim; Bob replaces (EMD model) or unions (Gap model).
+NaiveReport RunNaiveFullTransfer(const PointSet& alice, const PointSet& bob,
+                                 bool union_mode);
+
+struct ExactReconParams {
+  size_t dim = 0;
+  Coord delta = 0;
+  /// IBLT cells; should exceed ~1.3x the expected symmetric difference.
+  size_t num_cells = 0;
+  int num_hashes = 4;
+  uint64_t seed = 0;
+};
+
+struct ExactReconReport {
+  /// True iff the IBLT failed to decode (difference exceeded capacity).
+  bool failure = false;
+  /// On success equals S_A exactly.
+  PointSet s_b_prime;
+  size_t diff_size = 0;
+  CommStats comm;
+};
+
+/// One round: Alice sends an IBLT of her (occurrence-salted) points with the
+/// packed coordinates as values; Bob deletes his, decodes, and applies the
+/// difference.
+Result<ExactReconReport> RunExactIbltReconciliation(
+    const PointSet& alice, const PointSet& bob, const ExactReconParams& params);
+
+}  // namespace rsr
+
+#endif  // RSR_CORE_NAIVE_H_

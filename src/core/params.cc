@@ -1,0 +1,136 @@
+#include "core/params.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lsh/bit_sampling.h"
+#include "lsh/grid.h"
+#include "lsh/mlsh.h"
+#include "lsh/pstable.h"
+
+namespace rsr {
+
+Result<EmdDerived> DeriveEmdParameters(const EmdProtocolParams& params,
+                                       size_t n) {
+  if (params.dim == 0 || params.delta < 1) {
+    return Status::InvalidArgument("dim and delta must be positive");
+  }
+  if (params.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (params.num_hashes < 3) {
+    return Status::InvalidArgument("Algorithm 1 requires q >= 3");
+  }
+  Metric metric(params.metric);
+  double diameter = metric.Diameter(params.dim, params.delta);
+
+  EmdDerived derived;
+  derived.d1 = std::max(1.0, params.d1);
+  derived.d2 = params.d2 > 0 ? params.d2
+                             : static_cast<double>(n) * diameter;
+  derived.m_bound = params.m_bound > 0 ? params.m_bound : diameter;
+  if (derived.d2 < derived.d1) {
+    return Status::InvalidArgument("d2 must be >= d1");
+  }
+
+  derived.w = ChooseScaleForEmd(params.metric, static_cast<double>(params.k),
+                                derived.d2, derived.m_bound);
+  // ln(1/p) from the family's MLSH parameterization at scale w.
+  std::unique_ptr<MlshFamily> family =
+      MakeMlshFamily(params.metric, params.dim, derived.w);
+  derived.p = family->mlsh_params().p;
+  double ln_inv_p = std::log(1.0 / derived.p);
+  RSR_CHECK(ln_inv_p > 0.0);
+
+  double s_real =
+      static_cast<double>(params.k) / (8.0 * derived.d1 * ln_inv_p);
+  derived.s = static_cast<size_t>(std::max(1.0, std::ceil(s_real)));
+  if (derived.s > params.max_hash_draws) {
+    return Status::InvalidArgument(
+        "s = k/(8 D1 ln(1/p)) exceeds max_hash_draws; use the multiscale "
+        "runner (emd_multiscale.h) or tighten [D1, D2]");
+  }
+
+  derived.levels = static_cast<size_t>(
+                       std::ceil(std::log2(derived.d2 / derived.d1))) +
+                   1;
+  if (derived.levels < 1) derived.levels = 1;
+
+  double q = static_cast<double>(params.num_hashes);
+  derived.cells = static_cast<size_t>(
+      std::ceil(params.cell_multiplier * q * q * static_cast<double>(params.k)));
+  return derived;
+}
+
+size_t LevelPrefixLength(const EmdDerived& derived, size_t level) {
+  RSR_CHECK(level >= 1);
+  double scale = std::ldexp(1.0, static_cast<int>(level) - 1) * derived.d1 /
+                 derived.d2;
+  double len = std::round(static_cast<double>(derived.s) * scale);
+  if (len < 1.0) len = 1.0;
+  size_t out = static_cast<size_t>(len);
+  return std::min(out, derived.s);
+}
+
+namespace {
+
+/// Bisection for the 2-stable scale with p(r2) = target.
+double SolvePStableScale(size_t dim, double r2, double target) {
+  PStableFamily probe(dim, 1.0);
+  auto prob_at = [&](double w) {
+    return PStableFamily(dim, w).CollisionProbability(r2);
+  };
+  double lo = r2 * 1e-3, hi = r2 * 1e3;
+  while (prob_at(lo) > target) lo *= 0.5;
+  while (prob_at(hi) < target) hi *= 2.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (prob_at(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  (void)probe;
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+Result<GapLshConfig> MakeGapLsh(MetricKind metric, size_t dim, double r1,
+                                double r2) {
+  if (!(0 < r1 && r1 < r2)) {
+    return Status::InvalidArgument("need 0 < r1 < r2");
+  }
+  GapLshConfig config;
+  config.lsh.r1 = r1;
+  config.lsh.r2 = r2;
+  switch (metric) {
+    case MetricKind::kHamming: {
+      double w = std::max(static_cast<double>(dim), 2.0 * r2);
+      config.family = std::make_unique<BitSamplingFamily>(dim, w);
+      config.lsh.p1 = 1.0 - r1 / w;
+      config.lsh.p2 = 1.0 - r2 / w;
+      break;
+    }
+    case MetricKind::kL1: {
+      double w = r2 / std::log(2.0);
+      config.family = std::make_unique<GridFamily>(dim, w);
+      config.lsh.p1 = 1.0 - r1 / w;         // lower bound, any layout
+      config.lsh.p2 = std::exp(-r2 / w);    // upper bound = 1/2
+      break;
+    }
+    case MetricKind::kL2: {
+      double w = SolvePStableScale(dim, r2, 0.5);
+      auto family = std::make_unique<PStableFamily>(dim, w);
+      config.lsh.p1 = family->CollisionProbability(r1);
+      config.lsh.p2 = family->CollisionProbability(r2);
+      config.family = std::move(family);
+      break;
+    }
+  }
+  if (!(config.lsh.p1 > config.lsh.p2 && config.lsh.p2 > 0)) {
+    return Status::InvalidArgument("degenerate LSH parameters for gap radii");
+  }
+  return config;
+}
+
+}  // namespace rsr

@@ -1,0 +1,4 @@
+#include "core/transcript.h"
+
+// Header-only today; this translation unit anchors the module and hosts
+// future non-inline transcript features (e.g. per-round latency models).

@@ -1,0 +1,51 @@
+#include "core/twoway.h"
+
+#include "hashing/hash64.h"
+
+namespace rsr {
+
+Result<TwoWayGapReport> RunTwoWayGapProtocol(const PointSet& alice,
+                                             const PointSet& bob,
+                                             const GapProtocolParams& params) {
+  TwoWayGapReport report;
+
+  GapProtocolParams forward = params;
+  forward.seed = HashCombine(params.seed, 0x2a);
+  RSR_ASSIGN_OR_RETURN(report.a_to_b, RunGapProtocol(alice, bob, forward));
+
+  GapProtocolParams backward = params;
+  backward.seed = HashCombine(params.seed, 0x2b);
+  // Roles swap: Bob is now the sender whose far points must reach Alice.
+  RSR_ASSIGN_OR_RETURN(report.b_to_a, RunGapProtocol(bob, alice, backward));
+
+  report.s_b_final = report.a_to_b.s_b_prime;
+  report.s_a_final = report.b_to_a.s_b_prime;
+  report.comm.Append(report.a_to_b.comm);
+  report.comm.Append(report.b_to_a.comm);
+  return report;
+}
+
+Result<TwoWayEmdReport> RunTwoWayEmdProtocol(
+    const PointSet& alice, const PointSet& bob,
+    const MultiscaleEmdParams& params) {
+  TwoWayEmdReport report;
+
+  MultiscaleEmdParams forward = params;
+  forward.base.seed = HashCombine(params.base.seed, 0x2a);
+  RSR_ASSIGN_OR_RETURN(report.a_to_b,
+                       RunMultiscaleEmdProtocol(alice, bob, forward));
+
+  MultiscaleEmdParams backward = params;
+  backward.base.seed = HashCombine(params.base.seed, 0x2b);
+  RSR_ASSIGN_OR_RETURN(report.b_to_a,
+                       RunMultiscaleEmdProtocol(bob, alice, backward));
+
+  report.failure = report.a_to_b.failure || report.b_to_a.failure;
+  if (!report.a_to_b.failure) report.s_b_final = report.a_to_b.s_b_prime;
+  if (!report.b_to_a.failure) report.s_a_final = report.b_to_a.s_b_prime;
+  report.comm.Append(report.a_to_b.comm);
+  report.comm.Append(report.b_to_a.comm);
+  return report;
+}
+
+}  // namespace rsr

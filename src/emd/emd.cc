@@ -1,0 +1,47 @@
+#include "emd/emd.h"
+
+#include <algorithm>
+
+namespace rsr {
+
+CostMatrix DistanceMatrix(const PointSet& x, const PointSet& y,
+                          const Metric& metric) {
+  CostMatrix cost(x.size(), std::vector<double>(y.size(), 0.0));
+  for (size_t i = 0; i < x.size(); ++i) {
+    for (size_t j = 0; j < y.size(); ++j) {
+      cost[i][j] = metric.Distance(x[i], y[j]);
+    }
+  }
+  return cost;
+}
+
+double EmdExact(const PointSet& x, const PointSet& y, const Metric& metric) {
+  RSR_CHECK_EQ(x.size(), y.size());
+  RSR_CHECK(!x.empty());
+  return MinCostAssignment(DistanceMatrix(x, y, metric)).cost;
+}
+
+double EmdK(const PointSet& x, const PointSet& y, const Metric& metric,
+            size_t k) {
+  RSR_CHECK_EQ(x.size(), y.size());
+  RSR_CHECK(!x.empty());
+  RSR_CHECK_LT(k, x.size());
+  PartialMatchingResult partial = MinCostPartialCosts(
+      DistanceMatrix(x, y, metric));
+  return partial.costs[x.size() - k];
+}
+
+std::vector<double> EmdKAll(const PointSet& x, const PointSet& y,
+                            const Metric& metric) {
+  RSR_CHECK_EQ(x.size(), y.size());
+  RSR_CHECK(!x.empty());
+  PartialMatchingResult partial = MinCostPartialCosts(
+      DistanceMatrix(x, y, metric));
+  std::vector<double> out(x.size());
+  for (size_t k = 0; k < x.size(); ++k) {
+    out[k] = partial.costs[x.size() - k];
+  }
+  return out;
+}
+
+}  // namespace rsr

@@ -1,0 +1,36 @@
+// Earth mover's distance between equal-size point sets (Definitions 3.2/3.3).
+//
+// EMD(X, Y)   = min-cost perfect matching under the metric.
+// EMD_k(X, Y) = min over all (n-k)-subsets of each side of the EMD of the
+//               remainder = minimum-cost (n-k)-matching (computed exactly by
+//               successive shortest paths; see assignment.h).
+// These are evaluation oracles: protocols never need EMD of full sets, but
+// the benchmarks report EMD(S_A, S'_B) / EMD_k(S_A, S_B) against the paper's
+// O(log n) bound.
+#ifndef RSR_EMD_EMD_H_
+#define RSR_EMD_EMD_H_
+
+#include "emd/assignment.h"
+#include "geometry/metric.h"
+#include "geometry/point.h"
+
+namespace rsr {
+
+/// Builds the dense distance matrix cost[i][j] = f(x_i, y_j).
+CostMatrix DistanceMatrix(const PointSet& x, const PointSet& y,
+                          const Metric& metric);
+
+/// Exact EMD; requires |x| == |y| >= 1.
+double EmdExact(const PointSet& x, const PointSet& y, const Metric& metric);
+
+/// Exact EMD_k; requires |x| == |y| >= 1 and 0 <= k < |x|.
+double EmdK(const PointSet& x, const PointSet& y, const Metric& metric,
+            size_t k);
+
+/// All EMD_k values at once: entry k holds EMD_k(x, y), k = 0..n-1.
+std::vector<double> EmdKAll(const PointSet& x, const PointSet& y,
+                            const Metric& metric);
+
+}  // namespace rsr
+
+#endif  // RSR_EMD_EMD_H_

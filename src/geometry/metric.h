@@ -1,0 +1,45 @@
+// Metrics over [Delta]^d: Hamming, l1, l2.
+//
+// The paper's protocols are parameterized by (U, f) with f an l_p metric or
+// Hamming distance; all three appear in its corollaries (2.3/2.4/2.5,
+// 3.5/3.6, 4.3/4.4). Distances are returned as double; Hamming and l1 values
+// are exact integers representable in double for all laptop-scale inputs.
+#ifndef RSR_GEOMETRY_METRIC_H_
+#define RSR_GEOMETRY_METRIC_H_
+
+#include <string>
+
+#include "geometry/point.h"
+
+namespace rsr {
+
+enum class MetricKind {
+  kHamming,
+  kL1,
+  kL2,
+};
+
+double HammingDistance(const Point& a, const Point& b);
+double L1Distance(const Point& a, const Point& b);
+double L2Distance(const Point& a, const Point& b);
+
+/// A value-type metric dispatcher.
+class Metric {
+ public:
+  explicit Metric(MetricKind kind) : kind_(kind) {}
+
+  MetricKind kind() const { return kind_; }
+  double Distance(const Point& a, const Point& b) const;
+
+  /// Diameter of [0,delta]^d under this metric.
+  double Diameter(size_t dim, Coord delta) const;
+
+  std::string Name() const;
+
+ private:
+  MetricKind kind_;
+};
+
+}  // namespace rsr
+
+#endif  // RSR_GEOMETRY_METRIC_H_

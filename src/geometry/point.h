@@ -1,0 +1,68 @@
+// Points of the discretized metric space [Delta]^d.
+//
+// Coordinates are integers in {0, ..., Delta} (inclusive), matching the
+// paper's clamping of extracted RIBLT values into [0, Delta]. Binary Hamming
+// space {0,1}^d is the special case Delta = 1.
+#ifndef RSR_GEOMETRY_POINT_H_
+#define RSR_GEOMETRY_POINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace rsr {
+
+using Coord = int64_t;
+
+/// An immutable-by-convention d-dimensional integer point.
+class Point {
+ public:
+  Point() = default;
+  explicit Point(std::vector<Coord> coords) : coords_(std::move(coords)) {}
+
+  static Point Zero(size_t dim) { return Point(std::vector<Coord>(dim, 0)); }
+
+  size_t dim() const { return coords_.size(); }
+  Coord operator[](size_t i) const {
+    RSR_DCHECK(i < coords_.size());
+    return coords_[i];
+  }
+  Coord& at(size_t i) {
+    RSR_DCHECK(i < coords_.size());
+    return coords_[i];
+  }
+  const std::vector<Coord>& coords() const { return coords_; }
+
+  bool operator==(const Point& other) const { return coords_ == other.coords_; }
+  bool operator!=(const Point& other) const { return !(*this == other); }
+  /// Lexicographic order (canonical ordering for occurrence salting).
+  bool operator<(const Point& other) const { return coords_ < other.coords_; }
+
+  /// True iff every coordinate lies in [0, delta].
+  bool InDomain(Coord delta) const;
+
+  /// Stable 64-bit content hash (shared across parties).
+  uint64_t ContentHash(uint64_t salt) const;
+
+  /// Serialization: dim as varint then zigzag varints per coordinate.
+  void WriteTo(ByteWriter* w) const;
+  static Point ReadFrom(ByteReader* r);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Coord> coords_;
+};
+
+/// A collection of points with common dimension.
+using PointSet = std::vector<Point>;
+
+/// CHECK-fails unless all points share dimension `dim` and lie in [0,delta]^d.
+void ValidatePointSet(const PointSet& points, size_t dim, Coord delta);
+
+}  // namespace rsr
+
+#endif  // RSR_GEOMETRY_POINT_H_

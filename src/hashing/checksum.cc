@@ -1,0 +1,4 @@
+#include "hashing/checksum.h"
+
+// Header-only; this translation unit exists so the module has a home for
+// future non-inline checksum variants and to anchor the target's file list.

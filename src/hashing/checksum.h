@@ -1,0 +1,25 @@
+// Fixed key-checksum function for sketch cells.
+//
+// IBLT/RIBLT cells store, alongside each key (or key sum), a checksum used to
+// recognize "pure" cells during peeling. The paper requires the checksum to
+// be "sufficiently large so that with high probability none of the distinct
+// keys' checksums collide"; 64 bits gives collision probability ~n^2 / 2^64.
+// The function must be identical for both parties (public coins), so it is a
+// fixed strong mixer salted by a shared seed.
+#ifndef RSR_HASHING_CHECKSUM_H_
+#define RSR_HASHING_CHECKSUM_H_
+
+#include <cstdint>
+
+#include "hashing/hash64.h"
+
+namespace rsr {
+
+/// 64-bit checksum of a key under a shared salt.
+inline uint64_t KeyChecksum(uint64_t key, uint64_t salt) {
+  return Mix64(key ^ Mix64(salt ^ 0xc2b2ae3d27d4eb4fULL));
+}
+
+}  // namespace rsr
+
+#endif  // RSR_HASHING_CHECKSUM_H_

@@ -1,0 +1,37 @@
+#include "hashing/hash64.h"
+
+#include <cstring>
+
+namespace rsr {
+
+namespace {
+constexpr uint64_t kMul = 0x9ddfea08eb382d69ULL;
+}  // namespace
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed ^ (len * kMul);
+  while (len >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    h = HashCombine(h, Mix64(w));
+    p += 8;
+    len -= 8;
+  }
+  if (len > 0) {
+    uint64_t w = 0;
+    std::memcpy(&w, p, len);
+    h = HashCombine(h, Mix64(w ^ (static_cast<uint64_t>(len) << 56)));
+  }
+  return Mix64(h);
+}
+
+uint64_t HashU64Span(const uint64_t* data, size_t len, uint64_t seed) {
+  uint64_t h = seed ^ (len * kMul);
+  for (size_t i = 0; i < len; ++i) {
+    h = HashCombine(h, data[i]);
+  }
+  return Mix64(h);
+}
+
+}  // namespace rsr

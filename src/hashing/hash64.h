@@ -1,0 +1,36 @@
+// Core 64-bit mixing and byte-span hashing primitives.
+//
+// These are the building blocks for the checksum, key-derivation, and
+// signature functions used by the sketches. They are *not* the pairwise- or
+// k-independent families required by the analysis (see pairwise.h and
+// kindependent.h for those); they are strong fixed mixers in the style of
+// SplitMix64 / MurmurHash3 finalizers.
+#ifndef RSR_HASHING_HASH64_H_
+#define RSR_HASHING_HASH64_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rsr {
+
+/// SplitMix64 finalizer: a bijective 64-bit mixer with good avalanche.
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Combine two 64-bit hashes (non-commutative).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return Mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// Hash an arbitrary byte span with a seed (Murmur-inspired, 64-bit).
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed);
+
+/// Hash an array of 64-bit words with a seed.
+uint64_t HashU64Span(const uint64_t* data, size_t len, uint64_t seed);
+
+}  // namespace rsr
+
+#endif  // RSR_HASHING_HASH64_H_

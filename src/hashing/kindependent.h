@@ -1,0 +1,36 @@
+// k-independent polynomial hashing over the Mersenne prime 2^61 - 1.
+//
+// h(x) = (c_{k-1} x^{k-1} + ... + c_1 x + c_0) mod p. A degree-(k-1)
+// polynomial with random coefficients is k-wise independent. The IBLT cell
+// index functions use this family (q cell choices per key must behave
+// independently for the peeling analysis to apply).
+#ifndef RSR_HASHING_KINDEPENDENT_H_
+#define RSR_HASHING_KINDEPENDENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace rsr {
+
+class KIndependentHash {
+ public:
+  /// Draws a random degree-(k-1) polynomial; requires k >= 1.
+  static KIndependentHash Draw(int k, Rng* rng);
+
+  /// 61-bit output.
+  uint64_t Eval(uint64_t x) const;
+
+  int independence() const { return static_cast<int>(coeffs_.size()); }
+
+ private:
+  explicit KIndependentHash(std::vector<uint64_t> coeffs)
+      : coeffs_(std::move(coeffs)) {}
+
+  std::vector<uint64_t> coeffs_;  // coeffs_[i] multiplies x^i
+};
+
+}  // namespace rsr
+
+#endif  // RSR_HASHING_KINDEPENDENT_H_

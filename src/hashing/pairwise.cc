@@ -1,0 +1,57 @@
+#include "hashing/pairwise.h"
+
+#include "hashing/hash64.h"
+
+namespace rsr {
+
+uint64_t Mod61(unsigned __int128 x) {
+  // Fold twice: x < 2^122, each fold removes 61 bits.
+  uint64_t lo = static_cast<uint64_t>(x & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(x >> 61);
+  uint64_t r = lo + (hi & kMersenne61) + (hi >> 61);
+  if (r >= kMersenne61) r -= kMersenne61;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+uint64_t MulAddMod61(uint64_t a, uint64_t x, uint64_t b) {
+  // Reduce x first so the product fits in 122 bits.
+  unsigned __int128 prod =
+      static_cast<unsigned __int128>(a) * Mod61(x) + b;
+  return Mod61(prod);
+}
+
+PairwiseHash PairwiseHash::Draw(Rng* rng) {
+  uint64_t a = 1 + rng->Below(kMersenne61 - 1);
+  uint64_t b = rng->Below(kMersenne61);
+  return PairwiseHash(a, b);
+}
+
+PairwiseVectorHash PairwiseVectorHash::Draw(Rng* rng) {
+  PairwiseVectorHash h(rng->Fork());
+  h.b_ = h.rng_.Below(kMersenne61);
+  h.length_salt_ = 1 + h.rng_.Below(kMersenne61 - 1);
+  return h;
+}
+
+void PairwiseVectorHash::EnsureMultipliers(size_t len) const {
+  while (coeffs_.size() < len) {
+    coeffs_.push_back(1 + rng_.Below(kMersenne61 - 1));
+  }
+}
+
+uint64_t PairwiseVectorHash::Eval(const std::vector<uint64_t>& v,
+                                  size_t len) const {
+  RSR_DCHECK(len <= v.size());
+  EnsureMultipliers(len);
+  unsigned __int128 acc = b_;
+  for (size_t i = 0; i < len; ++i) {
+    acc += static_cast<unsigned __int128>(coeffs_[i]) * Mod61(v[i]);
+    if (i % 4 == 3) acc = Mod61(acc);  // keep the accumulator small
+  }
+  // Mix in the length so prefixes of different lengths are independent-ish.
+  acc += static_cast<unsigned __int128>(length_salt_) * Mod61(len);
+  return Mod61(acc);
+}
+
+}  // namespace rsr

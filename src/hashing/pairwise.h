@@ -1,0 +1,76 @@
+// Pairwise-independent hash families over the Mersenne prime p = 2^61 - 1.
+//
+// PairwiseHash:     h(x) = ((a*x + b) mod p) mod 2^out_bits,  a != 0.
+// PairwiseVectorHash: h(v) = (b + sum_i a_i * v_i) mod p, folded to 64 bits,
+//   pairwise independent over fixed-length vectors (per-coordinate random
+//   multipliers). Algorithm 1's level keys and the Gap protocol's batch
+//   hashes are drawn from this family, matching the paper's "2-wise
+//   independent class of hash functions with range {0,1}^Theta(log n)".
+#ifndef RSR_HASHING_PAIRWISE_H_
+#define RSR_HASHING_PAIRWISE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace rsr {
+
+/// The Mersenne prime 2^61 - 1 used for modular hashing.
+constexpr uint64_t kMersenne61 = (uint64_t{1} << 61) - 1;
+
+/// (a*x + b) mod 2^61-1, computed with 128-bit intermediates.
+uint64_t MulAddMod61(uint64_t a, uint64_t x, uint64_t b);
+
+/// x mod 2^61-1 for x < 2^122 (folded reduction).
+uint64_t Mod61(unsigned __int128 x);
+
+/// Pairwise-independent hash of a single 64-bit input.
+class PairwiseHash {
+ public:
+  /// Draws a = Uniform[1, p-1], b = Uniform[0, p-1].
+  static PairwiseHash Draw(Rng* rng);
+  PairwiseHash(uint64_t a, uint64_t b) : a_(a), b_(b) {}
+
+  /// Full 61-bit output.
+  uint64_t Eval(uint64_t x) const { return MulAddMod61(a_, x, b_); }
+
+  /// Output truncated to out_bits low bits (out_bits <= 61).
+  uint64_t EvalBits(uint64_t x, int out_bits) const {
+    return Eval(x) & ((out_bits >= 61) ? kMersenne61
+                                       : ((uint64_t{1} << out_bits) - 1));
+  }
+
+ private:
+  uint64_t a_;
+  uint64_t b_;
+};
+
+/// Pairwise-independent hash of fixed-length vectors of 64-bit values.
+/// Lazily extends the multiplier list so one instance can hash prefixes of
+/// any length (used by the EMD protocol's per-level prefix keys).
+class PairwiseVectorHash {
+ public:
+  /// The instance owns a forked RNG stream so multipliers are reproducible.
+  static PairwiseVectorHash Draw(Rng* rng);
+
+  /// Hash the first `len` entries of v. Distinct (vector, len) pairs collide
+  /// with probability ~2^-61. Output is 61 bits.
+  uint64_t Eval(const std::vector<uint64_t>& v, size_t len) const;
+  uint64_t Eval(const std::vector<uint64_t>& v) const {
+    return Eval(v, v.size());
+  }
+
+ private:
+  explicit PairwiseVectorHash(Rng rng) : rng_(rng) {}
+  void EnsureMultipliers(size_t len) const;
+
+  mutable Rng rng_;
+  mutable std::vector<uint64_t> coeffs_;
+  uint64_t b_ = 0;
+  uint64_t length_salt_ = 0;
+};
+
+}  // namespace rsr
+
+#endif  // RSR_HASHING_PAIRWISE_H_

@@ -1,0 +1,13 @@
+#include "hashing/tabulation.h"
+
+namespace rsr {
+
+TabulationHash TabulationHash::Draw(Rng* rng) {
+  TabulationHash h;
+  for (auto& table : h.tables_) {
+    for (auto& entry : table) entry = rng->Next();
+  }
+  return h;
+}
+
+}  // namespace rsr

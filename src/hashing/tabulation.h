@@ -1,0 +1,38 @@
+// Simple tabulation hashing for 64-bit keys.
+//
+// Splits the key into 8 bytes and XORs 8 random 256-entry tables. Tabulation
+// hashing is 3-independent and has strong concentration properties in hashing
+// applications (cuckoo hashing, linear probing, peeling); it is the fast
+// alternative cell-index function for sketches and is benchmarked against the
+// polynomial family in bench_micro.
+#ifndef RSR_HASHING_TABULATION_H_
+#define RSR_HASHING_TABULATION_H_
+
+#include <array>
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace rsr {
+
+class TabulationHash {
+ public:
+  /// Fills the 8x256 tables from rng.
+  static TabulationHash Draw(Rng* rng);
+
+  uint64_t Eval(uint64_t x) const {
+    uint64_t h = 0;
+    for (int i = 0; i < 8; ++i) {
+      h ^= tables_[i][(x >> (8 * i)) & 0xff];
+    }
+    return h;
+  }
+
+ private:
+  TabulationHash() = default;
+  std::array<std::array<uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace rsr
+
+#endif  // RSR_HASHING_TABULATION_H_

@@ -1,0 +1,36 @@
+// Bit/coordinate sampling MLSH for Hamming distance (Lemma 2.3).
+//
+// The drawn function samples a uniformly random coordinate of the point with
+// probability d/w, and is the constant 0 with probability 1 - d/w (the
+// paper's footnote 3 equivalent of padding points to w dimensions). Collision
+// probability for points at Hamming distance f is exactly 1 - f/w, which is
+// an MLSH with parameters (0.79w, e^{-2/w}, 1/2). The analysis holds for any
+// coordinate alphabet, not just {0,1}.
+#ifndef RSR_LSH_BIT_SAMPLING_H_
+#define RSR_LSH_BIT_SAMPLING_H_
+
+#include "lsh/lsh_family.h"
+
+namespace rsr {
+
+class BitSamplingFamily : public MlshFamily {
+ public:
+  /// Requires w >= dim.
+  BitSamplingFamily(size_t dim, double w);
+
+  std::unique_ptr<LshFunction> Draw(Rng* rng) const override;
+  std::string Name() const override { return "bit_sampling"; }
+  double CollisionProbability(double dist) const override;
+  MetricKind metric() const override { return MetricKind::kHamming; }
+  MlshParams mlsh_params() const override;
+
+  double w() const { return w_; }
+
+ private:
+  size_t dim_;
+  double w_;
+};
+
+}  // namespace rsr
+
+#endif  // RSR_LSH_BIT_SAMPLING_H_

@@ -1,0 +1,36 @@
+// Randomly shifted orthogonal lattice MLSH for l1 (Lemma 2.4).
+//
+// The drawn function rounds the point to a lattice of width w with an
+// independent uniform shift per dimension; the bucket id is a hash of the
+// cell-index vector. Collision probability for difference vector (x_j) is
+// prod_j max(0, 1 - |x_j|/w), bracketed by
+//   1 - f/w  <=  Pr  <=  (1 - f/(dw))^d  for f = ||x-y||_1 <= w,
+// giving an MLSH with parameters (0.79w, e^{-2/w}, 1/2).
+#ifndef RSR_LSH_GRID_H_
+#define RSR_LSH_GRID_H_
+
+#include "lsh/lsh_family.h"
+
+namespace rsr {
+
+class GridFamily : public MlshFamily {
+ public:
+  /// Requires w > 0.
+  GridFamily(size_t dim, double w);
+
+  std::unique_ptr<LshFunction> Draw(Rng* rng) const override;
+  std::string Name() const override { return "grid_l1"; }
+  double CollisionProbability(double dist) const override;
+  MetricKind metric() const override { return MetricKind::kL1; }
+  MlshParams mlsh_params() const override;
+
+  double w() const { return w_; }
+
+ private:
+  size_t dim_;
+  double w_;
+};
+
+}  // namespace rsr
+
+#endif  // RSR_LSH_GRID_H_

@@ -1,0 +1,76 @@
+// Locality sensitive hashing interfaces (Definitions 2.1 and 2.2).
+//
+// A drawn LshFunction maps points to 64-bit bucket ids; equality of bucket
+// ids is collision. LshFamily::CollisionProbability exposes the analytic
+// collision curve used by the property tests and bench_mlsh_curves to verify
+// the MLSH sandwich  p^f <= Pr[h(x)=h(y)] <= p^{alpha f}  (f = distance).
+#ifndef RSR_LSH_LSH_FAMILY_H_
+#define RSR_LSH_LSH_FAMILY_H_
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "geometry/metric.h"
+#include "geometry/point.h"
+#include "util/random.h"
+
+namespace rsr {
+
+/// Parameters of a standard LSH family (Definition 2.1).
+struct LshParams {
+  double r1 = 0;
+  double r2 = 0;
+  double p1 = 0;
+  double p2 = 0;
+
+  /// rho = log(1/p1) / log(1/p2), the meta-parameter of Section 4.
+  double rho() const { return std::log(1.0 / p1) / std::log(1.0 / p2); }
+};
+
+/// Parameters of a multi-scale LSH family (Definition 2.2):
+/// Pr[h(x)=h(y)] <= p^{alpha f(x,y)}, and Pr >= p^{f(x,y)} for f(x,y) <= r.
+struct MlshParams {
+  double r = 0;
+  double p = 0;
+  double alpha = 0;
+};
+
+/// A single drawn hash function.
+class LshFunction {
+ public:
+  virtual ~LshFunction() = default;
+  virtual uint64_t Eval(const Point& x) const = 0;
+};
+
+/// A distribution over hash functions.
+class LshFamily {
+ public:
+  virtual ~LshFamily() = default;
+
+  virtual std::unique_ptr<LshFunction> Draw(Rng* rng) const = 0;
+  virtual std::string Name() const = 0;
+
+  /// Analytic Pr[h(x)=h(y)] for points at distance `dist` under the family's
+  /// metric. For families whose collision probability depends on the
+  /// coordinate layout (grid/l1), this returns the concentrated-layout value
+  /// (all distance in one coordinate), which is the layout minimizing the
+  /// probability; the MLSH sandwich holds for every layout.
+  virtual double CollisionProbability(double dist) const = 0;
+
+  virtual MetricKind metric() const = 0;
+};
+
+/// An LshFamily that additionally satisfies Definition 2.2.
+class MlshFamily : public LshFamily {
+ public:
+  virtual MlshParams mlsh_params() const = 0;
+};
+
+/// Draws `count` independent functions from a family.
+std::vector<std::unique_ptr<LshFunction>> DrawMany(const LshFamily& family,
+                                                   size_t count, Rng* rng);
+
+}  // namespace rsr
+
+#endif  // RSR_LSH_LSH_FAMILY_H_

@@ -1,0 +1,55 @@
+#include "lsh/mlsh.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rsr {
+
+std::vector<std::unique_ptr<LshFunction>> DrawMany(const LshFamily& family,
+                                                   size_t count, Rng* rng) {
+  std::vector<std::unique_ptr<LshFunction>> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(family.Draw(rng));
+  return out;
+}
+
+std::unique_ptr<MlshFamily> MakeMlshFamily(MetricKind kind, size_t dim,
+                                           double w) {
+  switch (kind) {
+    case MetricKind::kHamming:
+      // Bit sampling requires w >= dim (padding semantics).
+      return std::make_unique<BitSamplingFamily>(
+          dim, std::max(w, static_cast<double>(dim)));
+    case MetricKind::kL1:
+      return std::make_unique<GridFamily>(dim, w);
+    case MetricKind::kL2:
+      return std::make_unique<PStableFamily>(dim, w);
+  }
+  RSR_CHECK(false);
+  return nullptr;
+}
+
+double ChooseScaleForEmd(MetricKind kind, double k, double d2, double m_bound) {
+  RSR_CHECK(k >= 1.0);
+  RSR_CHECK(d2 >= 1.0);
+  double r_target = std::min(m_bound, d2);
+  switch (kind) {
+    case MetricKind::kHamming:
+    case MetricKind::kL1: {
+      // p = e^{-2/w} >= e^{-k/(24 D2)}  <=>  w >= 48 D2 / k;
+      // r = 0.79 w >= r_target          <=>  w >= r_target / 0.79.
+      return std::max(48.0 * d2 / k, r_target / 0.79);
+    }
+    case MetricKind::kL2: {
+      // p = e^{-2 sqrt(2/pi)/w} >= e^{-k/(24 D2)}
+      //   <=>  w >= 48 sqrt(2/pi) D2 / k;
+      // r = 0.99 w >= r_target  <=>  w >= r_target / 0.99.
+      return std::max(48.0 * std::sqrt(2.0 / M_PI) * d2 / k,
+                      r_target / 0.99);
+    }
+  }
+  RSR_CHECK(false);
+  return 0.0;
+}
+
+}  // namespace rsr

@@ -1,0 +1,29 @@
+// MLSH family construction helpers.
+//
+// MakeMlshFamily picks the family matching the metric (bit-sampling for
+// Hamming, grid for l1, 2-stable for l2) at scale w. ChooseScaleForEmd
+// implements the scale selection of Theorem 3.4 / footnotes 4-5: w must be
+// large enough that  p >= e^{-k/(24 D2)}  and  r >= min(M, D2).
+#ifndef RSR_LSH_MLSH_H_
+#define RSR_LSH_MLSH_H_
+
+#include <memory>
+
+#include "lsh/bit_sampling.h"
+#include "lsh/grid.h"
+#include "lsh/lsh_family.h"
+#include "lsh/pstable.h"
+
+namespace rsr {
+
+/// Builds the canonical MLSH family for `kind` at scale w.
+std::unique_ptr<MlshFamily> MakeMlshFamily(MetricKind kind, size_t dim,
+                                           double w);
+
+/// Scale selection for the EMD protocol: the smallest w satisfying both MLSH
+/// constraints of Theorem 3.4 for the given (k, D2, M). Returns w.
+double ChooseScaleForEmd(MetricKind kind, double k, double d2, double m_bound);
+
+}  // namespace rsr
+
+#endif  // RSR_LSH_MLSH_H_

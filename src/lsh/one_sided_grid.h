@@ -1,0 +1,42 @@
+// One-sided-error grid LSH for l_p (Appendix E.1).
+//
+// A randomly shifted axis-aligned grid of cell width w = r2 / d^{1/p}. The
+// maximum l_p distance within a cell is exactly w d^{1/p} = r2, so points at
+// distance > r2 NEVER collide: p2 = 0. Points at distance r1 collide with
+// probability >= 1 - r1 d / r2 = 1 - rho_hat (union bound over dimensions,
+// Jensen). Used by the low-dimension Gap protocol (Theorem 4.5).
+#ifndef RSR_LSH_ONE_SIDED_GRID_H_
+#define RSR_LSH_ONE_SIDED_GRID_H_
+
+#include "lsh/lsh_family.h"
+
+namespace rsr {
+
+class OneSidedGridFamily : public LshFamily {
+ public:
+  /// p_exponent is the metric exponent (1 for l1, 2 for l2). Requires r2 > 0.
+  OneSidedGridFamily(size_t dim, double r2, int p_exponent);
+
+  std::unique_ptr<LshFunction> Draw(Rng* rng) const override;
+  std::string Name() const override { return "one_sided_grid"; }
+  /// Lower bound 1 - dist*d/r2 (exact for concentrated layouts; a valid
+  /// lower bound in general). Zero beyond r2 by construction.
+  double CollisionProbability(double dist) const override;
+  MetricKind metric() const override {
+    return p_exponent_ == 1 ? MetricKind::kL1 : MetricKind::kL2;
+  }
+
+  double cell_width() const { return w_; }
+  /// rho_hat = r1 d / r2 for a given r1 (Theorem 4.5's meta-parameter).
+  double RhoHat(double r1) const;
+
+ private:
+  size_t dim_;
+  double r2_;
+  int p_exponent_;
+  double w_;
+};
+
+}  // namespace rsr
+
+#endif  // RSR_LSH_ONE_SIDED_GRID_H_

@@ -1,0 +1,56 @@
+#include "setsets/sethash.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hashing/hash64.h"
+
+namespace rsr {
+
+uint64_t SetSignature(const SlottedSet& set, uint64_t salt) {
+  uint64_t acc = 0;
+  for (size_t slot = 0; slot < set.size(); ++slot) {
+    // XOR of per-element hashes: commutative, so equal content => equal
+    // signature regardless of construction order.
+    acc ^= Mix64((static_cast<uint64_t>(slot) << 32) ^ set[slot] ^
+                 Mix64(salt ^ 0x5e7516ULL));
+  }
+  // Final mix so the all-XOR structure is not visible to downstream tables.
+  return Mix64(acc ^ Mix64(salt + set.size()));
+}
+
+uint64_t SaltedSignature(uint64_t signature, uint32_t occurrence) {
+  return HashCombine(signature, 0x0ccu ^ occurrence);
+}
+
+std::vector<uint64_t> CanonicalSaltedSignatures(
+    const std::vector<SlottedSet>& sets, uint64_t salt,
+    std::vector<size_t>* order) {
+  std::vector<size_t> idx(sets.size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::sort(idx.begin(), idx.end(), [&sets](size_t a, size_t b) {
+    return sets[a] < sets[b];
+  });
+
+  std::vector<uint64_t> salted(sets.size());
+  size_t run_start = 0;
+  for (size_t i = 0; i < idx.size(); ++i) {
+    if (i > 0 && sets[idx[i]] != sets[idx[i - 1]]) run_start = i;
+    uint32_t occurrence = static_cast<uint32_t>(i - run_start);
+    RSR_CHECK(occurrence < kMaxOccurrences);
+    salted[i] = SaltedSignature(SetSignature(sets[idx[i]], salt), occurrence);
+  }
+  if (order != nullptr) *order = idx;
+  return salted;
+}
+
+uint32_t ElementFingerprint(uint32_t slot, uint32_t value, uint64_t salt,
+                            int bits) {
+  RSR_DCHECK(bits >= 1 && bits <= 32);
+  uint64_t h = Mix64((static_cast<uint64_t>(slot) << 32) ^ value ^
+                     Mix64(salt ^ 0xf1a9ULL));
+  return static_cast<uint32_t>(h & ((bits >= 32) ? 0xffffffffULL
+                                                 : ((1ULL << bits) - 1)));
+}
+
+}  // namespace rsr

@@ -1,0 +1,182 @@
+#include "sketch/iblt.h"
+
+#include <deque>
+
+#include "hashing/checksum.h"
+
+namespace rsr {
+
+namespace {
+
+uint64_t ChecksumMask(int checksum_bytes) {
+  return checksum_bytes >= 8 ? ~uint64_t{0}
+                             : ((uint64_t{1} << (8 * checksum_bytes)) - 1);
+}
+
+}  // namespace
+
+Iblt::Iblt(const IbltParams& params) : params_(params) {
+  RSR_CHECK(params.num_hashes >= 2);
+  RSR_CHECK(params.num_cells > 0);
+  RSR_CHECK(params.checksum_bytes >= 1 && params.checksum_bytes <= 8);
+  size_t q = static_cast<size_t>(params.num_hashes);
+  cells_per_subtable_ = (params.num_cells + q - 1) / q;
+  if (cells_per_subtable_ == 0) cells_per_subtable_ = 1;
+  size_t total = cells_per_subtable_ * q;
+  params_.num_cells = total;
+
+  Rng rng(params.seed ^ 0x1b17a5e11b17ULL);
+  index_hashes_.reserve(q);
+  for (size_t j = 0; j < q; ++j) {
+    // 3-independent cell indices suffice for peeling in practice; the
+    // polynomial family keeps both parties' functions identical by seed.
+    index_hashes_.push_back(KIndependentHash::Draw(3, &rng));
+  }
+
+  counts_.assign(total, 0);
+  key_xors_.assign(total, 0);
+  checksum_xors_.assign(total, 0);
+  value_xors_.assign(total * params_.value_size, 0);
+}
+
+std::vector<size_t> Iblt::CellsOf(uint64_t key) const {
+  std::vector<size_t> cells(index_hashes_.size());
+  for (size_t j = 0; j < index_hashes_.size(); ++j) {
+    cells[j] = j * cells_per_subtable_ +
+               static_cast<size_t>(index_hashes_[j].Eval(key) %
+                                   cells_per_subtable_);
+  }
+  return cells;
+}
+
+void Iblt::Update(uint64_t key, const std::vector<uint8_t>* value,
+                  int direction) {
+  if (value != nullptr) {
+    RSR_CHECK_EQ(value->size(), params_.value_size);
+  } else {
+    RSR_CHECK_EQ(params_.value_size, 0u);
+  }
+  uint64_t checksum =
+      KeyChecksum(key, params_.seed) & ChecksumMask(params_.checksum_bytes);
+  for (size_t cell : CellsOf(key)) {
+    counts_[cell] += direction;
+    key_xors_[cell] ^= key;
+    checksum_xors_[cell] ^= checksum;
+    if (value != nullptr) {
+      uint8_t* dst = &value_xors_[cell * params_.value_size];
+      for (size_t i = 0; i < params_.value_size; ++i) dst[i] ^= (*value)[i];
+    }
+  }
+}
+
+Status Iblt::SubtractInPlace(const Iblt& other) {
+  if (other.params_.num_cells != params_.num_cells ||
+      other.params_.num_hashes != params_.num_hashes ||
+      other.params_.value_size != params_.value_size ||
+      other.params_.checksum_bytes != params_.checksum_bytes ||
+      other.params_.seed != params_.seed) {
+    return Status::InvalidArgument("IBLT parameter mismatch in subtraction");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] -= other.counts_[i];
+    key_xors_[i] ^= other.key_xors_[i];
+    checksum_xors_[i] ^= other.checksum_xors_[i];
+  }
+  for (size_t i = 0; i < value_xors_.size(); ++i) {
+    value_xors_[i] ^= other.value_xors_[i];
+  }
+  return Status::OK();
+}
+
+bool Iblt::IsPure(size_t cell) const {
+  if (counts_[cell] != 1 && counts_[cell] != -1) return false;
+  return checksum_xors_[cell] ==
+         (KeyChecksum(key_xors_[cell], params_.seed) &
+          ChecksumMask(params_.checksum_bytes));
+}
+
+IbltDecodeResult Iblt::Decode() const {
+  Iblt table = *this;  // Peel a copy; the sketch itself stays intact.
+  IbltDecodeResult result;
+
+  std::deque<size_t> queue;
+  std::vector<uint8_t> queued(table.counts_.size(), 0);
+  for (size_t c = 0; c < table.counts_.size(); ++c) {
+    if (table.IsPure(c)) {
+      queue.push_back(c);
+      queued[c] = 1;
+    }
+  }
+
+  while (!queue.empty()) {
+    size_t cell = queue.front();
+    queue.pop_front();
+    queued[cell] = 0;
+    if (!table.IsPure(cell)) continue;
+
+    IbltEntry entry;
+    entry.key = table.key_xors_[cell];
+    entry.count = table.counts_[cell];
+    if (params_.value_size > 0) {
+      const uint8_t* src = &table.value_xors_[cell * params_.value_size];
+      entry.value.assign(src, src + params_.value_size);
+    }
+
+    int direction = entry.count > 0 ? -1 : +1;  // remove the entry
+    const std::vector<uint8_t>* value_ptr =
+        params_.value_size > 0 ? &entry.value : nullptr;
+    table.Update(entry.key, value_ptr, direction);
+    result.entries.push_back(std::move(entry));
+
+    for (size_t touched : table.CellsOf(result.entries.back().key)) {
+      if (!queued[touched] && table.IsPure(touched)) {
+        queue.push_back(touched);
+        queued[touched] = 1;
+      }
+    }
+  }
+
+  result.complete = true;
+  for (size_t c = 0; c < table.counts_.size(); ++c) {
+    if (table.counts_[c] != 0 || table.key_xors_[c] != 0 ||
+        table.checksum_xors_[c] != 0) {
+      result.complete = false;
+      break;
+    }
+  }
+  return result;
+}
+
+void Iblt::WriteTo(ByteWriter* w) const {
+  for (size_t c = 0; c < counts_.size(); ++c) {
+    w->PutSignedVarint64(counts_[c]);
+    // Empty cells (the common case in a well-sized sketch) cost 3 bytes.
+    w->PutVarint64(key_xors_[c]);
+    for (int b = 0; b < params_.checksum_bytes; ++b) {
+      w->PutU8(static_cast<uint8_t>(checksum_xors_[c] >> (8 * b)));
+    }
+  }
+  if (params_.value_size > 0) {
+    w->PutBytes(value_xors_.data(), value_xors_.size());
+  }
+}
+
+Result<Iblt> Iblt::ReadFrom(ByteReader* r, const IbltParams& params) {
+  Iblt table(params);
+  for (size_t c = 0; c < table.counts_.size(); ++c) {
+    table.counts_[c] = r->GetSignedVarint64();
+    table.key_xors_[c] = r->GetVarint64();
+    uint64_t checksum = 0;
+    for (int b = 0; b < table.params_.checksum_bytes; ++b) {
+      checksum |= static_cast<uint64_t>(r->GetU8()) << (8 * b);
+    }
+    table.checksum_xors_[c] = checksum;
+  }
+  if (table.params_.value_size > 0) {
+    r->GetBytes(table.value_xors_.data(), table.value_xors_.size());
+  }
+  RSR_RETURN_NOT_OK(r->status());
+  return table;
+}
+
+}  // namespace rsr

@@ -1,0 +1,101 @@
+// Invertible Bloom Lookup Table (Goodrich & Mitzenmacher [13]; Section 2.2).
+//
+// A q-partitioned hash table whose cells hold (count, key XOR, checksum XOR,
+// optional fixed-size value XOR). Supports insertion and deletion; after a
+// mix of inserts (one party) and deletes (the other), the table holds the
+// symmetric difference and can be decoded by peeling cells with count +-1
+// whose checksum validates. Theorem 2.6: m cells decode cm keys whp.
+//
+// NOTE (multiset semantics): two XOR-inserts of the same key self-cancel.
+// Callers reconciling multisets must salt keys with a canonical occurrence
+// index (see setsets/sethash.h). The RIBLT (riblt.h) removes this limitation
+// with sum cells, as required by Algorithm 1.
+#ifndef RSR_SKETCH_IBLT_H_
+#define RSR_SKETCH_IBLT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hashing/kindependent.h"
+#include "util/random.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace rsr {
+
+struct IbltParams {
+  /// Total number of cells m (rounded up to a multiple of num_hashes).
+  size_t num_cells = 0;
+  /// q: number of cell choices per key; the table is partitioned into q
+  /// subtables so the choices are always distinct.
+  int num_hashes = 4;
+  /// Bytes of associated value XORed into each cell (0 = keys only).
+  size_t value_size = 0;
+  /// Wire width of the per-cell checksum in bytes (1..8). Narrower checksums
+  /// shrink messages; the pure-cell false-positive rate is 2^-(8*bytes) per
+  /// peel step, so 4 is plenty for difference sketches.
+  int checksum_bytes = 8;
+  /// Shared seed (public coins): both parties must use the same seed.
+  uint64_t seed = 0;
+};
+
+/// One recovered entry: `count` is the net multiplicity (+1 = present only on
+/// the inserting side, -1 = only on the deleting side).
+struct IbltEntry {
+  uint64_t key = 0;
+  int64_t count = 0;
+  std::vector<uint8_t> value;
+};
+
+struct IbltDecodeResult {
+  std::vector<IbltEntry> entries;
+  /// True iff the table fully drained (all cells returned to zero).
+  bool complete = false;
+};
+
+class Iblt {
+ public:
+  explicit Iblt(const IbltParams& params);
+
+  void Insert(uint64_t key) { Update(key, nullptr, +1); }
+  void Delete(uint64_t key) { Update(key, nullptr, -1); }
+  void InsertKv(uint64_t key, const std::vector<uint8_t>& value) {
+    Update(key, &value, +1);
+  }
+  void DeleteKv(uint64_t key, const std::vector<uint8_t>& value) {
+    Update(key, &value, -1);
+  }
+
+  /// Cell-wise subtraction (sketch-difference style reconciliation).
+  /// Requires identical parameters and seed.
+  Status SubtractInPlace(const Iblt& other);
+
+  /// Peels the table (on a copy). Returns entries with net counts +-1; the
+  /// result is complete iff the residual table is empty. An incomplete decode
+  /// still reports everything that peeled (useful for strata estimation).
+  IbltDecodeResult Decode() const;
+
+  const IbltParams& params() const { return params_; }
+  size_t num_cells() const { return counts_.size(); }
+
+  /// Exact wire size accounting.
+  void WriteTo(ByteWriter* w) const;
+  static Result<Iblt> ReadFrom(ByteReader* r, const IbltParams& params);
+
+ private:
+  void Update(uint64_t key, const std::vector<uint8_t>* value, int direction);
+  std::vector<size_t> CellsOf(uint64_t key) const;
+  bool IsPure(size_t cell) const;
+
+  IbltParams params_;
+  size_t cells_per_subtable_ = 0;
+  std::vector<KIndependentHash> index_hashes_;
+  std::vector<int64_t> counts_;
+  std::vector<uint64_t> key_xors_;
+  std::vector<uint64_t> checksum_xors_;
+  std::vector<uint8_t> value_xors_;  // flat: cell * value_size
+};
+
+}  // namespace rsr
+
+#endif  // RSR_SKETCH_IBLT_H_

@@ -1,0 +1,267 @@
+#include "sketch/riblt.h"
+
+#include <cmath>
+#include <deque>
+
+#include "hashing/checksum.h"
+
+namespace rsr {
+
+namespace {
+
+// RIBLT checksums are 32-bit: checksum *sums* of up to 2^31 items still fit
+// a 64-bit word, which keeps the wire format small, and 2^-32 per-peel
+// false-positive probability is far below the protocol's failure budget.
+inline uint64_t CellChecksum(uint64_t key, uint64_t seed) {
+  return KeyChecksum(key, seed) & 0xffffffffULL;
+}
+
+}  // namespace
+
+Riblt::Riblt(const RibltParams& params) : params_(params) {
+  RSR_CHECK(params.num_hashes >= 3);  // Algorithm 1 requires q >= 3.
+  RSR_CHECK(params.num_cells > 0);
+  RSR_CHECK(params.dim > 0);
+  RSR_CHECK(params.delta >= 1);
+  size_t q = static_cast<size_t>(params.num_hashes);
+  cells_per_subtable_ = (params.num_cells + q - 1) / q;
+  if (cells_per_subtable_ == 0) cells_per_subtable_ = 1;
+  size_t total = cells_per_subtable_ * q;
+  params_.num_cells = total;
+
+  Rng rng(params.seed ^ 0x1ab17c0ffeeULL);
+  index_hashes_.reserve(q);
+  for (size_t j = 0; j < q; ++j) {
+    index_hashes_.push_back(KIndependentHash::Draw(3, &rng));
+  }
+
+  counts_.assign(total, 0);
+  key_sums_.assign(total, 0);
+  checksum_sums_.assign(total, 0);
+  value_sums_.assign(total * params_.dim, 0);
+}
+
+std::vector<size_t> Riblt::CellsOf(uint64_t key) const {
+  std::vector<size_t> cells(index_hashes_.size());
+  for (size_t j = 0; j < index_hashes_.size(); ++j) {
+    cells[j] = j * cells_per_subtable_ +
+               static_cast<size_t>(index_hashes_[j].Eval(key) %
+                                   cells_per_subtable_);
+  }
+  return cells;
+}
+
+void Riblt::Update(uint64_t key, const Point& value, int direction) {
+  RSR_CHECK_EQ(value.dim(), params_.dim);
+  U128 key_term = key;
+  U128 checksum_term = CellChecksum(key, params_.seed);
+  for (size_t cell : CellsOf(key)) {
+    counts_[cell] += direction;
+    if (direction > 0) {
+      key_sums_[cell] += key_term;
+      checksum_sums_[cell] += checksum_term;
+    } else {
+      key_sums_[cell] -= key_term;  // wraps mod 2^128; consistent throughout
+      checksum_sums_[cell] -= checksum_term;
+    }
+    int64_t* vs = &value_sums_[cell * params_.dim];
+    for (size_t j = 0; j < params_.dim; ++j) {
+      vs[j] += direction > 0 ? value[j] : -value[j];
+    }
+  }
+}
+
+void Riblt::Insert(uint64_t key, const Point& value) { Update(key, value, +1); }
+void Riblt::Delete(uint64_t key, const Point& value) { Update(key, value, -1); }
+
+Status Riblt::AddScaled(const Riblt& other, int64_t factor) {
+  if (other.params_.num_cells != params_.num_cells ||
+      other.params_.num_hashes != params_.num_hashes ||
+      other.params_.dim != params_.dim ||
+      other.params_.delta != params_.delta ||
+      other.params_.seed != params_.seed) {
+    return Status::InvalidArgument("RIBLT parameter mismatch in AddScaled");
+  }
+  // 128-bit sums wrap consistently under negative factors.
+  U128 factor128 = factor >= 0
+                       ? static_cast<U128>(factor)
+                       : static_cast<U128>(0) - static_cast<U128>(-factor);
+  for (size_t c = 0; c < counts_.size(); ++c) {
+    counts_[c] += factor * other.counts_[c];
+    key_sums_[c] += factor128 * other.key_sums_[c];
+    checksum_sums_[c] += factor128 * other.checksum_sums_[c];
+  }
+  for (size_t i = 0; i < value_sums_.size(); ++i) {
+    value_sums_[i] += factor * other.value_sums_[i];
+  }
+  return Status::OK();
+}
+
+bool Riblt::IsPure(size_t cell, int64_t* copies, uint64_t* key,
+                   int* side) const {
+  int64_t c = counts_[cell];
+  if (c == 0) return false;
+  int s = c > 0 ? +1 : -1;
+  U128 magnitude = static_cast<U128>(c > 0 ? c : -c);
+  // Normalize the wrapped sums to the inserting direction.
+  U128 key_sum = s > 0 ? key_sums_[cell] : static_cast<U128>(0) - key_sums_[cell];
+  U128 checksum_sum =
+      s > 0 ? checksum_sums_[cell] : static_cast<U128>(0) - checksum_sums_[cell];
+  if (key_sum % magnitude != 0) return false;
+  U128 candidate = key_sum / magnitude;
+  if (candidate > ~uint64_t{0}) return false;
+  uint64_t k = static_cast<uint64_t>(candidate);
+  // checksum(K/C) == S/C, equivalently S == C * checksum(K/C).
+  if (checksum_sum !=
+      magnitude * static_cast<U128>(CellChecksum(k, params_.seed))) {
+    return false;
+  }
+  *copies = c > 0 ? c : -c;
+  *key = k;
+  *side = s;
+  return true;
+}
+
+Result<RibltDecodeResult> Riblt::Decode(size_t max_pairs, size_t max_per_side,
+                                        Rng* rng) const {
+  Riblt table = *this;
+  RibltDecodeResult result;
+
+  // FIFO breadth-first order (RIBLT requirement 1): cells become eligible in
+  // the order they turn pure, and are processed first-come first-served.
+  std::deque<size_t> queue;
+  std::vector<uint8_t> queued(table.counts_.size(), 0);
+  int64_t copies;
+  uint64_t key;
+  int side;
+  for (size_t c = 0; c < table.counts_.size(); ++c) {
+    if (table.IsPure(c, &copies, &key, &side)) {
+      queue.push_back(c);
+      queued[c] = 1;
+    }
+  }
+
+  size_t total_pairs = 0;
+  while (!queue.empty()) {
+    size_t cell = queue.front();
+    queue.pop_front();
+    queued[cell] = 0;
+    if (!table.IsPure(cell, &copies, &key, &side)) continue;
+    ++result.peel_steps;
+
+    total_pairs += static_cast<size_t>(copies);
+    if (total_pairs > max_pairs) {
+      return Status::DecodeFailure("RIBLT decoded more than max_pairs pairs");
+    }
+
+    // Extract |C| pairs. Average value = value_sum / count (signed), then
+    // clamp into [0, Delta] and randomized-round each fractional coordinate
+    // independently per copy (RIBLT requirement 5).
+    const int64_t* vs = &table.value_sums_[cell * params_.dim];
+    int64_t signed_count = side > 0 ? copies : -copies;
+    std::vector<double> average(params_.dim);
+    for (size_t j = 0; j < params_.dim; ++j) {
+      average[j] = static_cast<double>(vs[j]) / static_cast<double>(signed_count);
+      if (average[j] < 0.0) average[j] = 0.0;
+      double delta = static_cast<double>(params_.delta);
+      if (average[j] > delta) average[j] = delta;
+    }
+    for (int64_t copy = 0; copy < copies; ++copy) {
+      std::vector<Coord> coords(params_.dim);
+      for (size_t j = 0; j < params_.dim; ++j) {
+        double floor_val = std::floor(average[j]);
+        double frac = average[j] - floor_val;
+        Coord v = static_cast<Coord>(floor_val);
+        if (frac > 0.0 && rng->Bernoulli(frac)) v += 1;
+        if (v > params_.delta) v = params_.delta;
+        coords[j] = v;
+      }
+      RibltPair pair;
+      pair.key = key;
+      pair.value = Point(std::move(coords));
+      pair.side = side;
+      if (side > 0) {
+        result.inserted.push_back(std::move(pair));
+        if (result.inserted.size() > max_per_side) {
+          return Status::DecodeFailure("RIBLT exceeded per-side pair cap");
+        }
+      } else {
+        result.deleted.push_back(std::move(pair));
+        if (result.deleted.size() > max_per_side) {
+          return Status::DecodeFailure("RIBLT exceeded per-side pair cap");
+        }
+      }
+    }
+
+    // Subtract the *exact cell contents* (including any accumulated value
+    // error) from every cell of the key — this is the error-propagation
+    // mechanism of Figure 1.
+    int64_t cell_count = table.counts_[cell];
+    U128 cell_key_sum = table.key_sums_[cell];
+    U128 cell_checksum_sum = table.checksum_sums_[cell];
+    std::vector<int64_t> cell_values(vs, vs + params_.dim);
+    for (size_t touched : table.CellsOf(key)) {
+      table.counts_[touched] -= cell_count;
+      table.key_sums_[touched] -= cell_key_sum;
+      table.checksum_sums_[touched] -= cell_checksum_sum;
+      int64_t* tv = &table.value_sums_[touched * params_.dim];
+      for (size_t j = 0; j < params_.dim; ++j) tv[j] -= cell_values[j];
+      if (!queued[touched]) {
+        int64_t c2;
+        uint64_t k2;
+        int s2;
+        if (table.IsPure(touched, &c2, &k2, &s2)) {
+          queue.push_back(touched);
+          queued[touched] = 1;
+        }
+      }
+    }
+  }
+
+  // Success: all counts and key material drained. Value residue from
+  // canceled equal-key pairs is expected (it is exactly the in-bucket error
+  // the analysis charges to mu).
+  result.complete = true;
+  for (size_t c = 0; c < table.counts_.size(); ++c) {
+    if (table.counts_[c] != 0 || table.key_sums_[c] != 0 ||
+        table.checksum_sums_[c] != 0) {
+      result.complete = false;
+      break;
+    }
+  }
+  if (!result.complete) {
+    return Status::DecodeFailure("RIBLT peeling stuck (nonempty 2-core)");
+  }
+  return result;
+}
+
+void Riblt::WriteTo(ByteWriter* w) const {
+  // Varint-coded sums: an empty cell costs 3 bytes + d value bytes; tables
+  // serialized before any deletion (Algorithm 1 ships Alice's inserts only)
+  // have nonnegative sums, so the encoding stays compact. Wrapped (negative)
+  // sums still round-trip correctly, just at the full 19-byte width.
+  for (size_t c = 0; c < counts_.size(); ++c) {
+    w->PutSignedVarint64(counts_[c]);
+    w->PutVarint128(key_sums_[c]);
+    w->PutVarint128(checksum_sums_[c]);
+    const int64_t* vs = &value_sums_[c * params_.dim];
+    for (size_t j = 0; j < params_.dim; ++j) w->PutSignedVarint64(vs[j]);
+  }
+}
+
+Result<Riblt> Riblt::ReadFrom(ByteReader* r, const RibltParams& params) {
+  Riblt table(params);
+  for (size_t c = 0; c < table.counts_.size(); ++c) {
+    table.counts_[c] = r->GetSignedVarint64();
+    table.key_sums_[c] = r->GetVarint128();
+    table.checksum_sums_[c] = r->GetVarint128();
+    int64_t* vs = &table.value_sums_[c * table.params_.dim];
+    for (size_t j = 0; j < table.params_.dim; ++j) {
+      vs[j] = r->GetSignedVarint64();
+    }
+  }
+  RSR_RETURN_NOT_OK(r->status());
+  return table;
+}
+
+}  // namespace rsr

@@ -1,0 +1,119 @@
+// Robust Invertible Bloom Lookup Table (Section 2.2, items 1-5).
+//
+// The RIBLT differs from the classic IBLT in exactly the ways the paper
+// prescribes:
+//   1. Peeling is breadth-first / first-come-first-served (FIFO), which the
+//      branching-process analysis of Lemma 3.10 requires.
+//   2. It is run sparse (the protocol uses m = 4 q^2 k cells for <= 4k keys,
+//      i.e. load c < 1/(q(q-1))), so the peeling hypergraph is trees and
+//      unicyclic components whp.
+//   3./4. Cells maintain *sums* instead of XORs: a 128-bit key sum, a 128-bit
+//      checksum sum, and a per-dimension int64 value sum holding a point of
+//      {-n Delta, ..., n Delta}^d.
+//   5. A cell whose contents are C copies of one key (detected by
+//      divisibility of the sums by C plus checksum validation) is peeled by
+//      extracting C pairs whose values are the average value, clamped into
+//      [0, Delta] and randomized-rounded to integers.
+//
+// Error propagation (Figure 1) is intrinsic: deleting a pair whose key
+// matches an inserted pair but whose value differs leaves the value
+// difference in the cell sums; extraction then attributes accumulated error
+// to the extracted values and the subtraction step forwards it to the key's
+// other cells.
+#ifndef RSR_SKETCH_RIBLT_H_
+#define RSR_SKETCH_RIBLT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "hashing/kindependent.h"
+#include "util/random.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace rsr {
+
+struct RibltParams {
+  /// Total cells m (rounded up to a multiple of num_hashes).
+  size_t num_cells = 0;
+  /// q >= 3 per Algorithm 1.
+  int num_hashes = 3;
+  /// Dimensionality d of the stored values.
+  size_t dim = 0;
+  /// Coordinate domain [0, delta]; extracted values are clamped into it.
+  Coord delta = 0;
+  /// Shared seed (public coins).
+  uint64_t seed = 0;
+};
+
+/// One extracted key-value pair. side = +1 for the inserting party (Alice in
+/// Algorithm 1), -1 for the deleting party (Bob).
+struct RibltPair {
+  uint64_t key = 0;
+  Point value;
+  int side = 0;
+};
+
+struct RibltDecodeResult {
+  std::vector<RibltPair> inserted;  // side +1
+  std::vector<RibltPair> deleted;   // side -1
+  /// True iff peeling drained all counts/keys (value residue from canceled
+  /// equal-key pairs is expected and allowed).
+  bool complete = false;
+  /// Number of peeling rounds (BFS depth proxy) for diagnostics.
+  size_t peel_steps = 0;
+};
+
+class Riblt {
+ public:
+  explicit Riblt(const RibltParams& params);
+
+  /// Adds (key, value). Requires value.dim() == params.dim and coordinates in
+  /// [0, delta].
+  void Insert(uint64_t key, const Point& value);
+  /// Deletes (key, value): subtracts the same contributions.
+  void Delete(uint64_t key, const Point& value);
+
+  /// Cell-wise linear combination: this += factor * other. Factors may be
+  /// negative. Requires identical parameters/seed. The multi-party
+  /// reconciler ([23]) relies on this linearity: party i decodes
+  /// sum_j T_j - s * T_i, where universal elements cancel exactly.
+  Status AddScaled(const Riblt& other, int64_t factor);
+
+  /// FIFO peeling. Caps: decode fails (returns DecodeFailure) if more than
+  /// max_pairs total or max_per_side pairs for either side are extracted, or
+  /// if the table does not drain. `rng` drives the randomized rounding of
+  /// averaged values (decoder-local coins).
+  Result<RibltDecodeResult> Decode(size_t max_pairs, size_t max_per_side,
+                                   Rng* rng) const;
+
+  const RibltParams& params() const { return params_; }
+  size_t num_cells() const { return counts_.size(); }
+
+  /// Exact wire-size accounting; cell encoding is O(d log(n Delta)) bits.
+  void WriteTo(ByteWriter* w) const;
+  static Result<Riblt> ReadFrom(ByteReader* r, const RibltParams& params);
+
+ private:
+  using U128 = unsigned __int128;
+
+  void Update(uint64_t key, const Point& value, int direction);
+  std::vector<size_t> CellsOf(uint64_t key) const;
+
+  /// If the cell's contents are C copies of a single key from a single side,
+  /// fills |C|, key, side and returns true.
+  bool IsPure(size_t cell, int64_t* copies, uint64_t* key, int* side) const;
+
+  RibltParams params_;
+  size_t cells_per_subtable_ = 0;
+  std::vector<KIndependentHash> index_hashes_;
+  std::vector<int64_t> counts_;
+  std::vector<U128> key_sums_;
+  std::vector<U128> checksum_sums_;
+  std::vector<int64_t> value_sums_;  // flat: cell * dim + coordinate
+};
+
+}  // namespace rsr
+
+#endif  // RSR_SKETCH_RIBLT_H_

@@ -1,0 +1,72 @@
+#include "sketch/strata.h"
+
+#include <bit>
+
+#include "hashing/hash64.h"
+
+namespace rsr {
+
+StrataEstimator::StrataEstimator(const StrataParams& params) : params_(params) {
+  RSR_CHECK(params.num_strata >= 1);
+  RSR_CHECK(params.num_strata <= 63);
+  strata_.reserve(static_cast<size_t>(params.num_strata));
+  for (int i = 0; i < params.num_strata; ++i) {
+    IbltParams cell_params;
+    cell_params.num_cells = params.cells_per_stratum;
+    cell_params.num_hashes = params.num_hashes;
+    cell_params.value_size = 0;
+    cell_params.checksum_bytes = params.checksum_bytes;
+    cell_params.seed = HashCombine(params.seed, static_cast<uint64_t>(i));
+    strata_.emplace_back(cell_params);
+  }
+}
+
+int StrataEstimator::StratumOf(uint64_t key) const {
+  uint64_t h = Mix64(key ^ Mix64(params_.seed ^ 0x5742a7aULL));
+  int tz = h == 0 ? 63 : std::countr_zero(h);
+  if (tz >= params_.num_strata) tz = params_.num_strata - 1;
+  return tz;
+}
+
+void StrataEstimator::Insert(uint64_t key) {
+  strata_[static_cast<size_t>(StratumOf(key))].Insert(key);
+}
+
+Result<uint64_t> StrataEstimator::EstimateDiff(
+    const StrataEstimator& other) const {
+  if (other.params_.num_strata != params_.num_strata ||
+      other.params_.cells_per_stratum != params_.cells_per_stratum ||
+      other.params_.seed != params_.seed) {
+    return Status::InvalidArgument("strata estimator parameter mismatch");
+  }
+  uint64_t exact_from_deeper = 0;
+  for (int i = params_.num_strata - 1; i >= 0; --i) {
+    Iblt diff = strata_[static_cast<size_t>(i)];
+    RSR_RETURN_NOT_OK(diff.SubtractInPlace(other.strata_[static_cast<size_t>(i)]));
+    IbltDecodeResult decoded = diff.Decode();
+    if (!decoded.complete) {
+      // Extrapolate: strata deeper than i sampled the difference at rate
+      // 2^{-(i+1)} cumulatively.
+      return (exact_from_deeper) << (i + 1);
+    }
+    exact_from_deeper += decoded.entries.size();
+  }
+  return exact_from_deeper;  // Every stratum decoded: the count is exact.
+}
+
+void StrataEstimator::WriteTo(ByteWriter* w) const {
+  for (const Iblt& s : strata_) s.WriteTo(w);
+}
+
+Result<StrataEstimator> StrataEstimator::ReadFrom(ByteReader* r,
+                                                  const StrataParams& params) {
+  StrataEstimator est(params);
+  for (int i = 0; i < params.num_strata; ++i) {
+    RSR_ASSIGN_OR_RETURN(
+        est.strata_[static_cast<size_t>(i)],
+        Iblt::ReadFrom(r, est.strata_[static_cast<size_t>(i)].params()));
+  }
+  return est;
+}
+
+}  // namespace rsr

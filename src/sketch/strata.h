@@ -1,0 +1,52 @@
+// Strata estimator for set-difference size (Eppstein et al. [10]).
+//
+// Keys are assigned to stratum i with probability 2^{-(i+1)} (by the number
+// of trailing zeros of a shared hash); each stratum holds a small IBLT.
+// To estimate |A xor B|, subtract the two estimators cell-wise and walk the
+// strata from deepest to shallowest: as long as strata decode completely,
+// accumulate their exact counts; at the first failing stratum i, extrapolate
+// by 2^{i+1}. Protocol components use this for adaptive sketch sizing.
+#ifndef RSR_SKETCH_STRATA_H_
+#define RSR_SKETCH_STRATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/iblt.h"
+
+namespace rsr {
+
+struct StrataParams {
+  int num_strata = 20;
+  size_t cells_per_stratum = 48;
+  int num_hashes = 4;
+  /// Wire width of per-cell checksums (see IbltParams::checksum_bytes).
+  int checksum_bytes = 4;
+  uint64_t seed = 0;
+};
+
+class StrataEstimator {
+ public:
+  explicit StrataEstimator(const StrataParams& params);
+
+  void Insert(uint64_t key);
+
+  /// Estimated symmetric-difference size versus `other` (same parameters).
+  Result<uint64_t> EstimateDiff(const StrataEstimator& other) const;
+
+  const StrataParams& params() const { return params_; }
+
+  void WriteTo(ByteWriter* w) const;
+  static Result<StrataEstimator> ReadFrom(ByteReader* r,
+                                          const StrataParams& params);
+
+ private:
+  int StratumOf(uint64_t key) const;
+
+  StrataParams params_;
+  std::vector<Iblt> strata_;
+};
+
+}  // namespace rsr
+
+#endif  // RSR_SKETCH_STRATA_H_

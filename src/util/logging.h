@@ -1,0 +1,45 @@
+// Lightweight assertion and logging macros.
+//
+// RSR_CHECK* abort the process on violated invariants (always on); RSR_DCHECK*
+// compile away in release builds. Library code prefers returning Status for
+// recoverable conditions and reserves these macros for programmer errors.
+#ifndef RSR_UTIL_LOGGING_H_
+#define RSR_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rsr {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "[rsr] CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace rsr
+
+#define RSR_CHECK(expr)                                      \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::rsr::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                        \
+  } while (0)
+
+#define RSR_CHECK_EQ(a, b) RSR_CHECK((a) == (b))
+#define RSR_CHECK_NE(a, b) RSR_CHECK((a) != (b))
+#define RSR_CHECK_LT(a, b) RSR_CHECK((a) < (b))
+#define RSR_CHECK_LE(a, b) RSR_CHECK((a) <= (b))
+#define RSR_CHECK_GT(a, b) RSR_CHECK((a) > (b))
+#define RSR_CHECK_GE(a, b) RSR_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define RSR_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define RSR_DCHECK(expr) RSR_CHECK(expr)
+#endif
+
+#endif  // RSR_UTIL_LOGGING_H_

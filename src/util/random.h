@@ -1,0 +1,56 @@
+// Deterministic, portable pseudo-randomness.
+//
+// The paper's protocols assume public coins: both parties share all hash
+// functions for free. We realize this by seeding every protocol from a single
+// 64-bit seed and deriving all randomness through this Rng, which is
+// bit-for-bit reproducible across platforms (unlike <random> distributions).
+//
+// Generator: xoshiro256** seeded via SplitMix64. Gaussian via Box-Muller.
+#ifndef RSR_UTIL_RANDOM_H_
+#define RSR_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace rsr {
+
+/// SplitMix64 step; also useful as a standalone 64-bit mixer.
+uint64_t SplitMix64(uint64_t* state);
+
+/// Deterministic PRNG (xoshiro256**). Cheap to copy; not thread-safe.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). Requires bound > 0. Unbiased (rejection).
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller (deterministic, portable).
+  double Gaussian();
+
+  /// Derive an independent child generator; streams do not overlap in
+  /// practice because the derivation mixes the parent state.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace rsr
+
+#endif  // RSR_UTIL_RANDOM_H_

@@ -1,0 +1,113 @@
+// Checked binary serialization.
+//
+// Every protocol message in this library is materialized through ByteWriter
+// so that communication is *measured*, not estimated: CommStats counts the
+// exact bytes produced here. Encoding: little-endian fixed ints, LEB128
+// varints, zigzag for signed varints.
+//
+// ByteReader uses a sticky error flag: reads past the end (or failed
+// validation) mark the reader failed and return zero values; callers check
+// status() once at the end of a decode sequence.
+#ifndef RSR_UTIL_SERIALIZE_H_
+#define RSR_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rsr {
+
+/// Append-only binary encoder.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v) { PutFixed(v); }
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
+  void PutVarint64(uint64_t v);
+  /// LEB128 over 128 bits (up to 19 bytes; 1 byte for zero). Sketch cell
+  /// sums are mostly small, so this is the wire format for RIBLT sums.
+  void PutVarint128(unsigned __int128 v);
+  /// Zigzag-encoded signed varint.
+  void PutSignedVarint64(int64_t v);
+  void PutDouble(double v);
+  void PutBytes(const uint8_t* data, size_t len);
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  size_t size_bytes() const { return buf_.size(); }
+  size_t size_bits() const { return buf_.size() * 8; }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    uint8_t tmp[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      tmp[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+    buf_.insert(buf_.end(), tmp, tmp + sizeof(T));
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// Sticky-error binary decoder over a borrowed buffer.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit ByteReader(const std::vector<uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  uint8_t GetU8();
+  uint16_t GetU16();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  uint64_t GetVarint64();
+  unsigned __int128 GetVarint128();
+  int64_t GetSignedVarint64();
+  double GetDouble();
+  /// Copies len bytes into out; marks failure if insufficient data.
+  void GetBytes(uint8_t* out, size_t len);
+
+  bool failed() const { return failed_; }
+  size_t remaining() const { return len_ - pos_; }
+
+  /// OK iff no read overran the buffer. Call after a decode sequence.
+  Status status() const {
+    if (failed_) return Status::Corruption("read past end of buffer");
+    return Status::OK();
+  }
+
+  /// OK iff fully consumed without error.
+  Status FinishAndCheckConsumed() const {
+    RSR_RETURN_NOT_OK(status());
+    if (pos_ != len_) return Status::Corruption("trailing bytes in buffer");
+    return Status::OK();
+  }
+
+ private:
+  template <typename T>
+  T GetFixed() {
+    if (failed_ || len_ - pos_ < sizeof(T)) {
+      failed_ = true;
+      return T{0};
+    }
+    T v{0};
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace rsr
+
+#endif  // RSR_UTIL_SERIALIZE_H_

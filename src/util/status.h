@@ -1,0 +1,127 @@
+// Status / Result error model (Arrow/RocksDB idiom).
+//
+// Library code does not throw across API boundaries; fallible operations
+// return Status (or Result<T> which carries a value on success). The
+// RSR_RETURN_NOT_OK / RSR_ASSIGN_OR_RETURN macros keep call sites terse.
+#ifndef RSR_UTIL_STATUS_H_
+#define RSR_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace rsr {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kDecodeFailure = 2,   // A sketch failed to decode (expected, probabilistic).
+  kProtocolFailure = 3, // A protocol reported failure (expected, probabilistic).
+  kOutOfRange = 4,
+  kCorruption = 5,      // Serialized data failed validation.
+  kUnimplemented = 6,
+};
+
+/// Outcome of a fallible operation: a code plus a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status DecodeFailure(std::string m) {
+    return Status(StatusCode::kDecodeFailure, std::move(m));
+  }
+  static Status ProtocolFailure(std::string m) {
+    return Status(StatusCode::kProtocolFailure, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Render as "OK" or "<CodeName>: <message>" for logs and test output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A Status plus a value of type T on success.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    RSR_CHECK(!status_.ok());  // A failed Result must carry a non-OK status.
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    RSR_CHECK(ok());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    RSR_CHECK(ok());
+    return std::move(*value_);
+  }
+  T& operator*() {
+    RSR_CHECK(ok());
+    return *value_;
+  }
+  const T& operator*() const {
+    RSR_CHECK(ok());
+    return *value_;
+  }
+  T* operator->() {
+    RSR_CHECK(ok());
+    return &*value_;
+  }
+  const T* operator->() const {
+    RSR_CHECK(ok());
+    return &*value_;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace rsr
+
+#define RSR_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::rsr::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+#define RSR_CONCAT_IMPL(a, b) a##b
+#define RSR_CONCAT(a, b) RSR_CONCAT_IMPL(a, b)
+
+#define RSR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define RSR_ASSIGN_OR_RETURN(lhs, rexpr) \
+  RSR_ASSIGN_OR_RETURN_IMPL(RSR_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#endif  // RSR_UTIL_STATUS_H_

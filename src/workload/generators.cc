@@ -1,0 +1,161 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rsr {
+
+PointSet GenerateUniform(size_t n, size_t dim, Coord delta, Rng* rng) {
+  PointSet points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Coord> coords(dim);
+    for (auto& c : coords) c = rng->UniformInt(0, delta);
+    points.push_back(Point(std::move(coords)));
+  }
+  return points;
+}
+
+Point PerturbPoint(const Point& p, MetricKind metric, double radius,
+                   Coord delta, Rng* rng) {
+  std::vector<Coord> coords = p.coords();
+  switch (metric) {
+    case MetricKind::kHamming: {
+      // Change floor(radius) distinct coordinates to different values.
+      size_t budget = std::min<size_t>(static_cast<size_t>(radius), p.dim());
+      std::vector<size_t> indices(p.dim());
+      for (size_t i = 0; i < p.dim(); ++i) indices[i] = i;
+      for (size_t i = 0; i < budget; ++i) {
+        size_t pick = i + static_cast<size_t>(rng->Below(p.dim() - i));
+        std::swap(indices[i], indices[pick]);
+        size_t j = indices[i];
+        Coord old = coords[j];
+        // delta == 1: flip; otherwise draw a different value.
+        Coord next = old;
+        while (next == old) next = rng->UniformInt(0, delta);
+        coords[j] = next;
+      }
+      break;
+    }
+    case MetricKind::kL1: {
+      // floor(radius) unit steps at random coordinates; clamping can only
+      // shrink the realized distance.
+      size_t budget = static_cast<size_t>(radius);
+      for (size_t step = 0; step < budget; ++step) {
+        size_t j = static_cast<size_t>(rng->Below(p.dim()));
+        Coord dir = (rng->Next() & 1) ? 1 : -1;
+        coords[j] = std::clamp<Coord>(coords[j] + dir, 0, delta);
+      }
+      break;
+    }
+    case MetricKind::kL2: {
+      // Random direction, uniform magnitude, integer rounding; rescale until
+      // the rounded offset stays within the budget.
+      std::vector<double> dir(p.dim());
+      double norm = 0.0;
+      for (auto& d : dir) {
+        d = rng->Gaussian();
+        norm += d * d;
+      }
+      norm = std::sqrt(std::max(norm, 1e-12));
+      double magnitude = radius * rng->UniformDouble();
+      for (int attempt = 0; attempt < 40; ++attempt) {
+        std::vector<Coord> candidate = p.coords();
+        double realized = 0.0;
+        for (size_t j = 0; j < p.dim(); ++j) {
+          double offset = dir[j] / norm * magnitude;
+          Coord step = static_cast<Coord>(std::llround(offset));
+          candidate[j] = std::clamp<Coord>(candidate[j] + step, 0, delta);
+          double diff = static_cast<double>(candidate[j] - p[j]);
+          realized += diff * diff;
+        }
+        if (std::sqrt(realized) <= radius) {
+          coords = std::move(candidate);
+          break;
+        }
+        magnitude *= 0.8;
+      }
+      break;
+    }
+  }
+  return Point(std::move(coords));
+}
+
+Result<NoisyPairWorkload> GenerateNoisyPair(const NoisyPairConfig& config) {
+  if (config.dim == 0 || config.delta < 1 || config.n == 0) {
+    return Status::InvalidArgument("dim, delta, n must be positive");
+  }
+  if (config.outliers > config.n) {
+    return Status::InvalidArgument("outliers cannot exceed n");
+  }
+  Rng rng(config.seed);
+  Metric metric(config.metric);
+
+  NoisyPairWorkload workload;
+  size_t ground_size = config.n - config.outliers;
+  workload.ground = GenerateUniform(ground_size, config.dim, config.delta,
+                                    &rng);
+  for (const Point& g : workload.ground) {
+    workload.alice.push_back(
+        PerturbPoint(g, config.metric, config.noise, config.delta, &rng));
+    workload.bob.push_back(
+        PerturbPoint(g, config.metric, config.noise, config.delta, &rng));
+  }
+
+  auto place_outlier = [&](PointSet* target_list) -> Status {
+    for (int tries = 0; tries < 4000; ++tries) {
+      Point candidate =
+          GenerateUniform(1, config.dim, config.delta, &rng)[0];
+      if (config.outlier_dist > 0) {
+        bool far_enough = true;
+        auto check = [&](const PointSet& others) {
+          for (const Point& o : others) {
+            if (metric.Distance(candidate, o) < config.outlier_dist) {
+              return false;
+            }
+          }
+          return true;
+        };
+        far_enough = check(workload.alice) && check(workload.bob) &&
+                     check(workload.alice_outliers) &&
+                     check(workload.bob_outliers);
+        if (!far_enough) continue;
+      }
+      target_list->push_back(std::move(candidate));
+      return Status::OK();
+    }
+    return Status::OutOfRange(
+        "could not place an outlier at the requested separation");
+  };
+
+  for (size_t i = 0; i < config.outliers; ++i) {
+    RSR_RETURN_NOT_OK(place_outlier(&workload.alice_outliers));
+    RSR_RETURN_NOT_OK(place_outlier(&workload.bob_outliers));
+  }
+  for (const Point& p : workload.alice_outliers) workload.alice.push_back(p);
+  for (const Point& p : workload.bob_outliers) workload.bob.push_back(p);
+  return workload;
+}
+
+PointSet GenerateClusters(const ClusterConfig& config) {
+  Rng rng(config.seed);
+  PointSet centers = GenerateUniform(config.num_clusters, config.dim,
+                                     config.delta, &rng);
+  PointSet points;
+  points.reserve(config.num_clusters * config.points_per_cluster);
+  for (const Point& center : centers) {
+    for (size_t i = 0; i < config.points_per_cluster; ++i) {
+      std::vector<Coord> coords(config.dim);
+      for (size_t j = 0; j < config.dim; ++j) {
+        double offset = rng.Gaussian() * config.spread;
+        coords[j] = std::clamp<Coord>(
+            center[j] + static_cast<Coord>(std::llround(offset)), 0,
+            config.delta);
+      }
+      points.push_back(Point(std::move(coords)));
+    }
+  }
+  return points;
+}
+
+}  // namespace rsr

@@ -1,0 +1,70 @@
+// Synthetic workload generators.
+//
+// The paper motivates robust reconciliation with sensor networks and noisy
+// numerical databases but names no dataset (it is a theory paper), so
+// evaluation workloads are generated with a controlled ground truth: both
+// parties observe the same underlying objects perturbed independently within
+// radius `noise` (the r1 regime), and each party additionally holds
+// `outliers` fresh points at distance >= outlier_dist from everything else
+// (the r2 regime / the k far points). This realizes exactly the promise
+// structure of Definition 4.1 and the EMD_k decomposition of Section 3.
+#ifndef RSR_WORKLOAD_GENERATORS_H_
+#define RSR_WORKLOAD_GENERATORS_H_
+
+#include "geometry/metric.h"
+#include "geometry/point.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace rsr {
+
+/// Uniform random point set in [0, delta]^dim.
+PointSet GenerateUniform(size_t n, size_t dim, Coord delta, Rng* rng);
+
+/// Perturbs p by at most `radius` under the metric (exact budget for
+/// Hamming/l1; l2 offsets are verified and rescaled after rounding).
+Point PerturbPoint(const Point& p, MetricKind metric, double radius,
+                   Coord delta, Rng* rng);
+
+struct NoisyPairConfig {
+  MetricKind metric = MetricKind::kL2;
+  size_t dim = 0;
+  Coord delta = 0;
+  /// Points per side (ground truth size = n - outliers).
+  size_t n = 0;
+  /// Far points per side.
+  size_t outliers = 0;
+  /// Per-point perturbation radius (the r1 scale).
+  double noise = 0.0;
+  /// Minimum distance of each outlier from ground truth, perturbed points,
+  /// and other outliers (the r2 scale). 0 disables the constraint.
+  double outlier_dist = 0.0;
+  uint64_t seed = 0;
+};
+
+struct NoisyPairWorkload {
+  PointSet alice;
+  PointSet bob;
+  PointSet ground;          // shared ground truth (size n - outliers)
+  PointSet alice_outliers;  // also appended to alice
+  PointSet bob_outliers;    // also appended to bob
+};
+
+/// Builds a workload; OutOfRange if outlier separation cannot be met.
+Result<NoisyPairWorkload> GenerateNoisyPair(const NoisyPairConfig& config);
+
+struct ClusterConfig {
+  size_t dim = 0;
+  Coord delta = 0;
+  size_t num_clusters = 4;
+  size_t points_per_cluster = 16;
+  double spread = 2.0;  // per-coordinate gaussian sigma around the center
+  uint64_t seed = 0;
+};
+
+/// Gaussian clusters around uniform centers (used by the examples).
+PointSet GenerateClusters(const ClusterConfig& config);
+
+}  // namespace rsr
+
+#endif  // RSR_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,280 @@
+// End-to-end tests for the EMD protocol (Algorithm 1 / Theorem 3.4) and the
+// multiscale runner (Corollaries 3.5/3.6).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/emd_multiscale.h"
+#include "core/emd_protocol.h"
+#include "emd/emd.h"
+#include "workload/generators.h"
+
+namespace rsr {
+namespace {
+
+EmdProtocolParams BaseParams(MetricKind metric, size_t dim, Coord delta,
+                             size_t k, uint64_t seed) {
+  EmdProtocolParams params;
+  params.metric = metric;
+  params.dim = dim;
+  params.delta = delta;
+  params.k = k;
+  params.seed = seed;
+  return params;
+}
+
+TEST(EmdParamsTest, DeriveValidatesInputs) {
+  EmdProtocolParams params = BaseParams(MetricKind::kL1, 0, 10, 1, 1);
+  EXPECT_FALSE(DeriveEmdParameters(params, 10).ok());
+  params = BaseParams(MetricKind::kL1, 4, 10, 1, 1);
+  params.num_hashes = 2;
+  EXPECT_FALSE(DeriveEmdParameters(params, 10).ok());
+  params.num_hashes = 3;
+  params.d1 = 100;
+  params.d2 = 10;
+  EXPECT_FALSE(DeriveEmdParameters(params, 10).ok());
+}
+
+TEST(EmdParamsTest, DerivedQuantitiesFollowTheorem34) {
+  EmdProtocolParams params = BaseParams(MetricKind::kL1, 4, 100, 8, 1);
+  params.d1 = 10;
+  params.d2 = 40;
+  auto derived = DeriveEmdParameters(params, 64);
+  ASSERT_TRUE(derived.ok());
+  // p >= e^{-k/(24 D2)}.
+  EXPECT_GE(derived->p, std::exp(-8.0 / (24.0 * 40.0)) - 1e-12);
+  // t = ceil(log2(D2/D1)) + 1 = 3.
+  EXPECT_EQ(derived->levels, 3u);
+  // m = 4 q^2 k = 4*9*8.
+  EXPECT_EQ(derived->cells, 4u * 9u * 8u);
+  // Prefix lengths double per level and cap at s.
+  size_t prev = 0;
+  for (size_t level = 1; level <= derived->levels; ++level) {
+    size_t len = LevelPrefixLength(*derived, level);
+    EXPECT_GE(len, prev);
+    EXPECT_LE(len, derived->s);
+    prev = len;
+  }
+  EXPECT_EQ(LevelPrefixLength(*derived, derived->levels), derived->s);
+}
+
+TEST(EmdProtocolTest, RejectsMismatchedSizes) {
+  Rng rng(1);
+  PointSet a = GenerateUniform(4, 2, 10, &rng);
+  PointSet b = GenerateUniform(5, 2, 10, &rng);
+  auto report =
+      RunEmdProtocol(a, b, BaseParams(MetricKind::kL1, 2, 10, 1, 1));
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(EmdProtocolTest, IdenticalSetsReconcileToThemselves) {
+  Rng rng(2);
+  PointSet pts = GenerateUniform(32, 3, 63, &rng);
+  EmdProtocolParams params = BaseParams(MetricKind::kL1, 3, 63, 2, 7);
+  params.d1 = 1;
+  params.d2 = 8;
+  auto report = RunEmdProtocol(pts, pts, params);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->failure);
+  EXPECT_EQ(report->s_b_prime.size(), pts.size());
+  EXPECT_EQ(EmdExact(pts, report->s_b_prime, Metric(MetricKind::kL1)), 0.0);
+}
+
+TEST(EmdProtocolTest, SingleRoundAndCommMatchesFormulaShape) {
+  Rng rng(3);
+  PointSet pts = GenerateUniform(64, 4, 127, &rng);
+  EmdProtocolParams params = BaseParams(MetricKind::kL1, 4, 127, 4, 9);
+  params.d1 = 4;
+  params.d2 = 64;
+  auto report = RunEmdProtocol(pts, pts, params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->comm.rounds(), 1);  // one-way protocol
+  // Bits should scale like t * cells * d * log(n Delta): sanity-bound it
+  // within a generous constant factor window.
+  double cells = static_cast<double>(report->derived.cells);
+  double t = static_cast<double>(report->derived.levels);
+  double per_cell_bits = 4.0 * 64.0;  // d coords, generous per-coord bits
+  EXPECT_LT(static_cast<double>(report->comm.total_bits()),
+            t * cells * (per_cell_bits + 384.0) * 2.0);
+  EXPECT_GT(static_cast<double>(report->comm.total_bits()),
+            t * cells * 8.0);
+}
+
+TEST(EmdProtocolTest, RecoversOutlierDifferences) {
+  // Bob's set = Alice's set except k points replaced by far outliers: the
+  // protocol should bring Bob's set within O(log n)*EMD_k of Alice's.
+  const size_t n = 48, k = 2;
+  int successes = 0;
+  const int kTrials = 10;
+  double ratio_sum = 0;
+  int ratio_count = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    NoisyPairConfig config;
+    config.metric = MetricKind::kL1;
+    config.dim = 2;
+    config.delta = 2047;  // l1 balls of radius 60 need room for rejection
+    config.n = n;
+    config.outliers = k;
+    config.noise = 0;  // exact shared ground truth; only outliers differ
+    config.outlier_dist = 60;
+    config.seed = 1000 + trial;
+    auto workload = GenerateNoisyPair(config);
+    ASSERT_TRUE(workload.ok());
+
+    EmdProtocolParams params =
+        BaseParams(MetricKind::kL1, 2, 2047, k, 2000 + trial);
+    Metric metric(MetricKind::kL1);
+    double emdk = EmdK(workload->alice, workload->bob, metric, k);
+    params.d1 = 1;
+    params.d2 = 2048;
+    auto report = RunEmdProtocol(workload->alice, workload->bob, params);
+    ASSERT_TRUE(report.ok());
+    if (report->failure) continue;
+    ++successes;
+    double before = EmdExact(workload->alice, workload->bob, metric);
+    double after = EmdExact(workload->alice, report->s_b_prime, metric);
+    EXPECT_LT(after, before) << "protocol should improve EMD";
+    if (emdk > 0) {
+      ratio_sum += after / std::max(emdk, 1.0);
+      ++ratio_count;
+    } else {
+      // EMD_k == 0: after should be small relative to before.
+      EXPECT_LT(after, before / 2);
+    }
+  }
+  EXPECT_GE(successes, 7);  // paper: failure prob <= 1/8 per run
+  if (ratio_count > 0) {
+    EXPECT_LT(ratio_sum / ratio_count, 50.0) << "approx ratio out of range";
+  }
+}
+
+TEST(EmdProtocolTest, FailureReportedWhenD2TooSmall) {
+  // Sets differing by far more than D2 allows: every level overloads, and
+  // the protocol must report failure honestly rather than emit garbage.
+  Rng rng(4);
+  PointSet a = GenerateUniform(64, 2, 255, &rng);
+  PointSet b = GenerateUniform(64, 2, 255, &rng);
+  EmdProtocolParams params = BaseParams(MetricKind::kL1, 2, 255, 1, 11);
+  params.d1 = 1;
+  params.d2 = 2;  // absurdly tight
+  auto report = RunEmdProtocol(a, b, params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->failure);
+  EXPECT_EQ(report->decoded_level, 0u);
+}
+
+TEST(EmdProtocolTest, OutputSizeAlwaysN) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    NoisyPairConfig config;
+    config.metric = MetricKind::kL2;
+    config.dim = 3;
+    config.delta = 127;
+    config.n = 40;
+    config.outliers = 2;
+    config.noise = 1.0;
+    config.outlier_dist = 40;
+    config.seed = 3000 + trial;
+    auto workload = GenerateNoisyPair(config);
+    ASSERT_TRUE(workload.ok());
+    EmdProtocolParams params =
+        BaseParams(MetricKind::kL2, 3, 127, 2, 4000 + trial);
+    params.d1 = 8;
+    params.d2 = 512;
+    auto report = RunEmdProtocol(workload->alice, workload->bob, params);
+    ASSERT_TRUE(report.ok());
+    if (!report->failure) {
+      EXPECT_EQ(report->s_b_prime.size(), workload->alice.size());
+      ValidatePointSet(report->s_b_prime, 3, 127);
+    }
+  }
+}
+
+TEST(EmdProtocolTest, DeterministicGivenSeed) {
+  Rng rng(6);
+  PointSet a = GenerateUniform(24, 2, 63, &rng);
+  PointSet b = GenerateUniform(24, 2, 63, &rng);
+  EmdProtocolParams params = BaseParams(MetricKind::kL1, 2, 63, 4, 42);
+  params.d1 = 16;
+  params.d2 = 256;
+  auto r1 = RunEmdProtocol(a, b, params);
+  auto r2 = RunEmdProtocol(a, b, params);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->failure, r2->failure);
+  EXPECT_EQ(r1->decoded_level, r2->decoded_level);
+  EXPECT_EQ(r1->comm.total_bytes(), r2->comm.total_bytes());
+  if (!r1->failure) {
+    EXPECT_EQ(r1->s_b_prime, r2->s_b_prime);
+  }
+}
+
+// --------------------------------------------------------- multiscale --
+
+TEST(MultiscaleTest, RejectsBadRatio) {
+  Rng rng(7);
+  PointSet pts = GenerateUniform(8, 2, 15, &rng);
+  MultiscaleEmdParams params;
+  params.base = BaseParams(MetricKind::kL1, 2, 15, 1, 1);
+  params.interval_ratio = 1.0;
+  EXPECT_FALSE(RunMultiscaleEmdProtocol(pts, pts, params).ok());
+}
+
+TEST(MultiscaleTest, CoversWideRangeWithoutPriorBounds) {
+  // No prior [D1, D2] knowledge: defaults span up to n * diameter, yet the
+  // protocol still reconciles because some interval brackets the true EMD_k.
+  NoisyPairConfig config;
+  config.metric = MetricKind::kL1;
+  config.dim = 2;
+  config.delta = 255;
+  config.n = 32;
+  config.outliers = 1;
+  config.noise = 0;
+  config.outlier_dist = 50;
+  config.seed = 77;
+  auto workload = GenerateNoisyPair(config);
+  ASSERT_TRUE(workload.ok());
+
+  MultiscaleEmdParams params;
+  params.base = BaseParams(MetricKind::kL1, 2, 255, 1, 13);
+  params.interval_ratio = 4.0;
+  auto report =
+      RunMultiscaleEmdProtocol(workload->alice, workload->bob, params);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->failure);
+  Metric metric(MetricKind::kL1);
+  double before = EmdExact(workload->alice, workload->bob, metric);
+  double after = EmdExact(workload->alice, report->s_b_prime, metric);
+  EXPECT_LT(after, before);
+}
+
+TEST(MultiscaleTest, ChoosesFinerIntervalForSmallerDifferences) {
+  // Identical sets: the very first (finest) interval must decode.
+  Rng rng(8);
+  PointSet pts = GenerateUniform(32, 2, 255, &rng);
+  MultiscaleEmdParams params;
+  params.base = BaseParams(MetricKind::kL1, 2, 255, 2, 21);
+  params.interval_ratio = 4.0;
+  auto report = RunMultiscaleEmdProtocol(pts, pts, params);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->failure);
+  EXPECT_EQ(report->chosen_interval, 0u);
+}
+
+TEST(MultiscaleTest, CommIsSumOfIntervalMessages) {
+  Rng rng(9);
+  PointSet pts = GenerateUniform(16, 2, 63, &rng);
+  MultiscaleEmdParams params;
+  params.base = BaseParams(MetricKind::kL1, 2, 63, 1, 23);
+  params.interval_ratio = 2.0;
+  auto report = RunMultiscaleEmdProtocol(pts, pts, params);
+  ASSERT_TRUE(report.ok());
+  size_t sum = 0;
+  for (const auto& sub : report->intervals) sum += sub.comm.total_bytes();
+  EXPECT_EQ(report->comm.total_bytes(), sum);
+  EXPECT_EQ(report->intervals.size(),
+            static_cast<size_t>(report->comm.rounds()));
+}
+
+}  // namespace
+}  // namespace rsr

@@ -1,0 +1,191 @@
+// Tests for multi-party union reconciliation ([23] over the sum-cell RIBLT)
+// and the greedy EMD evaluator.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/multiparty.h"
+#include "emd/emd.h"
+#include "emd/greedy.h"
+#include "sketch/riblt.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace rsr {
+namespace {
+
+PointSet SortedUnion(const std::vector<PointSet>& parties) {
+  PointSet all;
+  for (const auto& set : parties) {
+    all.insert(all.end(), set.begin(), set.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+MultiPartyParams MakeParams(size_t cells, uint64_t seed = 9) {
+  MultiPartyParams params;
+  params.dim = 2;
+  params.delta = 1023;
+  params.sketch_cells = cells;
+  params.seed = seed;
+  return params;
+}
+
+std::vector<PointSet> MakeParties(size_t s, size_t shared, size_t unique_each,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  PointSet common = GenerateUniform(shared, 2, 1023, &rng);
+  std::vector<PointSet> parties(s);
+  for (auto& set : parties) {
+    set = common;
+    PointSet extra = GenerateUniform(unique_each, 2, 1023, &rng);
+    set.insert(set.end(), extra.begin(), extra.end());
+  }
+  return parties;
+}
+
+TEST(MultiPartyTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(RunMultiPartyUnion({PointSet{}}, MakeParams(32)).ok());
+  MultiPartyParams bad = MakeParams(0);
+  std::vector<PointSet> two(2);
+  EXPECT_FALSE(RunMultiPartyUnion(two, bad).ok());
+}
+
+TEST(MultiPartyTest, IdenticalPartiesNoWork) {
+  Rng rng(1);
+  PointSet shared = GenerateUniform(50, 2, 1023, &rng);
+  std::vector<PointSet> parties(4, shared);
+  auto report = RunMultiPartyUnion(parties, MakeParams(36));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->all_ok);
+  for (const auto& final_set : report->final_sets) {
+    EXPECT_EQ(final_set.size(), 50u);
+  }
+}
+
+class MultiPartyCountTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MultiPartyCountTest, EveryPartyGetsTheUnion) {
+  const size_t s = GetParam();
+  auto parties = MakeParties(s, 60, 3, 100 + s);
+  PointSet want = SortedUnion(parties);
+  // Decode load per party <= (s-1)*3 missing + own 3 surplus; size with the
+  // paper's 4 q^2 margin.
+  auto report = RunMultiPartyUnion(parties, MakeParams(36 * (s * 3 + 3)));
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->all_ok);
+  for (size_t i = 0; i < s; ++i) {
+    PointSet got = report->final_sets[i];
+    std::sort(got.begin(), got.end());
+    got.erase(std::unique(got.begin(), got.end()), got.end());
+    EXPECT_EQ(got, want) << "party " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartyCounts, MultiPartyCountTest,
+                         ::testing::Values(2, 3, 5, 8));
+
+TEST(MultiPartyTest, PartialOverlapPatterns) {
+  // Element multiplicities 1..s-1 all survive cancellation correctly.
+  Rng rng(2);
+  PointSet base = GenerateUniform(40, 2, 1023, &rng);
+  PointSet extras = GenerateUniform(6, 2, 1023, &rng);
+  std::vector<PointSet> parties(4, base);
+  parties[0].push_back(extras[0]);                       // multiplicity 1
+  parties[1].push_back(extras[1]);
+  parties[1].push_back(extras[2]);
+  parties[2].push_back(extras[2]);                       // multiplicity 2
+  parties[0].push_back(extras[3]);
+  parties[1].push_back(extras[3]);
+  parties[2].push_back(extras[3]);                       // multiplicity 3
+  auto report = RunMultiPartyUnion(parties, MakeParams(36 * 16));
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->all_ok);
+  PointSet want = SortedUnion(parties);
+  for (const auto& final_set : report->final_sets) {
+    PointSet got = final_set;
+    std::sort(got.begin(), got.end());
+    got.erase(std::unique(got.begin(), got.end()), got.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(MultiPartyTest, WithinPartyDuplicatesCollapse) {
+  Rng rng(3);
+  PointSet base = GenerateUniform(10, 2, 1023, &rng);
+  std::vector<PointSet> parties(3, base);
+  parties[1].push_back(base[0]);  // duplicate of a shared point
+  parties[1].push_back(base[0]);
+  auto report = RunMultiPartyUnion(parties, MakeParams(36 * 4));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->all_ok);
+  for (const auto& final_set : report->final_sets) {
+    EXPECT_EQ(final_set.size(), 10u);
+  }
+}
+
+TEST(MultiPartyTest, UndersizedSketchFailsHonestly) {
+  auto parties = MakeParties(3, 20, 30, 7);  // 90+ diff mass
+  auto report = RunMultiPartyUnion(parties, MakeParams(24));
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->all_ok);
+  // Failed parties keep their input sets (no garbage).
+  for (size_t i = 0; i < parties.size(); ++i) {
+    if (!report->party_ok[i]) {
+      EXPECT_LE(report->final_sets[i].size(), parties[i].size());
+    }
+  }
+}
+
+TEST(MultiPartyTest, CommIsOneBroadcastPerParty) {
+  auto parties = MakeParties(5, 30, 2, 11);
+  auto report = RunMultiPartyUnion(parties, MakeParams(36 * 12));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->comm.rounds(), 5);
+}
+
+// --------------------------------------------------------- greedy EMD --
+
+TEST(GreedyEmdTest, ZeroOnIdenticalSets) {
+  Rng rng(4);
+  PointSet x = GenerateUniform(30, 3, 255, &rng);
+  EXPECT_EQ(GreedyEmdUpperBound(x, x, Metric(MetricKind::kL1)), 0.0);
+}
+
+TEST(GreedyEmdTest, UpperBoundsExact) {
+  Rng rng(5);
+  Metric metric(MetricKind::kL2);
+  for (int trial = 0; trial < 40; ++trial) {
+    size_t n = 2 + rng.Below(12);
+    PointSet x = GenerateUniform(n, 2, 255, &rng);
+    PointSet y = GenerateUniform(n, 2, 255, &rng);
+    double exact = EmdExact(x, y, metric);
+    double greedy = GreedyEmdUpperBound(x, y, metric);
+    EXPECT_GE(greedy, exact - 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(GreedyEmdTest, TightOnWellSeparatedMatchings) {
+  // When each x has a unique nearby partner, greedy finds the optimum.
+  Rng rng(6);
+  NoisyPairConfig config;
+  config.metric = MetricKind::kL2;
+  config.dim = 2;
+  config.delta = 4095;
+  config.n = 30;
+  config.outliers = 0;
+  config.noise = 1.0;
+  config.seed = 12;
+  auto workload = GenerateNoisyPair(config);
+  ASSERT_TRUE(workload.ok());
+  Metric metric(MetricKind::kL2);
+  double exact = EmdExact(workload->alice, workload->bob, metric);
+  double greedy = GreedyEmdUpperBound(workload->alice, workload->bob, metric);
+  EXPECT_LE(greedy, exact * 1.5 + 1.0);
+  (void)rng;
+}
+
+}  // namespace
+}  // namespace rsr

@@ -1,0 +1,100 @@
+// Tests for sketch/strata.h: the Eppstein et al. difference-size estimator.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sketch/strata.h"
+#include "util/random.h"
+
+namespace rsr {
+namespace {
+
+StrataParams MakeParams(uint64_t seed = 5) {
+  StrataParams params;
+  params.seed = seed;
+  return params;
+}
+
+TEST(StrataTest, IdenticalSetsEstimateZero) {
+  StrataEstimator a(MakeParams()), b(MakeParams());
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t k = rng.Next();
+    a.Insert(k);
+    b.Insert(k);
+  }
+  auto estimate = a.EstimateDiff(b);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(*estimate, 0u);
+}
+
+TEST(StrataTest, SmallDifferenceIsExact) {
+  // Differences small enough to decode in every stratum are counted exactly.
+  StrataEstimator a(MakeParams()), b(MakeParams());
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    uint64_t k = rng.Next();
+    a.Insert(k);
+    b.Insert(k);
+  }
+  for (int i = 0; i < 12; ++i) a.Insert(rng.Next());
+  for (int i = 0; i < 8; ++i) b.Insert(rng.Next());
+  auto estimate = a.EstimateDiff(b);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(*estimate, 20u);
+}
+
+TEST(StrataTest, LargeDifferenceWithinFactorTwo) {
+  const size_t kDiff = 4000;
+  StrataEstimator a(MakeParams(9)), b(MakeParams(9));
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t k = rng.Next();
+    a.Insert(k);
+    b.Insert(k);
+  }
+  for (size_t i = 0; i < kDiff; ++i) a.Insert(rng.Next());
+  auto estimate = a.EstimateDiff(b);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_GE(*estimate, kDiff / 2);
+  EXPECT_LE(*estimate, kDiff * 2);
+}
+
+TEST(StrataTest, EstimateScalesAcrossMagnitudes) {
+  // Order-of-magnitude tracking over a sweep.
+  for (size_t diff : {100u, 1000u, 10000u}) {
+    StrataEstimator a(MakeParams(11)), b(MakeParams(11));
+    Rng rng(100 + diff);
+    for (size_t i = 0; i < diff; ++i) a.Insert(rng.Next());
+    auto estimate = a.EstimateDiff(b);
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_GE(*estimate, diff / 3) << diff;
+    EXPECT_LE(*estimate, diff * 3) << diff;
+  }
+}
+
+TEST(StrataTest, ParameterMismatchRejected) {
+  StrataEstimator a(MakeParams(1)), b(MakeParams(2));
+  EXPECT_FALSE(a.EstimateDiff(b).ok());
+}
+
+TEST(StrataTest, SerializationRoundTrip) {
+  StrataParams params = MakeParams(21);
+  StrataEstimator a(params);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) a.Insert(rng.Next());
+  ByteWriter w;
+  a.WriteTo(&w);
+  ByteReader r(w.buffer());
+  auto restored = StrataEstimator::ReadFrom(&r, params);
+  ASSERT_TRUE(restored.ok());
+  StrataEstimator empty(params);
+  auto original_est = a.EstimateDiff(empty);
+  auto restored_est = restored->EstimateDiff(empty);
+  ASSERT_TRUE(original_est.ok());
+  ASSERT_TRUE(restored_est.ok());
+  EXPECT_EQ(*original_est, *restored_est);
+}
+
+}  // namespace
+}  // namespace rsr
