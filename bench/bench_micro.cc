@@ -113,6 +113,53 @@ void BM_IbltInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_IbltInsert);
 
+void BM_IbltUpdate(benchmark::State& state) {
+  // The raw hot-path entry point (Insert/Delete are thin wrappers over it).
+  IbltParams params;
+  params.num_cells = 1024;
+  params.seed = 6;
+  Iblt table(params);
+  uint64_t key = 1;
+  for (auto _ : state) {
+    table.Update(key++, nullptr, +1);
+  }
+}
+BENCHMARK(BM_IbltUpdate);
+
+void BM_IbltUpdateMany(benchmark::State& state) {
+  // Batched bucket insertion. Time is per 512-key batch; the per-key rate
+  // is the items_per_second counter.
+  IbltParams params;
+  params.num_cells = 1024;
+  params.seed = 6;
+  Iblt table(params);
+  std::vector<uint64_t> keys(512);
+  Rng rng(60);
+  for (auto& k : keys) k = rng.Next();
+  for (auto _ : state) {
+    table.UpdateMany(keys, +1);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_IbltUpdateMany);
+
+void BM_IbltInsertKv(benchmark::State& state) {
+  // Keyed-value path: 32-byte payload XORed through the raw span API.
+  IbltParams params;
+  params.num_cells = 1024;
+  params.value_size = 32;
+  params.seed = 61;
+  Iblt table(params);
+  uint8_t value[32];
+  for (size_t i = 0; i < sizeof(value); ++i) value[i] = static_cast<uint8_t>(i);
+  uint64_t key = 1;
+  for (auto _ : state) {
+    table.Update(key++, value, +1);
+  }
+}
+BENCHMARK(BM_IbltInsertKv);
+
 void BM_IbltDecode(benchmark::State& state) {
   IbltParams params;
   params.num_cells = 1024;
@@ -125,6 +172,25 @@ void BM_IbltDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IbltDecode);
+
+void BM_IbltDecodeDiff(benchmark::State& state) {
+  // Strata-style peel of (A - B) without materializing the difference.
+  IbltParams params;
+  params.num_cells = 1024;
+  params.seed = 7;
+  Iblt a(params), b(params);
+  Rng rng(9);
+  for (int i = 0; i < 2048; ++i) {
+    uint64_t key = rng.Next();
+    a.Insert(key);
+    b.Insert(key);
+  }
+  for (int i = 0; i < 256; ++i) a.Insert(rng.Next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.DecodeDiff(b));
+  }
+}
+BENCHMARK(BM_IbltDecodeDiff);
 
 void BM_RibltInsert(benchmark::State& state) {
   RibltParams params;

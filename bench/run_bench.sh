@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark microbenchmark suite (bench_micro) in JSON mode
+# and writes BENCH_micro.json at the repo root: the perf trajectory record
+# that future PRs compare against (see bench/baselines/ for the pre-refactor
+# snapshot).
+#
+# Usage:
+#   bench/run_bench.sh [output.json]
+# Environment:
+#   BUILD_DIR   build directory (default: build)
+#   FILTER      --benchmark_filter regex (default: all benchmarks)
+#   MIN_TIME    --benchmark_min_time per benchmark, seconds (default: 0.2)
+#   REPS        --benchmark_repetitions; > 1 also reports mean/median/min
+#               aggregates (default: 1). Use >= 5 on machines with frequency
+#               scaling — single runs there are bimodal; compare medians.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-BENCH_micro.json}
+MIN_TIME=${MIN_TIME:-0.2}
+REPS=${REPS:-1}
+
+if [ ! -x "$BUILD_DIR/bench_micro" ]; then
+  echo "bench_micro not found in $BUILD_DIR; configuring with -DRSR_BUILD_BENCH=ON" >&2
+  cmake -B "$BUILD_DIR" -S . -DRSR_BUILD_BENCH=ON
+  cmake --build "$BUILD_DIR" -j --target bench_micro 2>/dev/null || {
+    echo "bench_micro could not be built (google-benchmark missing?); skipping" >&2
+    exit 0
+  }
+fi
+
+"$BUILD_DIR/bench_micro" \
+  --benchmark_format=json \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_repetitions="$REPS" \
+  ${FILTER:+--benchmark_filter="$FILTER"} \
+  > "$OUT"
+
+echo "wrote $OUT" >&2

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (Release build + full CTest run; -Wall
+# -Wextra are enabled unconditionally by CMakeLists.txt), followed by a
+# Debug + Address/UB-sanitizer configuration of the same test suite.
+#
+# Usage: ci/build_and_test.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==== Release build + tests (tier-1 verify) ===="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+echo "==== Debug + ASan/UBSan build + tests ===="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DRSR_SANITIZE=ON
+cmake --build build-asan -j
+ctest --test-dir build-asan --output-on-failure -j
+
+echo "==== CI OK ===="

@@ -40,13 +40,13 @@ int main() {
   strata_params.cells_per_stratum = 40;
   strata_params.seed = kSeed;
   StrataEstimator est_a(strata_params);
-  for (uint64_t txid : node_a) est_a.Insert(txid);
+  est_a.InsertMany(node_a);
   ByteWriter strata_msg;
   est_a.WriteTo(&strata_msg);
 
   // Node B estimates the difference and replies with the required size.
   StrataEstimator est_b(strata_params);
-  for (uint64_t txid : node_b) est_b.Insert(txid);
+  est_b.InsertMany(node_b);
   auto estimate = est_b.EstimateDiff(est_a);
   if (!estimate.ok()) {
     std::printf("estimate failed: %s\n", estimate.status().ToString().c_str());

@@ -70,6 +70,7 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointSet& alice,
   report.levels.resize(derived.levels);
   std::vector<Riblt> tables;
   tables.reserve(derived.levels);
+  std::vector<uint64_t> level_keys(n);  // reused across levels
   for (size_t level = 1; level <= derived.levels; ++level) {
     size_t prefix = LevelPrefixLength(derived, level);
     report.levels[level - 1].prefix_len = prefix;
@@ -77,9 +78,10 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointSet& alice,
     level_params.seed = HashCombine(params.seed, 0xeb1'0000ULL + level);
     Riblt table(level_params);
     for (size_t i = 0; i < n; ++i) {
-      uint64_t key = level_key_hash.Eval(alice_evals[i], prefix) & kLevelKeyMask;
-      table.Insert(key, alice[i]);
+      level_keys[i] =
+          level_key_hash.Eval(alice_evals[i], prefix) & kLevelKeyMask;
     }
+    table.InsertMany(level_keys, alice);
     table.WriteTo(&message);
     tables.push_back(std::move(table));
   }
@@ -108,9 +110,9 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointSet& alice,
     Riblt& table = received[level - 1];
     size_t prefix = LevelPrefixLength(derived, level);
     for (size_t i = 0; i < n; ++i) {
-      uint64_t key = level_key_hash.Eval(bob_evals[i], prefix) & kLevelKeyMask;
-      table.Delete(key, bob[i]);
+      level_keys[i] = level_key_hash.Eval(bob_evals[i], prefix) & kLevelKeyMask;
     }
+    table.DeleteMany(level_keys, bob);
     Result<RibltDecodeResult> decoded =
         table.Decode(max_pairs, max_per_side, &bob_coins);
     EmdLevelOutcome& outcome = report.levels[level - 1];

@@ -35,15 +35,16 @@ NaiveReport RunNaiveFullTransfer(const PointSet& alice, const PointSet& bob,
 
 namespace {
 
-std::vector<uint8_t> PackPoint(const Point& p) {
-  std::vector<uint8_t> out(p.dim() * 8);
+/// Packs p into out (dim*8 bytes, little-endian); the caller reuses one
+/// buffer across the whole insert/delete loop so the sketch hot path stays
+/// allocation-free.
+void PackPointInto(const Point& p, uint8_t* out) {
   for (size_t j = 0; j < p.dim(); ++j) {
     uint64_t v = static_cast<uint64_t>(p[j]);
     for (int b = 0; b < 8; ++b) {
       out[j * 8 + b] = static_cast<uint8_t>(v >> (8 * b));
     }
   }
-  return out;
 }
 
 Point UnpackPoint(const std::vector<uint8_t>& bytes, size_t dim) {
@@ -96,8 +97,11 @@ Result<ExactReconReport> RunExactIbltReconciliation(
   std::vector<uint64_t> alice_keys =
       SaltedPointKeys(alice, params.seed, &alice_sorted);
   Iblt table(iblt_params);
+  std::vector<uint8_t> packed(iblt_params.value_size);
   for (size_t i = 0; i < alice_sorted.size(); ++i) {
-    table.InsertKv(alice_keys[i], PackPoint(alice_sorted[i]));
+    RSR_CHECK_EQ(alice_sorted[i].dim() * 8, packed.size());
+    PackPointInto(alice_sorted[i], packed.data());
+    table.Update(alice_keys[i], packed.data(), +1);
   }
   ByteWriter message;
   table.WriteTo(&message);
@@ -112,7 +116,9 @@ Result<ExactReconReport> RunExactIbltReconciliation(
       SaltedPointKeys(bob, params.seed, &bob_sorted);
   std::unordered_map<uint64_t, size_t> bob_key_to_index;
   for (size_t i = 0; i < bob_sorted.size(); ++i) {
-    received.DeleteKv(bob_keys[i], PackPoint(bob_sorted[i]));
+    RSR_CHECK_EQ(bob_sorted[i].dim() * 8, packed.size());
+    PackPointInto(bob_sorted[i], packed.data());
+    received.Update(bob_keys[i], packed.data(), -1);
     bob_key_to_index[bob_keys[i]] = i;
   }
   IbltDecodeResult decoded = received.Decode();

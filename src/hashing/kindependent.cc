@@ -1,26 +1,20 @@
 #include "hashing/kindependent.h"
 
-#include "hashing/pairwise.h"
-
 namespace rsr {
 
 KIndependentHash KIndependentHash::Draw(int k, Rng* rng) {
   RSR_CHECK(k >= 1);
-  std::vector<uint64_t> coeffs(static_cast<size_t>(k));
-  for (auto& c : coeffs) c = rng->Below(kMersenne61);
-  // Force a non-constant polynomial for k >= 2.
-  if (k >= 2 && coeffs.back() == 0) coeffs.back() = 1;
-  return KIndependentHash(std::move(coeffs));
-}
-
-uint64_t KIndependentHash::Eval(uint64_t x) const {
-  // Horner's rule with modular steps.
-  uint64_t xr = Mod61(x);
-  uint64_t acc = 0;
-  for (size_t i = coeffs_.size(); i-- > 0;) {
-    acc = MulAddMod61(acc, xr, coeffs_[i]);
+  RSR_CHECK(k <= kMaxIndependence);
+  KIndependentHash h;
+  h.k_ = k;
+  for (int i = 0; i < k; ++i) {
+    h.coeffs_[static_cast<size_t>(i)] = rng->Below(kMersenne61);
   }
-  return acc;
+  // Force a non-constant polynomial for k >= 2.
+  if (k >= 2 && h.coeffs_[static_cast<size_t>(k - 1)] == 0) {
+    h.coeffs_[static_cast<size_t>(k - 1)] = 1;
+  }
+  return h;
 }
 
 }  // namespace rsr

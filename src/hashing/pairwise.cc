@@ -4,23 +4,6 @@
 
 namespace rsr {
 
-uint64_t Mod61(unsigned __int128 x) {
-  // Fold twice: x < 2^122, each fold removes 61 bits.
-  uint64_t lo = static_cast<uint64_t>(x & kMersenne61);
-  uint64_t hi = static_cast<uint64_t>(x >> 61);
-  uint64_t r = lo + (hi & kMersenne61) + (hi >> 61);
-  if (r >= kMersenne61) r -= kMersenne61;
-  if (r >= kMersenne61) r -= kMersenne61;
-  return r;
-}
-
-uint64_t MulAddMod61(uint64_t a, uint64_t x, uint64_t b) {
-  // Reduce x first so the product fits in 122 bits.
-  unsigned __int128 prod =
-      static_cast<unsigned __int128>(a) * Mod61(x) + b;
-  return Mod61(prod);
-}
-
 PairwiseHash PairwiseHash::Draw(Rng* rng) {
   uint64_t a = 1 + rng->Below(kMersenne61 - 1);
   uint64_t b = rng->Below(kMersenne61);

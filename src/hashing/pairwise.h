@@ -19,11 +19,26 @@ namespace rsr {
 /// The Mersenne prime 2^61 - 1 used for modular hashing.
 constexpr uint64_t kMersenne61 = (uint64_t{1} << 61) - 1;
 
-/// (a*x + b) mod 2^61-1, computed with 128-bit intermediates.
-uint64_t MulAddMod61(uint64_t a, uint64_t x, uint64_t b);
+/// x mod 2^61-1 for x < 2^123 (folded reduction). Inline: this is the
+/// innermost step of every hash evaluation in the library.
+/// Correct up to 2^123: hi = x >> 61 < 2^62 so hi >> 61 <= 1, giving
+/// r <= 2p + 1 before the two conditional subtractions.
+inline uint64_t Mod61(unsigned __int128 x) {
+  // Fold twice: each fold removes 61 bits.
+  uint64_t lo = static_cast<uint64_t>(x & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(x >> 61);
+  uint64_t r = lo + (hi & kMersenne61) + (hi >> 61);
+  if (r >= kMersenne61) r -= kMersenne61;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
 
-/// x mod 2^61-1 for x < 2^122 (folded reduction).
-uint64_t Mod61(unsigned __int128 x);
+/// (a*x + b) mod 2^61-1, computed with 128-bit intermediates.
+inline uint64_t MulAddMod61(uint64_t a, uint64_t x, uint64_t b) {
+  // Reduce x first so the product fits in 122 bits.
+  unsigned __int128 prod = static_cast<unsigned __int128>(a) * Mod61(x) + b;
+  return Mod61(prod);
+}
 
 /// Pairwise-independent hash of a single 64-bit input.
 class PairwiseHash {

@@ -144,7 +144,7 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
     sig_params.seed = HashCombine(salt, 0x516'0000u + attempt);
 
     Iblt bob_table(sig_params);
-    for (uint64_t sig : bob_salted) bob_table.Insert(sig);
+    bob_table.InsertMany(bob_salted);
     ByteWriter msg1;
     msg1.PutVarint64(bob_salted.size());
     bob_table.WriteTo(&msg1);
@@ -155,7 +155,7 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
     uint64_t bob_count = reader.GetVarint64();
     (void)bob_count;
     RSR_ASSIGN_OR_RETURN(Iblt alice_view, Iblt::ReadFrom(&reader, sig_params));
-    for (uint64_t sig : alice_salted) alice_view.Delete(sig);
+    alice_view.DeleteMany(alice_salted);
     IbltDecodeResult decoded = alice_view.Decode();
     if (decoded.complete) {
       for (const IbltEntry& e : decoded.entries) {
@@ -279,7 +279,7 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
       elem_params.seed = HashCombine(salt, 0xe1e'0000u + attempt);
 
       Iblt elem_table(elem_params);
-      for (uint64_t word : bob_words) elem_table.Insert(word);
+      elem_table.InsertMany(bob_words);
       ByteWriter msg3;
       elem_table.WriteTo(&msg3);
       // Per-set records: unsalted signature + per-slot fingerprints.
@@ -301,7 +301,7 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
       ByteReader reader(msg3.buffer());
       RSR_ASSIGN_OR_RETURN(Iblt alice_view,
                            Iblt::ReadFrom(&reader, elem_params));
-      for (uint64_t word : alice_words) alice_view.Delete(word);
+      alice_view.DeleteMany(alice_words);
       IbltDecodeResult decoded = alice_view.Decode();
 
       std::vector<SetRecord> records(bob_diff_sets.size());

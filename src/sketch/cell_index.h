@@ -1,0 +1,40 @@
+// Shared cell-index polynomial evaluation for the sketch layer.
+//
+// Iblt and Riblt map a key to one cell per subtable by evaluating q
+// independent degree-2 polynomials over the Mersenne prime 2^61 - 1 and
+// reducing into [0, cells_per_subtable). The *same* math backs
+// Iblt::CellsOf, the fused loop in Iblt::Update, and Riblt::CellsOf — and it
+// must stay bit-identical across all of them (and across peers), or wire
+// compatibility and seeded decodes silently break. Centralizing the
+// arithmetic here is what keeps the copies from drifting.
+//
+// Shared-power evaluation: x and x^2 mod p are computed once per key, and
+// each polynomial costs two multiplies and one fold:
+//   c2*x^2 + c1*x + c0 < 2^123, within Mod61's documented input range.
+// Value-identical to Horner evaluation of each polynomial.
+#ifndef RSR_SKETCH_CELL_INDEX_H_
+#define RSR_SKETCH_CELL_INDEX_H_
+
+#include <cstdint>
+
+#include "hashing/pairwise.h"
+
+namespace rsr {
+namespace sketch_internal {
+
+/// x^2 mod p for the shared-power scheme; x must already be reduced.
+inline uint64_t SquareMod61(uint64_t x) {
+  return Mod61(static_cast<unsigned __int128>(x) * x);
+}
+
+/// Evaluates one degree-2 index polynomial (coefficients c[0..2], c[i]
+/// multiplies x^i) at a point whose reduced powers x, x^2 are precomputed.
+inline uint64_t EvalIndexPoly(const uint64_t* c, uint64_t x, uint64_t x2) {
+  return Mod61(static_cast<unsigned __int128>(c[2]) * x2 +
+               static_cast<unsigned __int128>(c[1]) * x + c[0]);
+}
+
+}  // namespace sketch_internal
+}  // namespace rsr
+
+#endif  // RSR_SKETCH_CELL_INDEX_H_

@@ -1,6 +1,6 @@
 #include "sketch/iblt.h"
 
-#include <deque>
+#include <cstring>
 
 #include "hashing/checksum.h"
 
@@ -13,167 +13,215 @@ uint64_t ChecksumMask(int checksum_bytes) {
                              : ((uint64_t{1} << (8 * checksum_bytes)) - 1);
 }
 
+inline size_t ValueWords(size_t num_cells, size_t value_size) {
+  return (num_cells * value_size + 7) / 8;
+}
+
 }  // namespace
 
 Iblt::Iblt(const IbltParams& params) : params_(params) {
   RSR_CHECK(params.num_hashes >= 2);
+  RSR_CHECK(params.num_hashes <= kMaxHashes);
   RSR_CHECK(params.num_cells > 0);
   RSR_CHECK(params.checksum_bytes >= 1 && params.checksum_bytes <= 8);
   size_t q = static_cast<size_t>(params.num_hashes);
   cells_per_subtable_ = (params.num_cells + q - 1) / q;
   if (cells_per_subtable_ == 0) cells_per_subtable_ = 1;
-  size_t total = cells_per_subtable_ * q;
-  params_.num_cells = total;
+  num_cells_ = cells_per_subtable_ * q;
+  params_.num_cells = num_cells_;
+  subtable_mod_ = FastDiv61(cells_per_subtable_);
+  checksum_mask_ = ChecksumMask(params_.checksum_bytes);
+  checksum_salt_ = ChecksumSalt(params_.seed);
 
   Rng rng(params.seed ^ 0x1b17a5e11b17ULL);
-  index_hashes_.reserve(q);
   for (size_t j = 0; j < q; ++j) {
     // 3-independent cell indices suffice for peeling in practice; the
     // polynomial family keeps both parties' functions identical by seed.
-    index_hashes_.push_back(KIndependentHash::Draw(3, &rng));
-  }
-
-  counts_.assign(total, 0);
-  key_xors_.assign(total, 0);
-  checksum_xors_.assign(total, 0);
-  value_xors_.assign(total * params_.value_size, 0);
-}
-
-std::vector<size_t> Iblt::CellsOf(uint64_t key) const {
-  std::vector<size_t> cells(index_hashes_.size());
-  for (size_t j = 0; j < index_hashes_.size(); ++j) {
-    cells[j] = j * cells_per_subtable_ +
-               static_cast<size_t>(index_hashes_[j].Eval(key) %
-                                   cells_per_subtable_);
-  }
-  return cells;
-}
-
-void Iblt::Update(uint64_t key, const std::vector<uint8_t>* value,
-                  int direction) {
-  if (value != nullptr) {
-    RSR_CHECK_EQ(value->size(), params_.value_size);
-  } else {
-    RSR_CHECK_EQ(params_.value_size, 0u);
-  }
-  uint64_t checksum =
-      KeyChecksum(key, params_.seed) & ChecksumMask(params_.checksum_bytes);
-  for (size_t cell : CellsOf(key)) {
-    counts_[cell] += direction;
-    key_xors_[cell] ^= key;
-    checksum_xors_[cell] ^= checksum;
-    if (value != nullptr) {
-      uint8_t* dst = &value_xors_[cell * params_.value_size];
-      for (size_t i = 0; i < params_.value_size; ++i) dst[i] ^= (*value)[i];
+    // The drawn coefficients are copied into the flat inline array that
+    // CellsOf evaluates (same RNG stream, same polynomials as ever).
+    KIndependentHash h = KIndependentHash::Draw(kIndexIndependence, &rng);
+    for (int i = 0; i < kIndexIndependence; ++i) {
+      index_coeffs_[j * kIndexIndependence + static_cast<size_t>(i)] =
+          h.coeffs()[i];
     }
   }
+
+  arena_.assign(3 * num_cells_ + ValueWords(num_cells_, params_.value_size),
+                0);
 }
 
-Status Iblt::SubtractInPlace(const Iblt& other) {
+void Iblt::UpdateMany(std::span<const uint64_t> keys, int direction) {
+  RSR_CHECK_EQ(params_.value_size, 0u);
+  for (uint64_t key : keys) UpdateUnchecked(key, nullptr, direction);
+}
+
+Status Iblt::CheckCompatible(const Iblt& other) const {
   if (other.params_.num_cells != params_.num_cells ||
       other.params_.num_hashes != params_.num_hashes ||
       other.params_.value_size != params_.value_size ||
       other.params_.checksum_bytes != params_.checksum_bytes ||
       other.params_.seed != params_.seed) {
-    return Status::InvalidArgument("IBLT parameter mismatch in subtraction");
-  }
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    counts_[i] -= other.counts_[i];
-    key_xors_[i] ^= other.key_xors_[i];
-    checksum_xors_[i] ^= other.checksum_xors_[i];
-  }
-  for (size_t i = 0; i < value_xors_.size(); ++i) {
-    value_xors_[i] ^= other.value_xors_[i];
+    return Status::InvalidArgument("IBLT parameter mismatch");
   }
   return Status::OK();
 }
 
-bool Iblt::IsPure(size_t cell) const {
-  if (counts_[cell] != 1 && counts_[cell] != -1) return false;
-  return checksum_xors_[cell] ==
-         (KeyChecksum(key_xors_[cell], params_.seed) &
-          ChecksumMask(params_.checksum_bytes));
+Status Iblt::SubtractInPlace(const Iblt& other) {
+  Status compatible = CheckCompatible(other);
+  if (!compatible.ok()) return compatible;
+  int64_t* counts = Counts();
+  const int64_t* other_counts = other.Counts();
+  for (size_t i = 0; i < num_cells_; ++i) counts[i] -= other_counts[i];
+  // Keys, checksums, and value bytes all subtract by XOR: word-wise over the
+  // rest of the arena.
+  for (size_t i = num_cells_; i < arena_.size(); ++i) {
+    arena_[i] ^= other.arena_[i];
+  }
+  return Status::OK();
 }
 
 IbltDecodeResult Iblt::Decode() const {
-  Iblt table = *this;  // Peel a copy; the sketch itself stays intact.
   IbltDecodeResult result;
+  PeelInto(nullptr, &result);
+  return result;
+}
 
-  std::deque<size_t> queue;
-  std::vector<uint8_t> queued(table.counts_.size(), 0);
-  for (size_t c = 0; c < table.counts_.size(); ++c) {
-    if (table.IsPure(c)) {
-      queue.push_back(c);
+Result<IbltDecodeResult> Iblt::DecodeDiff(const Iblt& other) const {
+  RSR_RETURN_NOT_OK(CheckCompatible(other));
+  IbltDecodeResult result;
+  PeelInto(&other, &result);
+  return result;
+}
+
+void Iblt::PeelInto(const Iblt* subtrahend, IbltDecodeResult* result) const {
+  const size_t total = num_cells_;
+  const size_t value_size = params_.value_size;
+  const uint64_t salt = checksum_salt_;
+
+  // Work on a pooled copy of the cell arena; after the first call this is a
+  // memcpy into existing capacity, not an allocation.
+  scratch_.arena.assign(arena_.begin(), arena_.end());
+  int64_t* counts = reinterpret_cast<int64_t*>(scratch_.arena.data());
+  uint64_t* keys = scratch_.arena.data() + total;
+  uint64_t* checksums = scratch_.arena.data() + 2 * total;
+  uint8_t* values =
+      reinterpret_cast<uint8_t*>(scratch_.arena.data() + 3 * total);
+  if (subtrahend != nullptr) {
+    const int64_t* sub_counts = subtrahend->Counts();
+    for (size_t i = 0; i < total; ++i) counts[i] -= sub_counts[i];
+    for (size_t i = total; i < scratch_.arena.size(); ++i) {
+      scratch_.arena[i] ^= subtrahend->arena_[i];
+    }
+  }
+
+  // Cached per-cell purity flags, invalidated incrementally as cells mutate:
+  // IsPure's checksum re-derivation happens once per cell state change
+  // instead of once per queue visit.
+  scratch_.pure.assign(total, 0);
+  scratch_.queued.assign(total, 0);
+  uint8_t* pure = scratch_.pure.data();
+  uint8_t* queued = scratch_.queued.data();
+  auto refresh_pure = [&](size_t cell) {
+    pure[cell] =
+        (counts[cell] == 1 || counts[cell] == -1) &&
+        checksums[cell] == (ChecksumWithSalt(keys[cell], salt) & checksum_mask_);
+  };
+
+  scratch_.queue.clear();
+  size_t head = 0;
+  for (size_t c = 0; c < total; ++c) {
+    refresh_pure(c);
+    if (pure[c]) {
+      scratch_.queue.push_back(static_cast<uint32_t>(c));
       queued[c] = 1;
     }
   }
 
-  while (!queue.empty()) {
-    size_t cell = queue.front();
-    queue.pop_front();
+  size_t cells[kMaxHashes];
+  const size_t q = static_cast<size_t>(params_.num_hashes);
+  while (head < scratch_.queue.size()) {
+    size_t cell = scratch_.queue[head++];
     queued[cell] = 0;
-    if (!table.IsPure(cell)) continue;
+    if (!pure[cell]) continue;
 
     IbltEntry entry;
-    entry.key = table.key_xors_[cell];
-    entry.count = table.counts_[cell];
-    if (params_.value_size > 0) {
-      const uint8_t* src = &table.value_xors_[cell * params_.value_size];
-      entry.value.assign(src, src + params_.value_size);
+    entry.key = keys[cell];
+    entry.count = counts[cell];
+    if (value_size > 0) {
+      const uint8_t* src = values + cell * value_size;
+      entry.value.assign(src, src + value_size);
     }
 
-    int direction = entry.count > 0 ? -1 : +1;  // remove the entry
-    const std::vector<uint8_t>* value_ptr =
-        params_.value_size > 0 ? &entry.value : nullptr;
-    table.Update(entry.key, value_ptr, direction);
-    result.entries.push_back(std::move(entry));
-
-    for (size_t touched : table.CellsOf(result.entries.back().key)) {
-      if (!queued[touched] && table.IsPure(touched)) {
-        queue.push_back(touched);
+    // Remove the entry from all its cells (including this one), refreshing
+    // purity only for the touched cells.
+    int direction = entry.count > 0 ? -1 : +1;
+    uint64_t checksum = ChecksumWithSalt(entry.key, salt) & checksum_mask_;
+    CellsOf(entry.key, cells);
+    for (size_t j = 0; j < q; ++j) {
+      size_t touched = cells[j];
+      counts[touched] += direction;
+      keys[touched] ^= entry.key;
+      checksums[touched] ^= checksum;
+      if (value_size > 0) {
+        uint8_t* dst = values + touched * value_size;
+        const uint8_t* src = entry.value.data();
+        for (size_t i = 0; i < value_size; ++i) dst[i] ^= src[i];
+      }
+      refresh_pure(touched);
+      if (!queued[touched] && pure[touched]) {
+        scratch_.queue.push_back(static_cast<uint32_t>(touched));
         queued[touched] = 1;
       }
     }
+    result->entries.push_back(std::move(entry));
   }
 
-  result.complete = true;
-  for (size_t c = 0; c < table.counts_.size(); ++c) {
-    if (table.counts_[c] != 0 || table.key_xors_[c] != 0 ||
-        table.checksum_xors_[c] != 0) {
-      result.complete = false;
+  // Complete iff every slab drained — counts, keys, checksums, AND value
+  // bytes. A residual value XOR with zeroed counts/keys means two sides
+  // disagreed on a key's payload; reporting that as complete would silently
+  // drop the difference.
+  result->complete = true;
+  for (size_t i = 0; i < scratch_.arena.size(); ++i) {
+    if (scratch_.arena[i] != 0) {
+      result->complete = false;
       break;
     }
   }
-  return result;
 }
 
 void Iblt::WriteTo(ByteWriter* w) const {
-  for (size_t c = 0; c < counts_.size(); ++c) {
-    w->PutSignedVarint64(counts_[c]);
+  const int64_t* counts = Counts();
+  const uint64_t* keys = KeyXors();
+  const uint64_t* checksums = ChecksumXors();
+  for (size_t c = 0; c < num_cells_; ++c) {
+    w->PutSignedVarint64(counts[c]);
     // Empty cells (the common case in a well-sized sketch) cost 3 bytes.
-    w->PutVarint64(key_xors_[c]);
+    w->PutVarint64(keys[c]);
     for (int b = 0; b < params_.checksum_bytes; ++b) {
-      w->PutU8(static_cast<uint8_t>(checksum_xors_[c] >> (8 * b)));
+      w->PutU8(static_cast<uint8_t>(checksums[c] >> (8 * b)));
     }
   }
   if (params_.value_size > 0) {
-    w->PutBytes(value_xors_.data(), value_xors_.size());
+    w->PutBytes(ValueXors(), num_cells_ * params_.value_size);
   }
 }
 
 Result<Iblt> Iblt::ReadFrom(ByteReader* r, const IbltParams& params) {
   Iblt table(params);
-  for (size_t c = 0; c < table.counts_.size(); ++c) {
-    table.counts_[c] = r->GetSignedVarint64();
-    table.key_xors_[c] = r->GetVarint64();
+  int64_t* counts = table.Counts();
+  uint64_t* keys = table.KeyXors();
+  uint64_t* checksums = table.ChecksumXors();
+  for (size_t c = 0; c < table.num_cells_; ++c) {
+    counts[c] = r->GetSignedVarint64();
+    keys[c] = r->GetVarint64();
     uint64_t checksum = 0;
     for (int b = 0; b < table.params_.checksum_bytes; ++b) {
       checksum |= static_cast<uint64_t>(r->GetU8()) << (8 * b);
     }
-    table.checksum_xors_[c] = checksum;
+    checksums[c] = checksum;
   }
   if (table.params_.value_size > 0) {
-    r->GetBytes(table.value_xors_.data(), table.value_xors_.size());
+    r->GetBytes(table.ValueXors(), table.num_cells_ * table.params_.value_size);
   }
   RSR_RETURN_NOT_OK(r->status());
   return table;

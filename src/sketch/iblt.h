@@ -6,6 +6,17 @@
 // symmetric difference and can be decoded by peeling cells with count +-1
 // whose checksum validates. Theorem 2.6: m cells decode cm keys whp.
 //
+// Engineering invariants (see sketch/README.md):
+//   - Cell storage is a single struct-of-arrays arena (one allocation):
+//     counts | key XORs | checksum XORs | value XORs, each a contiguous slab.
+//   - Update/UpdateMany/CellsOf never allocate: cell indices live in a fixed
+//     inline array, the checksum mask is hoisted into the constructor, and
+//     values are raw byte spans.
+//   - Decode peels in place on a reusable scratch pool (no per-call copy of
+//     the Iblt object) with per-cell purity flags maintained incrementally.
+//     The scratch pool makes Decode non-reentrant: do not decode the same
+//     table concurrently from multiple threads.
+//
 // NOTE (multiset semantics): two XOR-inserts of the same key self-cancel.
 // Callers reconciling multisets must salt keys with a canonical occurrence
 // index (see setsets/sethash.h). The RIBLT (riblt.h) removes this limitation
@@ -13,10 +24,15 @@
 #ifndef RSR_SKETCH_IBLT_H_
 #define RSR_SKETCH_IBLT_H_
 
+#include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "hashing/checksum.h"
 #include "hashing/kindependent.h"
+#include "sketch/cell_index.h"
+#include "util/fastdiv.h"
 #include "util/random.h"
 #include "util/serialize.h"
 #include "util/status.h"
@@ -27,7 +43,7 @@ struct IbltParams {
   /// Total number of cells m (rounded up to a multiple of num_hashes).
   size_t num_cells = 0;
   /// q: number of cell choices per key; the table is partitioned into q
-  /// subtables so the choices are always distinct.
+  /// subtables so the choices are always distinct. 2 <= q <= kMaxHashes.
   int num_hashes = 4;
   /// Bytes of associated value XORed into each cell (0 = keys only).
   size_t value_size = 0;
@@ -49,52 +65,176 @@ struct IbltEntry {
 
 struct IbltDecodeResult {
   std::vector<IbltEntry> entries;
-  /// True iff the table fully drained (all cells returned to zero).
+  /// True iff the table fully drained (all cells, including value slabs,
+  /// returned to zero).
   bool complete = false;
 };
 
 class Iblt {
  public:
+  /// Upper bound on q. Cell indices for one key fit in a fixed inline array,
+  /// so deriving them never allocates.
+  static constexpr int kMaxHashes = 8;
+
   explicit Iblt(const IbltParams& params);
 
   void Insert(uint64_t key) { Update(key, nullptr, +1); }
   void Delete(uint64_t key) { Update(key, nullptr, -1); }
   void InsertKv(uint64_t key, const std::vector<uint8_t>& value) {
-    Update(key, &value, +1);
+    RSR_CHECK_EQ(value.size(), params_.value_size);
+    // data() of an empty vector may be non-null; normalize for Update's
+    // (value != nullptr) == (value_size > 0) contract.
+    Update(key, value.empty() ? nullptr : value.data(), +1);
   }
   void DeleteKv(uint64_t key, const std::vector<uint8_t>& value) {
-    Update(key, &value, -1);
+    RSR_CHECK_EQ(value.size(), params_.value_size);
+    Update(key, value.empty() ? nullptr : value.data(), -1);
   }
+
+  /// Hot path: applies `direction` copies of (key, value) to the key's q
+  /// cells. `value` must point at params().value_size readable bytes and may
+  /// be nullptr iff value_size == 0. Never allocates. Defined inline below.
+  void Update(uint64_t key, const uint8_t* value, int direction);
+
+  /// Batched hot path for whole buckets of value-less keys (protocol layers
+  /// insert entire salted-key vectors at once). Never allocates.
+  void UpdateMany(std::span<const uint64_t> keys, int direction);
+  void InsertMany(std::span<const uint64_t> keys) { UpdateMany(keys, +1); }
+  void DeleteMany(std::span<const uint64_t> keys) { UpdateMany(keys, -1); }
 
   /// Cell-wise subtraction (sketch-difference style reconciliation).
   /// Requires identical parameters and seed.
   Status SubtractInPlace(const Iblt& other);
 
-  /// Peels the table (on a copy). Returns entries with net counts +-1; the
-  /// result is complete iff the residual table is empty. An incomplete decode
-  /// still reports everything that peeled (useful for strata estimation).
+  /// Peels the table (on a pooled scratch copy of the cell arena; the sketch
+  /// itself stays intact). Returns entries with net counts +-1; the result is
+  /// complete iff the residual table is empty. An incomplete decode still
+  /// reports everything that peeled (useful for strata estimation).
   IbltDecodeResult Decode() const;
 
+  /// Peels (this - other) without materializing the difference table.
+  /// Requires identical parameters and seed.
+  Result<IbltDecodeResult> DecodeDiff(const Iblt& other) const;
+
   const IbltParams& params() const { return params_; }
-  size_t num_cells() const { return counts_.size(); }
+  size_t num_cells() const { return num_cells_; }
 
   /// Exact wire size accounting.
   void WriteTo(ByteWriter* w) const;
   static Result<Iblt> ReadFrom(ByteReader* r, const IbltParams& params);
 
  private:
-  void Update(uint64_t key, const std::vector<uint8_t>* value, int direction);
-  std::vector<size_t> CellsOf(uint64_t key) const;
-  bool IsPure(size_t cell) const;
+  /// Degree of the cell-index polynomials (3-independent hashing; see the
+  /// constructor note). Their coefficients live in one flat array so CellsOf
+  /// shares the x^2 power across all q evaluations.
+  static constexpr int kIndexIndependence = 3;
+
+  /// Update without the value/value_size contract check; UpdateMany hoists
+  /// the check out of its per-key loop.
+  void UpdateUnchecked(uint64_t key, const uint8_t* value, int direction);
+
+  /// Fills out[0..num_hashes) with the key's (distinct-subtable) cells.
+  void CellsOf(uint64_t key, size_t* out) const;
+
+  Status CheckCompatible(const Iblt& other) const;
+
+  // Struct-of-arrays views into the arena (offsets in 64-bit words). Accessor
+  // methods recompute pointers from arena_.data(), so default copy/move stay
+  // correct.
+  int64_t* Counts() { return reinterpret_cast<int64_t*>(arena_.data()); }
+  const int64_t* Counts() const {
+    return reinterpret_cast<const int64_t*>(arena_.data());
+  }
+  uint64_t* KeyXors() { return arena_.data() + num_cells_; }
+  const uint64_t* KeyXors() const { return arena_.data() + num_cells_; }
+  uint64_t* ChecksumXors() { return arena_.data() + 2 * num_cells_; }
+  const uint64_t* ChecksumXors() const {
+    return arena_.data() + 2 * num_cells_;
+  }
+  uint8_t* ValueXors() {
+    return reinterpret_cast<uint8_t*>(arena_.data() + 3 * num_cells_);
+  }
+  const uint8_t* ValueXors() const {
+    return reinterpret_cast<const uint8_t*>(arena_.data() + 3 * num_cells_);
+  }
+
+  void PeelInto(const Iblt* subtrahend, IbltDecodeResult* result) const;
 
   IbltParams params_;
+  size_t num_cells_ = 0;
   size_t cells_per_subtable_ = 0;
-  std::vector<KIndependentHash> index_hashes_;
-  std::vector<int64_t> counts_;
-  std::vector<uint64_t> key_xors_;
-  std::vector<uint64_t> checksum_xors_;
-  std::vector<uint8_t> value_xors_;  // flat: cell * value_size
+  FastDiv61 subtable_mod_;      // division-free h % cells_per_subtable_
+  uint64_t checksum_mask_ = 0;  // hoisted from the per-update path
+  uint64_t checksum_salt_ = 0;  // pre-mixed seed for key checksums
+  /// index_coeffs_[j*kIndexIndependence + i] multiplies x^i in subtable j's
+  /// index polynomial (flat, inline: no pointer chase on the hot path).
+  std::array<uint64_t, kIndexIndependence * kMaxHashes> index_coeffs_{};
+  /// Single allocation: 3*num_cells_ words of counts/keys/checksums followed
+  /// by ceil(num_cells_*value_size/8) words of value bytes.
+  std::vector<uint64_t> arena_;
+
+  /// Reusable peel buffers; sized on first Decode, then allocation-free.
+  struct DecodeScratch {
+    std::vector<uint64_t> arena;
+    std::vector<uint32_t> queue;  // FIFO via head index
+    std::vector<uint8_t> queued;
+    std::vector<uint8_t> pure;  // cached purity flags, updated incrementally
+  };
+  mutable DecodeScratch scratch_;
 };
+
+// ---- Hot path (inline) ------------------------------------------------------
+
+inline void Iblt::CellsOf(uint64_t key, size_t* out) const {
+  const uint64_t xr = Mod61(key);
+  const uint64_t x2 = sketch_internal::SquareMod61(xr);
+  const size_t sub = cells_per_subtable_;
+  const uint64_t* c = index_coeffs_.data();
+  const size_t q = static_cast<size_t>(params_.num_hashes);
+  for (size_t j = 0; j < q; ++j, c += kIndexIndependence) {
+    uint64_t h = sketch_internal::EvalIndexPoly(c, xr, x2);
+    out[j] = j * sub + static_cast<size_t>(subtable_mod_.Mod(h));
+  }
+}
+
+inline void Iblt::Update(uint64_t key, const uint8_t* value, int direction) {
+  RSR_CHECK((value != nullptr) == (params_.value_size > 0));
+  UpdateUnchecked(key, value, direction);
+}
+
+inline void Iblt::UpdateUnchecked(uint64_t key, const uint8_t* value,
+                                  int direction) {
+  uint64_t checksum = ChecksumWithSalt(key, checksum_salt_) & checksum_mask_;
+  // Cell derivation is fused into the update loop (same math as CellsOf) so
+  // each cell's memory traffic overlaps the next polynomial evaluation. All
+  // member state is hoisted into locals: the slab stores go through uint64_t
+  // pointers that the compiler must otherwise assume alias the members.
+  const uint64_t xr = Mod61(key);
+  const uint64_t x2 = sketch_internal::SquareMod61(xr);
+  const size_t sub = cells_per_subtable_;
+  const FastDiv61 mod = subtable_mod_;
+  const size_t q = static_cast<size_t>(params_.num_hashes);
+  // __restrict: the slabs never alias the coefficient array or each other,
+  // so the compiler may hoist coefficient loads past the slab stores.
+  int64_t* __restrict counts = Counts();
+  uint64_t* __restrict keys = KeyXors();
+  uint64_t* __restrict checksums = ChecksumXors();
+  uint8_t* __restrict values = ValueXors();
+  const size_t value_size = params_.value_size;
+  const uint64_t* __restrict c = index_coeffs_.data();
+  size_t base = 0;
+  for (size_t j = 0; j < q; ++j, c += kIndexIndependence, base += sub) {
+    uint64_t h = sketch_internal::EvalIndexPoly(c, xr, x2);
+    size_t cell = base + static_cast<size_t>(mod.Mod(h));
+    counts[cell] += direction;
+    keys[cell] ^= key;
+    checksums[cell] ^= checksum;
+    if (value_size > 0) {
+      uint8_t* dst = values + cell * value_size;
+      for (size_t i = 0; i < value_size; ++i) dst[i] ^= value[i];
+    }
+  }
+}
 
 }  // namespace rsr
 

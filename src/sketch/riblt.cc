@@ -1,9 +1,9 @@
 #include "sketch/riblt.h"
 
 #include <cmath>
-#include <deque>
 
 #include "hashing/checksum.h"
+#include "sketch/cell_index.h"
 
 namespace rsr {
 
@@ -12,14 +12,48 @@ namespace {
 // RIBLT checksums are 32-bit: checksum *sums* of up to 2^31 items still fit
 // a 64-bit word, which keeps the wire format small, and 2^-32 per-peel
 // false-positive probability is far below the protocol's failure budget.
-inline uint64_t CellChecksum(uint64_t key, uint64_t seed) {
-  return KeyChecksum(key, seed) & 0xffffffffULL;
+// Takes the pre-mixed ChecksumSalt so hot loops skip one Mix64 per key.
+inline uint64_t CellChecksum(uint64_t key, uint64_t mixed_salt) {
+  return ChecksumWithSalt(key, mixed_salt) & 0xffffffffULL;
+}
+
+using U128 = unsigned __int128;
+
+/// If the cell's contents are C copies of a single key from a single side,
+/// fills |C|, key, side and returns true. Operates on raw slabs so the
+/// peeler can run on scratch buffers without copying the table.
+inline bool CellIsPure(const int64_t* counts, const U128* key_sums,
+                       const U128* checksum_sums, uint64_t mixed_salt,
+                       size_t cell, int64_t* copies, uint64_t* key,
+                       int* side) {
+  int64_t c = counts[cell];
+  if (c == 0) return false;
+  int s = c > 0 ? +1 : -1;
+  U128 magnitude = static_cast<U128>(c > 0 ? c : -c);
+  // Normalize the wrapped sums to the inserting direction.
+  U128 key_sum = s > 0 ? key_sums[cell] : static_cast<U128>(0) - key_sums[cell];
+  U128 checksum_sum = s > 0 ? checksum_sums[cell]
+                            : static_cast<U128>(0) - checksum_sums[cell];
+  if (key_sum % magnitude != 0) return false;
+  U128 candidate = key_sum / magnitude;
+  if (candidate > ~uint64_t{0}) return false;
+  uint64_t k = static_cast<uint64_t>(candidate);
+  // checksum(K/C) == S/C, equivalently S == C * checksum(K/C).
+  if (checksum_sum !=
+      magnitude * static_cast<U128>(CellChecksum(k, mixed_salt))) {
+    return false;
+  }
+  *copies = c > 0 ? c : -c;
+  *key = k;
+  *side = s;
+  return true;
 }
 
 }  // namespace
 
 Riblt::Riblt(const RibltParams& params) : params_(params) {
   RSR_CHECK(params.num_hashes >= 3);  // Algorithm 1 requires q >= 3.
+  RSR_CHECK(params.num_hashes <= kMaxHashes);
   RSR_CHECK(params.num_cells > 0);
   RSR_CHECK(params.dim > 0);
   RSR_CHECK(params.delta >= 1);
@@ -28,11 +62,18 @@ Riblt::Riblt(const RibltParams& params) : params_(params) {
   if (cells_per_subtable_ == 0) cells_per_subtable_ = 1;
   size_t total = cells_per_subtable_ * q;
   params_.num_cells = total;
+  subtable_mod_ = FastDiv61(cells_per_subtable_);
+  checksum_salt_ = ChecksumSalt(params_.seed);
 
   Rng rng(params.seed ^ 0x1ab17c0ffeeULL);
-  index_hashes_.reserve(q);
   for (size_t j = 0; j < q; ++j) {
-    index_hashes_.push_back(KIndependentHash::Draw(3, &rng));
+    // Same RNG stream and polynomials as ever; coefficients are copied into
+    // the flat inline array that CellsOf evaluates.
+    KIndependentHash h = KIndependentHash::Draw(kIndexIndependence, &rng);
+    for (int i = 0; i < kIndexIndependence; ++i) {
+      index_coeffs_[j * kIndexIndependence + static_cast<size_t>(i)] =
+          h.coeffs()[i];
+    }
   }
 
   counts_.assign(total, 0);
@@ -41,21 +82,27 @@ Riblt::Riblt(const RibltParams& params) : params_(params) {
   value_sums_.assign(total * params_.dim, 0);
 }
 
-std::vector<size_t> Riblt::CellsOf(uint64_t key) const {
-  std::vector<size_t> cells(index_hashes_.size());
-  for (size_t j = 0; j < index_hashes_.size(); ++j) {
-    cells[j] = j * cells_per_subtable_ +
-               static_cast<size_t>(index_hashes_[j].Eval(key) %
-                                   cells_per_subtable_);
+void Riblt::CellsOf(uint64_t key, size_t* out) const {
+  const uint64_t xr = Mod61(key);
+  const uint64_t x2 = sketch_internal::SquareMod61(xr);
+  const size_t sub = cells_per_subtable_;
+  const uint64_t* c = index_coeffs_.data();
+  const size_t q = static_cast<size_t>(params_.num_hashes);
+  for (size_t j = 0; j < q; ++j, c += kIndexIndependence) {
+    uint64_t h = sketch_internal::EvalIndexPoly(c, xr, x2);
+    out[j] = j * sub + static_cast<size_t>(subtable_mod_.Mod(h));
   }
-  return cells;
 }
 
-void Riblt::Update(uint64_t key, const Point& value, int direction) {
-  RSR_CHECK_EQ(value.dim(), params_.dim);
+void Riblt::Update(uint64_t key, const Coord* value, int direction) {
   U128 key_term = key;
-  U128 checksum_term = CellChecksum(key, params_.seed);
-  for (size_t cell : CellsOf(key)) {
+  U128 checksum_term = CellChecksum(key, checksum_salt_);
+  size_t cells[kMaxHashes];
+  CellsOf(key, cells);
+  const size_t q = static_cast<size_t>(params_.num_hashes);
+  const size_t dim = params_.dim;
+  for (size_t j = 0; j < q; ++j) {
+    size_t cell = cells[j];
     counts_[cell] += direction;
     if (direction > 0) {
       key_sums_[cell] += key_term;
@@ -64,15 +111,21 @@ void Riblt::Update(uint64_t key, const Point& value, int direction) {
       key_sums_[cell] -= key_term;  // wraps mod 2^128; consistent throughout
       checksum_sums_[cell] -= checksum_term;
     }
-    int64_t* vs = &value_sums_[cell * params_.dim];
-    for (size_t j = 0; j < params_.dim; ++j) {
-      vs[j] += direction > 0 ? value[j] : -value[j];
+    int64_t* vs = &value_sums_[cell * dim];
+    for (size_t i = 0; i < dim; ++i) {
+      vs[i] += direction > 0 ? value[i] : -value[i];
     }
   }
 }
 
-void Riblt::Insert(uint64_t key, const Point& value) { Update(key, value, +1); }
-void Riblt::Delete(uint64_t key, const Point& value) { Update(key, value, -1); }
+void Riblt::UpdateMany(std::span<const uint64_t> keys, const PointSet& values,
+                       int direction) {
+  RSR_CHECK_EQ(keys.size(), values.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    RSR_CHECK_EQ(values[i].dim(), params_.dim);
+    Update(keys[i], values[i].coords().data(), direction);
+  }
+}
 
 Status Riblt::AddScaled(const Riblt& other, int64_t factor) {
   if (other.params_.num_cells != params_.num_cells ||
@@ -97,56 +150,55 @@ Status Riblt::AddScaled(const Riblt& other, int64_t factor) {
   return Status::OK();
 }
 
-bool Riblt::IsPure(size_t cell, int64_t* copies, uint64_t* key,
-                   int* side) const {
-  int64_t c = counts_[cell];
-  if (c == 0) return false;
-  int s = c > 0 ? +1 : -1;
-  U128 magnitude = static_cast<U128>(c > 0 ? c : -c);
-  // Normalize the wrapped sums to the inserting direction.
-  U128 key_sum = s > 0 ? key_sums_[cell] : static_cast<U128>(0) - key_sums_[cell];
-  U128 checksum_sum =
-      s > 0 ? checksum_sums_[cell] : static_cast<U128>(0) - checksum_sums_[cell];
-  if (key_sum % magnitude != 0) return false;
-  U128 candidate = key_sum / magnitude;
-  if (candidate > ~uint64_t{0}) return false;
-  uint64_t k = static_cast<uint64_t>(candidate);
-  // checksum(K/C) == S/C, equivalently S == C * checksum(K/C).
-  if (checksum_sum !=
-      magnitude * static_cast<U128>(CellChecksum(k, params_.seed))) {
-    return false;
-  }
-  *copies = c > 0 ? c : -c;
-  *key = k;
-  *side = s;
-  return true;
-}
-
 Result<RibltDecodeResult> Riblt::Decode(size_t max_pairs, size_t max_per_side,
                                         Rng* rng) const {
-  Riblt table = *this;
+  const size_t total = counts_.size();
+  const size_t dim = params_.dim;
   RibltDecodeResult result;
+
+  // Peel on pooled scratch copies of the cell slabs; after the first call
+  // these are memcpys into existing capacity, not allocations.
+  scratch_.counts.assign(counts_.begin(), counts_.end());
+  scratch_.key_sums.assign(key_sums_.begin(), key_sums_.end());
+  scratch_.checksum_sums.assign(checksum_sums_.begin(), checksum_sums_.end());
+  scratch_.value_sums.assign(value_sums_.begin(), value_sums_.end());
+  int64_t* counts = scratch_.counts.data();
+  U128* key_sums = scratch_.key_sums.data();
+  U128* checksum_sums = scratch_.checksum_sums.data();
+  int64_t* value_sums = scratch_.value_sums.data();
 
   // FIFO breadth-first order (RIBLT requirement 1): cells become eligible in
   // the order they turn pure, and are processed first-come first-served.
-  std::deque<size_t> queue;
-  std::vector<uint8_t> queued(table.counts_.size(), 0);
+  scratch_.queue.clear();
+  scratch_.queued.assign(total, 0);
+  uint8_t* queued = scratch_.queued.data();
+  size_t head = 0;
   int64_t copies;
   uint64_t key;
   int side;
-  for (size_t c = 0; c < table.counts_.size(); ++c) {
-    if (table.IsPure(c, &copies, &key, &side)) {
-      queue.push_back(c);
+  for (size_t c = 0; c < total; ++c) {
+    if (CellIsPure(counts, key_sums, checksum_sums, checksum_salt_, c, &copies,
+                   &key, &side)) {
+      scratch_.queue.push_back(static_cast<uint32_t>(c));
       queued[c] = 1;
     }
   }
 
+  scratch_.average.resize(dim);
+  scratch_.cell_values.resize(dim);
+  double* average = scratch_.average.data();
+  int64_t* cell_values = scratch_.cell_values.data();
+  size_t cells[kMaxHashes];
+  const size_t q = static_cast<size_t>(params_.num_hashes);
+
   size_t total_pairs = 0;
-  while (!queue.empty()) {
-    size_t cell = queue.front();
-    queue.pop_front();
+  while (head < scratch_.queue.size()) {
+    size_t cell = scratch_.queue[head++];
     queued[cell] = 0;
-    if (!table.IsPure(cell, &copies, &key, &side)) continue;
+    if (!CellIsPure(counts, key_sums, checksum_sums, checksum_salt_, cell,
+                    &copies, &key, &side)) {
+      continue;
+    }
     ++result.peel_steps;
 
     total_pairs += static_cast<size_t>(copies);
@@ -157,18 +209,18 @@ Result<RibltDecodeResult> Riblt::Decode(size_t max_pairs, size_t max_per_side,
     // Extract |C| pairs. Average value = value_sum / count (signed), then
     // clamp into [0, Delta] and randomized-round each fractional coordinate
     // independently per copy (RIBLT requirement 5).
-    const int64_t* vs = &table.value_sums_[cell * params_.dim];
+    const int64_t* vs = &value_sums[cell * dim];
     int64_t signed_count = side > 0 ? copies : -copies;
-    std::vector<double> average(params_.dim);
-    for (size_t j = 0; j < params_.dim; ++j) {
-      average[j] = static_cast<double>(vs[j]) / static_cast<double>(signed_count);
+    for (size_t j = 0; j < dim; ++j) {
+      average[j] =
+          static_cast<double>(vs[j]) / static_cast<double>(signed_count);
       if (average[j] < 0.0) average[j] = 0.0;
       double delta = static_cast<double>(params_.delta);
       if (average[j] > delta) average[j] = delta;
     }
     for (int64_t copy = 0; copy < copies; ++copy) {
-      std::vector<Coord> coords(params_.dim);
-      for (size_t j = 0; j < params_.dim; ++j) {
+      std::vector<Coord> coords(dim);
+      for (size_t j = 0; j < dim; ++j) {
         double floor_val = std::floor(average[j]);
         double frac = average[j] - floor_val;
         Coord v = static_cast<Coord>(floor_val);
@@ -196,22 +248,25 @@ Result<RibltDecodeResult> Riblt::Decode(size_t max_pairs, size_t max_per_side,
     // Subtract the *exact cell contents* (including any accumulated value
     // error) from every cell of the key — this is the error-propagation
     // mechanism of Figure 1.
-    int64_t cell_count = table.counts_[cell];
-    U128 cell_key_sum = table.key_sums_[cell];
-    U128 cell_checksum_sum = table.checksum_sums_[cell];
-    std::vector<int64_t> cell_values(vs, vs + params_.dim);
-    for (size_t touched : table.CellsOf(key)) {
-      table.counts_[touched] -= cell_count;
-      table.key_sums_[touched] -= cell_key_sum;
-      table.checksum_sums_[touched] -= cell_checksum_sum;
-      int64_t* tv = &table.value_sums_[touched * params_.dim];
-      for (size_t j = 0; j < params_.dim; ++j) tv[j] -= cell_values[j];
+    int64_t cell_count = counts[cell];
+    U128 cell_key_sum = key_sums[cell];
+    U128 cell_checksum_sum = checksum_sums[cell];
+    for (size_t j = 0; j < dim; ++j) cell_values[j] = vs[j];
+    CellsOf(key, cells);
+    for (size_t j = 0; j < q; ++j) {
+      size_t touched = cells[j];
+      counts[touched] -= cell_count;
+      key_sums[touched] -= cell_key_sum;
+      checksum_sums[touched] -= cell_checksum_sum;
+      int64_t* tv = &value_sums[touched * dim];
+      for (size_t i = 0; i < dim; ++i) tv[i] -= cell_values[i];
       if (!queued[touched]) {
         int64_t c2;
         uint64_t k2;
         int s2;
-        if (table.IsPure(touched, &c2, &k2, &s2)) {
-          queue.push_back(touched);
+        if (CellIsPure(counts, key_sums, checksum_sums, checksum_salt_, touched,
+                       &c2, &k2, &s2)) {
+          scratch_.queue.push_back(static_cast<uint32_t>(touched));
           queued[touched] = 1;
         }
       }
@@ -222,9 +277,8 @@ Result<RibltDecodeResult> Riblt::Decode(size_t max_pairs, size_t max_per_side,
   // canceled equal-key pairs is expected (it is exactly the in-bucket error
   // the analysis charges to mu).
   result.complete = true;
-  for (size_t c = 0; c < table.counts_.size(); ++c) {
-    if (table.counts_[c] != 0 || table.key_sums_[c] != 0 ||
-        table.checksum_sums_[c] != 0) {
+  for (size_t c = 0; c < total; ++c) {
+    if (counts[c] != 0 || key_sums[c] != 0 || checksum_sums[c] != 0) {
       result.complete = false;
       break;
     }

@@ -20,14 +20,22 @@
 // difference in the cell sums; extraction then attributes accumulated error
 // to the extracted values and the subtraction step forwards it to the key's
 // other cells.
+//
+// Engineering invariants mirror the classic IBLT (see sketch/README.md):
+// Update/UpdateMany never allocate (inline cell-index array, raw coordinate
+// spans), and Decode peels in place on a reusable scratch pool instead of
+// deep-copying the table, which makes Decode non-reentrant per instance.
 #ifndef RSR_SKETCH_RIBLT_H_
 #define RSR_SKETCH_RIBLT_H_
 
+#include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "geometry/point.h"
 #include "hashing/kindependent.h"
+#include "util/fastdiv.h"
 #include "util/random.h"
 #include "util/serialize.h"
 #include "util/status.h"
@@ -37,7 +45,7 @@ namespace rsr {
 struct RibltParams {
   /// Total cells m (rounded up to a multiple of num_hashes).
   size_t num_cells = 0;
-  /// q >= 3 per Algorithm 1.
+  /// q >= 3 per Algorithm 1 (and <= kMaxHashes).
   int num_hashes = 3;
   /// Dimensionality d of the stored values.
   size_t dim = 0;
@@ -67,13 +75,38 @@ struct RibltDecodeResult {
 
 class Riblt {
  public:
+  /// Upper bound on q; cell indices fit in a fixed inline array so the
+  /// update path never allocates.
+  static constexpr int kMaxHashes = 8;
+
   explicit Riblt(const RibltParams& params);
 
   /// Adds (key, value). Requires value.dim() == params.dim and coordinates in
   /// [0, delta].
-  void Insert(uint64_t key, const Point& value);
+  void Insert(uint64_t key, const Point& value) {
+    RSR_CHECK_EQ(value.dim(), params_.dim);
+    Update(key, value.coords().data(), +1);
+  }
   /// Deletes (key, value): subtracts the same contributions.
-  void Delete(uint64_t key, const Point& value);
+  void Delete(uint64_t key, const Point& value) {
+    RSR_CHECK_EQ(value.dim(), params_.dim);
+    Update(key, value.coords().data(), -1);
+  }
+
+  /// Hot path: applies one copy of (key, value) in `direction`. `value` must
+  /// point at params().dim coordinates. Never allocates.
+  void Update(uint64_t key, const Coord* value, int direction);
+
+  /// Batched hot path: one key per point, whole buckets at a time (the EMD
+  /// protocol inserts every level's keyed point set in one call).
+  void UpdateMany(std::span<const uint64_t> keys, const PointSet& values,
+                  int direction);
+  void InsertMany(std::span<const uint64_t> keys, const PointSet& values) {
+    UpdateMany(keys, values, +1);
+  }
+  void DeleteMany(std::span<const uint64_t> keys, const PointSet& values) {
+    UpdateMany(keys, values, -1);
+  }
 
   /// Cell-wise linear combination: this += factor * other. Factors may be
   /// negative. Requires identical parameters/seed. The multi-party
@@ -81,10 +114,11 @@ class Riblt {
   /// sum_j T_j - s * T_i, where universal elements cancel exactly.
   Status AddScaled(const Riblt& other, int64_t factor);
 
-  /// FIFO peeling. Caps: decode fails (returns DecodeFailure) if more than
-  /// max_pairs total or max_per_side pairs for either side are extracted, or
-  /// if the table does not drain. `rng` drives the randomized rounding of
-  /// averaged values (decoder-local coins).
+  /// FIFO peeling (on a pooled scratch copy; the sketch stays intact). Caps:
+  /// decode fails (returns DecodeFailure) if more than max_pairs total or
+  /// max_per_side pairs for either side are extracted, or if the table does
+  /// not drain. `rng` drives the randomized rounding of averaged values
+  /// (decoder-local coins).
   Result<RibltDecodeResult> Decode(size_t max_pairs, size_t max_per_side,
                                    Rng* rng) const;
 
@@ -98,20 +132,38 @@ class Riblt {
  private:
   using U128 = unsigned __int128;
 
-  void Update(uint64_t key, const Point& value, int direction);
-  std::vector<size_t> CellsOf(uint64_t key) const;
+  /// Degree of the cell-index polynomials (3-independent hashing, matching
+  /// the classic IBLT); coefficients live in one flat inline array.
+  static constexpr int kIndexIndependence = 3;
 
-  /// If the cell's contents are C copies of a single key from a single side,
-  /// fills |C|, key, side and returns true.
-  bool IsPure(size_t cell, int64_t* copies, uint64_t* key, int* side) const;
+  /// Fills out[0..num_hashes) with the key's (distinct-subtable) cells.
+  void CellsOf(uint64_t key, size_t* out) const;
 
   RibltParams params_;
   size_t cells_per_subtable_ = 0;
-  std::vector<KIndependentHash> index_hashes_;
+  FastDiv61 subtable_mod_;      // division-free h % cells_per_subtable_
+  uint64_t checksum_salt_ = 0;  // pre-mixed seed for cell checksums
+  /// index_coeffs_[j*kIndexIndependence + i] multiplies x^i in subtable j's
+  /// index polynomial.
+  std::array<uint64_t, kIndexIndependence * kMaxHashes> index_coeffs_{};
   std::vector<int64_t> counts_;
   std::vector<U128> key_sums_;
   std::vector<U128> checksum_sums_;
   std::vector<int64_t> value_sums_;  // flat: cell * dim + coordinate
+
+  /// Reusable peel buffers; sized on first Decode, then allocation-free
+  /// (apart from the extracted pairs themselves).
+  struct DecodeScratch {
+    std::vector<int64_t> counts;
+    std::vector<U128> key_sums;
+    std::vector<U128> checksum_sums;
+    std::vector<int64_t> value_sums;
+    std::vector<uint32_t> queue;  // FIFO via head index
+    std::vector<uint8_t> queued;
+    std::vector<double> average;      // dim-sized per-peel workspace
+    std::vector<int64_t> cell_values; // dim-sized per-peel workspace
+  };
+  mutable DecodeScratch scratch_;
 };
 
 }  // namespace rsr

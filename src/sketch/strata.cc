@@ -32,6 +32,10 @@ void StrataEstimator::Insert(uint64_t key) {
   strata_[static_cast<size_t>(StratumOf(key))].Insert(key);
 }
 
+void StrataEstimator::InsertMany(std::span<const uint64_t> keys) {
+  for (uint64_t key : keys) Insert(key);
+}
+
 Result<uint64_t> StrataEstimator::EstimateDiff(
     const StrataEstimator& other) const {
   if (other.params_.num_strata != params_.num_strata ||
@@ -41,9 +45,11 @@ Result<uint64_t> StrataEstimator::EstimateDiff(
   }
   uint64_t exact_from_deeper = 0;
   for (int i = params_.num_strata - 1; i >= 0; --i) {
-    Iblt diff = strata_[static_cast<size_t>(i)];
-    RSR_RETURN_NOT_OK(diff.SubtractInPlace(other.strata_[static_cast<size_t>(i)]));
-    IbltDecodeResult decoded = diff.Decode();
+    // Peel (ours - theirs) directly on the stratum's scratch pool; no copy
+    // of the stratum table is materialized.
+    RSR_ASSIGN_OR_RETURN(IbltDecodeResult decoded,
+                         strata_[static_cast<size_t>(i)].DecodeDiff(
+                             other.strata_[static_cast<size_t>(i)]));
     if (!decoded.complete) {
       // Extrapolate: strata deeper than i sampled the difference at rate
       // 2^{-(i+1)} cumulatively.

@@ -10,6 +10,7 @@
 #define RSR_SKETCH_STRATA_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sketch/iblt.h"
@@ -30,6 +31,10 @@ class StrataEstimator {
   explicit StrataEstimator(const StrataParams& params);
 
   void Insert(uint64_t key);
+
+  /// Batched insertion for whole key sets (one stratum lookup per key; the
+  /// underlying IBLT updates are allocation-free).
+  void InsertMany(std::span<const uint64_t> keys);
 
   /// Estimated symmetric-difference size versus `other` (same parameters).
   Result<uint64_t> EstimateDiff(const StrataEstimator& other) const;

@@ -1,0 +1,67 @@
+// Exact division-free modulo for the sketch cell mapping.
+//
+// The IBLT/RIBLT hot path maps a 61-bit hash into [0, cells_per_subtable)
+// with `h % d`. A hardware 64-bit divide costs ~25-40 cycles; replacing it
+// with a precomputed magic multiply (Granlund & Montgomery, "Division by
+// Invariant Integers using Multiplication") makes cell derivation a handful
+// of multiply/shift ops while producing the *exact same* quotient and
+// remainder, so the cell layout — and therefore every wire format and every
+// seeded decode — is unchanged.
+//
+// Correctness (Granlund-Montgomery Thm 4.2 specialization): for dividends
+// h < 2^61, choose s = 61 + ceil(log2(d)) and M = ceil(2^s / d). Then
+// M*d < 2^s + d <= 2^s + 2^(s-61), which guarantees floor(h*M / 2^s) =
+// floor(h / d) for all h < 2^61. M < 2^62 fits a 64-bit word and h*M < 2^123
+// fits the 128-bit intermediate.
+#ifndef RSR_UTIL_FASTDIV_H_
+#define RSR_UTIL_FASTDIV_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace rsr {
+
+/// Precomputed magic for exact `x % d` and `x / d` with x < 2^61.
+class FastDiv61 {
+ public:
+  FastDiv61() = default;
+  explicit FastDiv61(uint64_t d) : d_(d) {
+    RSR_CHECK(d >= 1);
+    RSR_CHECK(d <= (uint64_t{1} << 61));
+    int log2d = 64 - std::countl_zero(d - 1);  // ceil(log2(d)), 0 for d = 1
+    shift_ = 61 + log2d;
+    // M = ceil(2^s / d) computed without 128-bit division:
+    // floor((2^s - 1) / d) + 1 equals ceil(2^s / d) for d not a power of two;
+    // for powers of two both forms give 2^(s - log2 d) exactly.
+    if ((d & (d - 1)) == 0) {
+      // d = 2^k: s = 61 + k, M = 2^s / d = 2^61 exactly (M*d = 2^s).
+      magic_ = uint64_t{1} << 61;
+    } else {
+      unsigned __int128 numerator =
+          (static_cast<unsigned __int128>(1) << shift_) - 1;
+      magic_ = static_cast<uint64_t>(numerator / d) + 1;
+    }
+  }
+
+  /// Exact x / d for x < 2^61.
+  uint64_t Div(uint64_t x) const {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(x) * magic_) >> shift_);
+  }
+
+  /// Exact x % d for x < 2^61.
+  uint64_t Mod(uint64_t x) const { return x - Div(x) * d_; }
+
+  uint64_t divisor() const { return d_; }
+
+ private:
+  uint64_t d_ = 1;
+  uint64_t magic_ = uint64_t{1} << 61;
+  int shift_ = 61;
+};
+
+}  // namespace rsr
+
+#endif  // RSR_UTIL_FASTDIV_H_
