@@ -89,7 +89,7 @@ void DsBloomCurve() {
 
   Rng rng(778);
   PointSet points = GenerateUniform(set_size, dim, 1, &rng);
-  for (const Point& p : points) filter.Insert(p);
+  filter.InsertMany(points);
 
   bench::Header("  distance   accept-rate   mean-votes");
   for (int dist : {0, 1, 2, 4, 8, 16, 26, 40}) {

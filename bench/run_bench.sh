@@ -8,7 +8,10 @@
 #   bench/run_bench.sh [output.json]
 # Environment:
 #   BUILD_DIR   build directory (default: build)
-#   FILTER      --benchmark_filter regex (default: all benchmarks)
+#   FILTER      --benchmark_filter regex (default: all benchmarks). The
+#               bench_lsh group (BM_GridEvalBatch, BM_PairwisePrefixes*,
+#               BM_EvaluateAll*) compares the batch LSH pipeline against the
+#               preserved scalar baselines: FILTER='EvaluateAll|Prefixes'.
 #   MIN_TIME    --benchmark_min_time per benchmark, seconds (default: 0.2)
 #   REPS        --benchmark_repetitions; > 1 also reports mean/median/min
 #               aggregates (default: 1). Use >= 5 on machines with frequency

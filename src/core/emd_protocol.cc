@@ -7,8 +7,10 @@
 #include "emd/emd.h"
 #include "hashing/hash64.h"
 #include "hashing/pairwise.h"
+#include "lsh/eval_pipeline.h"
 #include "lsh/mlsh.h"
 #include "sketch/riblt.h"
+#include "util/parallel.h"
 
 namespace rsr {
 
@@ -19,18 +21,29 @@ namespace {
 // RIBLT key sums serialize as short varints.
 constexpr uint64_t kLevelKeyMask = (uint64_t{1} << 40) - 1;
 
-/// Evaluates all s MLSH draws on every point; row per point.
-std::vector<std::vector<uint64_t>> EvaluateAll(
-    const PointSet& points,
-    const std::vector<std::unique_ptr<LshFunction>>& functions) {
-  std::vector<std::vector<uint64_t>> evals(points.size());
-  for (size_t i = 0; i < points.size(); ++i) {
-    evals[i].resize(functions.size());
-    for (size_t g = 0; g < functions.size(); ++g) {
-      evals[i][g] = functions[g]->Eval(points[i]);
+/// All masked level keys of every point, level-major: out[level * n + i] is
+/// point i's key at 1-based level `level + 1`. One EvalPrefixes pass per
+/// point covers every level (the per-level prefix lengths are nondecreasing),
+/// sharded over points.
+std::vector<uint64_t> ComputeLevelKeys(const EvalMatrix& evals,
+                                       const PairwiseVectorHash& level_key_hash,
+                                       const std::vector<size_t>& prefix_lens,
+                                       size_t num_threads) {
+  const size_t n = evals.rows();
+  const size_t t = prefix_lens.size();
+  std::vector<uint64_t> keys(t * n);
+  if (t > 0) level_key_hash.Reserve(prefix_lens.back());  // thread safety
+  ParallelShards(n, num_threads, [&](size_t begin, size_t end) {
+    std::vector<uint64_t> row_keys(t);
+    for (size_t i = begin; i < end; ++i) {
+      level_key_hash.EvalPrefixes(evals.row(i), prefix_lens.data(), t,
+                                  row_keys.data());
+      for (size_t level = 0; level < t; ++level) {
+        keys[level * n + i] = row_keys[level] & kLevelKeyMask;
+      }
     }
-  }
-  return evals;
+  });
+  return keys;
 }
 
 }  // namespace
@@ -57,8 +70,18 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointSet& alice,
       DrawMany(*family, derived.s, &shared);
   PairwiseVectorHash level_key_hash = PairwiseVectorHash::Draw(&shared);
 
+  // Per-level MLSH prefix lengths (nondecreasing in the level index, which
+  // is what lets EvalPrefixes emit every level key in one pass).
+  std::vector<size_t> prefix_lens(derived.levels);
+  for (size_t level = 1; level <= derived.levels; ++level) {
+    prefix_lens[level - 1] = LevelPrefixLength(derived, level);
+  }
+
   // ---- Alice: build and "send" the t RIBLTs (single message). ----
-  std::vector<std::vector<uint64_t>> alice_evals = EvaluateAll(alice, draws);
+  EvalMatrix alice_evals;
+  EvaluateAllInto(alice, draws, params.num_threads, &alice_evals);
+  std::vector<uint64_t> alice_keys = ComputeLevelKeys(
+      alice_evals, level_key_hash, prefix_lens, params.num_threads);
   RibltParams riblt_params;
   riblt_params.num_cells = derived.cells;
   riblt_params.num_hashes = params.num_hashes;
@@ -70,26 +93,33 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointSet& alice,
   report.levels.resize(derived.levels);
   std::vector<Riblt> tables;
   tables.reserve(derived.levels);
-  std::vector<uint64_t> level_keys(n);  // reused across levels
   for (size_t level = 1; level <= derived.levels; ++level) {
-    size_t prefix = LevelPrefixLength(derived, level);
-    report.levels[level - 1].prefix_len = prefix;
+    report.levels[level - 1].prefix_len = prefix_lens[level - 1];
     RibltParams level_params = riblt_params;
     level_params.seed = HashCombine(params.seed, 0xeb1'0000ULL + level);
-    Riblt table(level_params);
-    for (size_t i = 0; i < n; ++i) {
-      level_keys[i] =
-          level_key_hash.Eval(alice_evals[i], prefix) & kLevelKeyMask;
-    }
-    table.InsertMany(level_keys, alice);
-    table.WriteTo(&message);
-    tables.push_back(std::move(table));
+    tables.emplace_back(level_params);
   }
+  // Each level's table is an independent function of (keys, points), so
+  // levels can build on separate threads; serialization below stays in level
+  // order, keeping the wire bytes identical to the sequential build.
+  ParallelShards(derived.levels, params.num_threads,
+                 [&](size_t begin, size_t end) {
+                   for (size_t l = begin; l < end; ++l) {
+                     tables[l].InsertMany(
+                         std::span<const uint64_t>(alice_keys.data() + l * n,
+                                                   n),
+                         alice);
+                   }
+                 });
+  for (Riblt& table : tables) table.WriteTo(&message);
   transcript.Send("A->B level RIBLTs", message);
 
   // ---- Bob: parse, delete his pairs, decode finest feasible level. ----
   ByteReader reader(message.buffer());
-  std::vector<std::vector<uint64_t>> bob_evals = EvaluateAll(bob, draws);
+  EvalMatrix bob_evals;
+  EvaluateAllInto(bob, draws, params.num_threads, &bob_evals);
+  std::vector<uint64_t> bob_keys = ComputeLevelKeys(
+      bob_evals, level_key_hash, prefix_lens, params.num_threads);
   Rng bob_coins(Mix64(params.seed) ^ 0xb0b);  // decoder-local rounding coins
 
   const size_t max_pairs = 4 * params.k;
@@ -106,13 +136,19 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointSet& alice,
   }
   RSR_RETURN_NOT_OK(reader.FinishAndCheckConsumed());
 
+  // Deletions are independent per level (threadable); decoding stays
+  // sequential finest-to-coarsest because bob_coins is a single stream.
+  ParallelShards(derived.levels, params.num_threads,
+                 [&](size_t begin, size_t end) {
+                   for (size_t l = begin; l < end; ++l) {
+                     received[l].DeleteMany(
+                         std::span<const uint64_t>(bob_keys.data() + l * n, n),
+                         bob);
+                   }
+                 });
+
   for (size_t level = derived.levels; level >= 1; --level) {
     Riblt& table = received[level - 1];
-    size_t prefix = LevelPrefixLength(derived, level);
-    for (size_t i = 0; i < n; ++i) {
-      level_keys[i] = level_key_hash.Eval(bob_evals[i], prefix) & kLevelKeyMask;
-    }
-    table.DeleteMany(level_keys, bob);
     Result<RibltDecodeResult> decoded =
         table.Decode(max_pairs, max_per_side, &bob_coins);
     EmdLevelOutcome& outcome = report.levels[level - 1];

@@ -49,6 +49,7 @@ Result<GapProtocolReport> RunLowDimGapProtocol(const PointSet& alice,
   config.m = 1;
   config.tau = derived.tau;
   config.reconciler = params.reconciler;
+  config.num_threads = params.num_threads;
   config.seed = params.seed;
   double expect_entry_diff_rate = rho_hat;
   double expected_diff_sets =

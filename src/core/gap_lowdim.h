@@ -25,6 +25,8 @@ struct LowDimGapParams {
   /// h = ceil(h_multiplier * log2 n / log2(1/rho_hat)).
   double h_multiplier = 1.0;
   SetsReconcilerParams reconciler;
+  /// Worker threads for the batch key evaluation (<= 1 = inline).
+  size_t num_threads = 1;
   uint64_t seed = 0;
 };
 

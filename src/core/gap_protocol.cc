@@ -7,6 +7,8 @@
 
 #include "hashing/hash64.h"
 #include "hashing/pairwise.h"
+#include "lsh/eval_pipeline.h"
+#include "util/parallel.h"
 
 namespace rsr {
 
@@ -27,19 +29,33 @@ Result<GapPipelineResult> RunGapPipeline(
     batch_hashes.push_back(PairwiseVectorHash::Draw(&shared));
   }
 
+  // Batch pipeline: one row-major n x (h*m) evaluation matrix (one virtual
+  // call per LSH function per shard), then per slot j a batched vector hash
+  // over the m-wide row segment at column j*m. Bit-identical to the
+  // historical per-point loop  keys[i][j] = H_j(Eval_{jm}(p_i)..Eval_{jm+m-1}).
   auto build_keys = [&](const PointSet& points) {
-    std::vector<SlottedSet> keys(points.size());
-    std::vector<uint64_t> batch(config.m);
-    for (size_t i = 0; i < points.size(); ++i) {
-      keys[i].resize(config.h);
-      for (size_t j = 0; j < config.h; ++j) {
-        for (size_t t = 0; t < config.m; ++t) {
-          batch[t] = functions[j * config.m + t]->Eval(points[i]);
-        }
-        // Theta(log n)-bit entries: truncate the 61-bit hash to 32 bits.
-        keys[i][j] = static_cast<uint32_t>(batch_hashes[j].Eval(batch));
-      }
-    }
+    const size_t n_points = points.size();
+    std::vector<SlottedSet> keys(n_points);
+    for (auto& key : keys) key.resize(config.h);
+    EvalMatrix evals;
+    EvaluateAllInto(points, functions, config.num_threads, &evals);
+    const size_t cols = config.h * config.m;
+    for (const auto& h : batch_hashes) h.Reserve(config.m);  // thread safety
+    ParallelShards(n_points, config.num_threads,
+                   [&](size_t begin, size_t end) {
+                     std::vector<uint64_t> slot_keys(end - begin);
+                     for (size_t j = 0; j < config.h; ++j) {
+                       batch_hashes[j].EvalBatch(
+                           evals.data() + begin * cols + j * config.m,
+                           end - begin, cols, config.m, slot_keys.data());
+                       // Theta(log n)-bit entries: truncate the 61-bit hash
+                       // to 32 bits.
+                       for (size_t i = begin; i < end; ++i) {
+                         keys[i][j] =
+                             static_cast<uint32_t>(slot_keys[i - begin]);
+                       }
+                     }
+                   });
     return keys;
   };
 
@@ -155,6 +171,7 @@ Result<GapProtocolReport> RunGapProtocol(const PointSet& alice,
   config.m = derived.m;
   config.tau = derived.tau;
   config.reconciler = params.reconciler;
+  config.num_threads = params.num_threads;
   config.seed = params.seed;
   double expect_entry_diff_rate = 1.0 - derived.q1;  // per close-pair entry
   double expected_diff_sets =

@@ -35,6 +35,9 @@ struct GapProtocolParams {
   /// Reconciler configuration; sig/elem cell counts of 0 are auto-sized from
   /// the expected difference counts.
   SetsReconcilerParams reconciler;
+  /// Worker threads for the batch LSH/key evaluation (<= 1 = inline).
+  /// Transcripts are bit-identical for every value.
+  size_t num_threads = 1;
   /// Shared seed (public coins).
   uint64_t seed = 0;
 };
@@ -77,6 +80,7 @@ struct GapPipelineConfig {
   size_t m = 0;
   double tau = 0;
   SetsReconcilerParams reconciler;
+  size_t num_threads = 1;
   uint64_t seed = 0;
 };
 

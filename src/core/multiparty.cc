@@ -5,6 +5,7 @@
 
 #include "hashing/hash64.h"
 #include "sketch/riblt.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace rsr {
@@ -28,25 +29,33 @@ Result<MultiPartyReport> RunMultiPartyUnion(
   sketch_params.seed = params.seed;
 
   // Deduplicate within each party (set semantics) and build the sketches.
+  // Parties are independent, so construction shards across threads; the
+  // broadcasts are serialized afterwards in party order, keeping the
+  // transcript identical to the sequential build.
   std::vector<PointSet> deduped(s);
   std::vector<Riblt> sketches;
   sketches.reserve(s);
+  for (size_t i = 0; i < s; ++i) sketches.emplace_back(sketch_params);
   Transcript transcript;
   std::vector<std::vector<uint8_t>> wire(s);
-  for (size_t i = 0; i < s; ++i) {
-    deduped[i] = parties[i];
-    std::sort(deduped[i].begin(), deduped[i].end());
-    deduped[i].erase(std::unique(deduped[i].begin(), deduped[i].end()),
-                     deduped[i].end());
-    Riblt sketch(sketch_params);
-    for (const Point& p : deduped[i]) {
-      sketch.Insert(p.ContentHash(params.seed), p);
+  ParallelShards(s, params.num_threads, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      deduped[i] = parties[i];
+      std::sort(deduped[i].begin(), deduped[i].end());
+      deduped[i].erase(std::unique(deduped[i].begin(), deduped[i].end()),
+                       deduped[i].end());
+      std::vector<uint64_t> party_keys(deduped[i].size());
+      ContentHashMany(deduped[i].data(), deduped[i].size(), params.seed,
+                      party_keys.data());
+      sketches[i].InsertMany(party_keys, deduped[i]);
+      ByteWriter writer;
+      sketches[i].WriteTo(&writer);
+      wire[i] = writer.buffer();
     }
-    ByteWriter writer;
-    sketch.WriteTo(&writer);
-    transcript.Send("party " + std::to_string(i) + " broadcast", writer);
-    wire[i] = writer.buffer();
-    sketches.push_back(std::move(sketch));
+  });
+  for (size_t i = 0; i < s; ++i) {
+    transcript.SendBytes("party " + std::to_string(i) + " broadcast",
+                         wire[i].size());
   }
 
   MultiPartyReport report;
@@ -57,50 +66,67 @@ Result<MultiPartyReport> RunMultiPartyUnion(
 
   const size_t max_decode =
       params.max_decode > 0 ? params.max_decode : params.sketch_cells;
-  for (size_t i = 0; i < s; ++i) {
-    // Party i parses every broadcast (including its own echo) from the wire.
-    Riblt combined(sketch_params);
-    bool parse_ok = true;
-    for (size_t j = 0; j < s; ++j) {
-      ByteReader reader(wire[j].data(), wire[j].size());
-      auto parsed = Riblt::ReadFrom(&reader, sketch_params);
-      if (!parsed.ok()) {
-        parse_ok = false;
-        break;
+  // Each party's combine + decode is independent of every other party's, so
+  // the loop shards across threads; per-party outcomes land in disjoint
+  // slots (party_ok is staged in a char array — vector<bool> is a bitfield
+  // and not safe for concurrent writes) and hard errors are surfaced after
+  // the join.
+  std::vector<char> ok(s, 0);
+  std::vector<Status> hard_error(s);
+  ParallelShards(s, params.num_threads, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      // Party i parses every broadcast (including its own echo) from the
+      // wire.
+      Riblt combined(sketch_params);
+      bool parse_ok = true;
+      for (size_t j = 0; j < s; ++j) {
+        ByteReader reader(wire[j].data(), wire[j].size());
+        auto parsed = Riblt::ReadFrom(&reader, sketch_params);
+        if (!parsed.ok()) {
+          parse_ok = false;
+          break;
+        }
+        Status added = combined.AddScaled(*parsed, 1);
+        if (!added.ok()) {
+          hard_error[i] = added;
+          parse_ok = false;
+          break;
+        }
       }
-      RSR_RETURN_NOT_OK(combined.AddScaled(*parsed, 1));
-    }
-    if (!parse_ok) {
       report.final_sets[i] = deduped[i];
-      report.all_ok = false;
-      continue;
-    }
-    RSR_RETURN_NOT_OK(
-        combined.AddScaled(sketches[i], -static_cast<int64_t>(s)));
+      if (!parse_ok) continue;
+      Status scaled =
+          combined.AddScaled(sketches[i], -static_cast<int64_t>(s));
+      if (!scaled.ok()) {
+        hard_error[i] = scaled;
+        continue;
+      }
 
-    Rng decode_rng(Mix64(params.seed) ^ (0xdeca + i));
-    auto decoded = combined.Decode(max_decode, max_decode, &decode_rng);
-    report.final_sets[i] = deduped[i];
-    if (!decoded.ok()) {
-      report.all_ok = false;
-      continue;
+      Rng decode_rng(Mix64(params.seed) ^ (0xdeca + i));
+      auto decoded = combined.Decode(max_decode, max_decode, &decode_rng);
+      if (!decoded.ok()) continue;
+      ok[i] = 1;
+      // Positive counts = elements party i is missing (multiplicity m > 0
+      // among the other parties); each distinct key yields m identical
+      // copies, add one.
+      std::sort(decoded->inserted.begin(), decoded->inserted.end(),
+                [](const RibltPair& a, const RibltPair& b) {
+                  return a.key < b.key;
+                });
+      uint64_t last_key = 0;
+      bool have_last = false;
+      for (const RibltPair& pair : decoded->inserted) {
+        if (have_last && pair.key == last_key) continue;
+        last_key = pair.key;
+        have_last = true;
+        report.final_sets[i].push_back(pair.value);
+      }
     }
-    report.party_ok[i] = true;
-    // Positive counts = elements party i is missing (multiplicity m > 0
-    // among the other parties); each distinct key yields m identical copies,
-    // add one.
-    std::sort(decoded->inserted.begin(), decoded->inserted.end(),
-              [](const RibltPair& a, const RibltPair& b) {
-                return a.key < b.key;
-              });
-    uint64_t last_key = 0;
-    bool have_last = false;
-    for (const RibltPair& pair : decoded->inserted) {
-      if (have_last && pair.key == last_key) continue;
-      last_key = pair.key;
-      have_last = true;
-      report.final_sets[i].push_back(pair.value);
-    }
+  });
+  for (size_t i = 0; i < s; ++i) {
+    RSR_RETURN_NOT_OK(hard_error[i]);
+    report.party_ok[i] = ok[i] != 0;
+    if (!ok[i]) report.all_ok = false;
   }
   return report;
 }

@@ -30,6 +30,10 @@ struct MultiPartyParams {
   int num_hashes = 3;
   /// Decode cap (0 = sketch_cells, always decodable load).
   size_t max_decode = 0;
+  /// Worker threads for per-party sketch construction and decoding (<= 1 =
+  /// inline). Parties are independent, so results are bit-identical for
+  /// every value.
+  size_t num_threads = 1;
   /// Shared seed (public coins).
   uint64_t seed = 0;
 };

@@ -64,11 +64,12 @@ std::vector<uint64_t> SaltedPointKeys(PointSet points, uint64_t seed,
                                       std::vector<Point>* sorted_out) {
   std::sort(points.begin(), points.end());
   std::vector<uint64_t> keys(points.size());
+  // Content hashes in one batch, then occurrence-salt the duplicate runs.
+  ContentHashMany(points.data(), points.size(), seed, keys.data());
   size_t run_start = 0;
   for (size_t i = 0; i < points.size(); ++i) {
     if (i > 0 && points[i] != points[i - 1]) run_start = i;
-    keys[i] = HashCombine(points[i].ContentHash(seed),
-                          static_cast<uint64_t>(i - run_start));
+    keys[i] = HashCombine(keys[i], static_cast<uint64_t>(i - run_start));
   }
   if (sorted_out != nullptr) *sorted_out = std::move(points);
   return keys;

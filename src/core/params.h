@@ -36,6 +36,10 @@ struct EmdProtocolParams {
   /// Cap on MLSH draws s (guards accidental quadratic blowups; exceeded =>
   /// InvalidArgument telling the caller to use the multiscale runner).
   size_t max_hash_draws = size_t{1} << 22;
+  /// Worker threads for the batch LSH evaluation and per-level RIBLT
+  /// construction (<= 1 = inline). Transcripts are bit-identical for every
+  /// value: shards depend only on the input sizes and write disjoint ranges.
+  size_t num_threads = 1;
   /// Shared seed (public coins).
   uint64_t seed = 0;
 };

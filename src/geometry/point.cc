@@ -51,6 +51,18 @@ std::string Point::ToString() const {
   return os.str();
 }
 
+void ContentHashMany(const Point* points, size_t n, uint64_t salt,
+                     uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<Coord>& coords = points[i].coords();
+    uint64_t h = salt ^ (coords.size() * 0x9ddfea08eb382d69ULL);
+    for (Coord c : coords) {
+      h = HashCombine(h, static_cast<uint64_t>(c));
+    }
+    out[i] = Mix64(h);
+  }
+}
+
 void ValidatePointSet(const PointSet& points, size_t dim, Coord delta) {
   for (const Point& p : points) {
     RSR_CHECK_EQ(p.dim(), dim);

@@ -60,6 +60,11 @@ class Point {
 /// A collection of points with common dimension.
 using PointSet = std::vector<Point>;
 
+/// Batch content hashing: out[i] = points[i].ContentHash(salt), one call for
+/// a whole key-derivation loop (used by the sketch insert paths).
+void ContentHashMany(const Point* points, size_t n, uint64_t salt,
+                     uint64_t* out);
+
 /// CHECK-fails unless all points share dimension `dim` and lie in [0,delta]^d.
 void ValidatePointSet(const PointSet& points, size_t dim, Coord delta);
 

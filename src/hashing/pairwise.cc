@@ -10,6 +10,26 @@ PairwiseHash PairwiseHash::Draw(Rng* rng) {
   return PairwiseHash(a, b);
 }
 
+void PairwiseHash::EvalMany(const uint64_t* xs, size_t n,
+                            uint64_t* out) const {
+  const uint64_t a = a_;
+  const uint64_t b = b_;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = MulAddMod61(a, xs[i], b);
+  }
+}
+
+void PairwiseHash::EvalBitsMany(const uint64_t* xs, size_t n, int out_bits,
+                                uint64_t* out) const {
+  const uint64_t mask = (out_bits >= 61) ? kMersenne61
+                                         : ((uint64_t{1} << out_bits) - 1);
+  const uint64_t a = a_;
+  const uint64_t b = b_;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = MulAddMod61(a, xs[i], b) & mask;
+  }
+}
+
 PairwiseVectorHash PairwiseVectorHash::Draw(Rng* rng) {
   PairwiseVectorHash h(rng->Fork());
   h.b_ = h.rng_.Below(kMersenne61);
@@ -35,6 +55,55 @@ uint64_t PairwiseVectorHash::Eval(const std::vector<uint64_t>& v,
   // Mix in the length so prefixes of different lengths are independent-ish.
   acc += static_cast<unsigned __int128>(length_salt_) * Mod61(len);
   return Mod61(acc);
+}
+
+void PairwiseVectorHash::EvalPrefixes(const uint64_t* v, const size_t* lens,
+                                      size_t num_prefixes,
+                                      uint64_t* out) const {
+  if (num_prefixes == 0) return;
+  const size_t max_len = lens[num_prefixes - 1];
+  EnsureMultipliers(max_len);
+  const uint64_t* coeffs = coeffs_.data();
+  const uint64_t salt = length_salt_;
+  // Invariant: acc == Eval's accumulator after the first i entries, with the
+  // same every-4th-entry fold, so each emitted key equals Eval(v, len)
+  // bit-for-bit (Mod61 always returns the canonical representative, so the
+  // fold schedule cannot leak into the output). Everything stays < 2^125,
+  // within Mod61's folding range.
+  unsigned __int128 acc = b_;
+  size_t next = 0;
+  while (next < num_prefixes && lens[next] == 0) {
+    out[next++] = Mod61(acc);
+  }
+  for (size_t i = 0; i < max_len && next < num_prefixes; ++i) {
+    RSR_DCHECK(lens[next] >= i + 1);  // lens must be nondecreasing
+    acc += static_cast<unsigned __int128>(coeffs[i]) * Mod61(v[i]);
+    if (i % 4 == 3) acc = Mod61(acc);
+    while (next < num_prefixes && lens[next] == i + 1) {
+      out[next++] =
+          Mod61(acc + static_cast<unsigned __int128>(salt) * Mod61(i + 1));
+    }
+  }
+  RSR_DCHECK(next == num_prefixes);
+}
+
+void PairwiseVectorHash::EvalBatch(const uint64_t* rows, size_t n,
+                                   size_t row_stride, size_t len,
+                                   uint64_t* out) const {
+  EnsureMultipliers(len);
+  const uint64_t* coeffs = coeffs_.data();
+  const unsigned __int128 length_term =
+      static_cast<unsigned __int128>(length_salt_) * Mod61(len);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t* v = rows + i * row_stride;
+    unsigned __int128 acc = b_;
+    for (size_t j = 0; j < len; ++j) {
+      acc += static_cast<unsigned __int128>(coeffs[j]) * Mod61(v[j]);
+      if (j % 4 == 3) acc = Mod61(acc);
+    }
+    acc += length_term;
+    out[i] = Mod61(acc);
+  }
 }
 
 }  // namespace rsr

@@ -56,6 +56,15 @@ class PairwiseHash {
                                        : ((uint64_t{1} << out_bits) - 1));
   }
 
+  /// Batch full-width eval: out[i] = Eval(xs[i]). The (a, b) parameters are
+  /// loaded once for the whole batch.
+  void EvalMany(const uint64_t* xs, size_t n, uint64_t* out) const;
+
+  /// Batch truncated eval: out[i] = EvalBits(xs[i], out_bits). The output
+  /// mask is derived once instead of per call.
+  void EvalBitsMany(const uint64_t* xs, size_t n, int out_bits,
+                    uint64_t* out) const;
+
  private:
   uint64_t a_;
   uint64_t b_;
@@ -75,6 +84,26 @@ class PairwiseVectorHash {
   uint64_t Eval(const std::vector<uint64_t>& v) const {
     return Eval(v, v.size());
   }
+
+  /// All prefix keys of one row in a single pass: out[t] = Eval(v, lens[t])
+  /// for t in [0, num_prefixes), where lens is nondecreasing (duplicates
+  /// allowed). The coefficient sum is accumulated incrementally along the
+  /// prefix chain and a key is emitted whenever the walk reaches a requested
+  /// length — O(lens[last]) total instead of O(sum of lens) — with results
+  /// bit-identical to per-prefix Eval.
+  void EvalPrefixes(const uint64_t* v, const size_t* lens, size_t num_prefixes,
+                    uint64_t* out) const;
+
+  /// Batch fixed-length eval over rows of a flat row-major matrix:
+  /// out[i] = Eval(rows + i * row_stride, len) (first `len` entries of each
+  /// row). Multipliers and the length term are prepared once per batch.
+  void EvalBatch(const uint64_t* rows, size_t n, size_t row_stride, size_t len,
+                 uint64_t* out) const;
+
+  /// Pre-draws multipliers for prefixes up to `len`. The Eval* methods are
+  /// const but lazily extend the multiplier list, which is not thread-safe;
+  /// call this once before sharing the instance across threads.
+  void Reserve(size_t len) const { EnsureMultipliers(len); }
 
  private:
   explicit PairwiseVectorHash(Rng rng) : rng_(rng) {}

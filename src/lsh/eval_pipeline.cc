@@ -1,0 +1,56 @@
+#include "lsh/eval_pipeline.h"
+
+#include <algorithm>
+
+#include "util/parallel.h"
+
+namespace rsr {
+
+void EvaluateAllInto(const PointSet& points,
+                     const std::vector<std::unique_ptr<LshFunction>>& functions,
+                     size_t num_threads, EvalMatrix* out) {
+  const size_t n = points.size();
+  const size_t s = functions.size();
+  out->Reset(n, s);
+  if (n == 0 || s == 0) return;
+  uint64_t* data = out->mutable_data();
+  const Point* pts = points.data();
+  const size_t dim = pts[0].dim();
+  // All draws come from one family, so one representative decides the path.
+  const bool flat = functions[0]->SupportsFlatBatch();
+  // Block the point range so one block's matrix slice (block * s * 8 bytes,
+  // ~64 KiB) and coordinate rows stay cache-resident across all s strided
+  // column writes; without blocking every write of a function pass lands on
+  // a distinct line of the full n x s buffer.
+  size_t block = (size_t{1} << 13) / (s > 0 ? s : 1);
+  if (block < 16) block = 16;
+  ParallelShards(n, num_threads, [&](size_t begin, size_t end) {
+    // Flat path: convert the block's coordinates to one contiguous double
+    // matrix ONCE, instead of chasing every Point's heap row and
+    // re-converting int64 coordinates in each of the s function passes.
+    std::vector<double> scratch(flat ? block * dim : 0);
+    for (size_t b = begin; b < end; b += block) {
+      const size_t len = std::min(block, end - b);
+      if (flat) {
+        for (size_t i = 0; i < len; ++i) {
+          const Coord* c = pts[b + i].coords().data();
+          for (size_t j = 0; j < dim; ++j) {
+            scratch[i * dim + j] = static_cast<double>(c[j]);
+          }
+        }
+      }
+      // Function-major within the block: one virtual call per function, with
+      // its drawn parameters hoisted for the whole point range.
+      for (size_t g = 0; g < s; ++g) {
+        if (flat) {
+          functions[g]->EvalFlatBatch(scratch.data(), len, dim,
+                                      data + b * s + g, s);
+        } else {
+          functions[g]->EvalBatch(pts + b, len, data + b * s + g, s);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace rsr

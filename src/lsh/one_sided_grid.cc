@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "hashing/hash64.h"
+#include "lsh/batch_kernels.h"
 
 namespace rsr {
 
@@ -22,6 +23,25 @@ class OneSidedGridFunction : public LshFunction {
       h = HashCombine(h, static_cast<uint64_t>(cell));
     }
     return h;
+  }
+
+  // Function-major hot paths with interleaved HashCombine chains; same
+  // rounding and per-point operation order as Eval (see grid.cc notes).
+  void EvalBatch(const Point* points, size_t n, uint64_t* out,
+                 size_t out_stride) const override {
+    RSR_DCHECK(n == 0 || points[0].dim() == offsets_.size());
+    lsh_internal::GridHashBatch(
+        [points](size_t i) { return points[i].coords().data(); }, n,
+        offsets_.data(), offsets_.size(), w_, salt_, out, out_stride);
+  }
+
+  bool SupportsFlatBatch() const override { return true; }
+  void EvalFlatBatch(const double* coords, size_t n, size_t dim, uint64_t* out,
+                     size_t out_stride) const override {
+    RSR_DCHECK(dim == offsets_.size());
+    lsh_internal::GridHashBatch(
+        [coords, dim](size_t i) { return coords + i * dim; }, n,
+        offsets_.data(), dim, w_, salt_, out, out_stride);
   }
 
  private:

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "lsh/batch_kernels.h"
+
 namespace rsr {
 
 namespace {
@@ -21,6 +23,28 @@ class PStableFunction : public LshFunction {
     }
     int64_t cell = static_cast<int64_t>(std::floor(dot / w_));
     return static_cast<uint64_t>(cell);
+  }
+
+  // Function-major hot paths: the projection vector stays hot across the
+  // whole point range, and points run interleaved (batch_kernels.h) so their
+  // serial dot-product chains overlap instead of stalling on FMA latency.
+  // Each point's accumulation order and the final `/ w` division match Eval
+  // exactly, so the lattice cell is bit-identical.
+  void EvalBatch(const Point* points, size_t n, uint64_t* out,
+                 size_t out_stride) const override {
+    RSR_DCHECK(n == 0 || points[0].dim() == direction_.size());
+    lsh_internal::DotCellBatch(
+        [points](size_t i) { return points[i].coords().data(); }, n,
+        direction_.data(), direction_.size(), offset_, w_, out, out_stride);
+  }
+
+  bool SupportsFlatBatch() const override { return true; }
+  void EvalFlatBatch(const double* coords, size_t n, size_t dim, uint64_t* out,
+                     size_t out_stride) const override {
+    RSR_DCHECK(dim == direction_.size());
+    lsh_internal::DotCellBatch(
+        [coords, dim](size_t i) { return coords + i * dim; }, n,
+        direction_.data(), dim, offset_, w_, out, out_stride);
   }
 
  private:

@@ -46,6 +46,12 @@ inline void DecodeElement(uint64_t word, uint32_t* occ, uint32_t* slot,
 /// Order-independent 64-bit content signature of a slotted set.
 uint64_t SetSignature(const SlottedSet& set, uint64_t salt);
 
+/// Batch signatures: out[i] = SetSignature(*sets[i], salt). The per-element
+/// salt mix (loop-invariant across sets and slots) is derived once for the
+/// whole batch instead of per element.
+void SetSignatures(const SlottedSet* const* sets, size_t n, uint64_t salt,
+                   uint64_t* out);
+
 /// Signature salted with a canonical occurrence index (multiset semantics).
 uint64_t SaltedSignature(uint64_t signature, uint32_t occurrence);
 

@@ -1,5 +1,6 @@
 #include "sketch/ds_bloom.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "hashing/hash64.h"
@@ -59,6 +60,26 @@ void DistanceSensitiveBloomFilter::Insert(const Point& p) {
   for (size_t bank = 0; bank < params_.num_banks; ++bank) {
     size_t idx = BitIndex(bank, p);
     banks_[bank][idx / 8] |= static_cast<uint8_t>(1u << (idx % 8));
+  }
+}
+
+void DistanceSensitiveBloomFilter::InsertMany(const PointSet& points) {
+  const size_t n = points.size();
+  if (n == 0) return;
+  std::vector<uint64_t> acc(n);
+  std::vector<uint64_t> evals(n);
+  for (size_t bank = 0; bank < params_.num_banks; ++bank) {
+    std::fill(acc.begin(), acc.end(), mix_salts_[bank]);
+    for (size_t j = 0; j < params_.hashes_per_bank; ++j) {
+      functions_[bank * params_.hashes_per_bank + j]->EvalBatch(
+          points.data(), n, evals.data(), 1);
+      for (size_t i = 0; i < n; ++i) acc[i] = HashCombine(acc[i], evals[i]);
+    }
+    std::vector<uint8_t>& bits = banks_[bank];
+    for (size_t i = 0; i < n; ++i) {
+      size_t idx = static_cast<size_t>(acc[i] % params_.bits_per_bank);
+      bits[idx / 8] |= static_cast<uint8_t>(1u << (idx % 8));
+    }
   }
 }
 

@@ -55,6 +55,11 @@ class DistanceSensitiveBloomFilter {
 
   void Insert(const Point& p);
 
+  /// Batch insert via the function-major LSH pipeline: per (bank, draw) one
+  /// EvalBatch over the whole set instead of a virtual call per point. Final
+  /// bank contents are bit-identical to repeated Insert (bit OR commutes).
+  void InsertMany(const PointSet& points);
+
   /// Fraction of banks whose addressed bit is set for p.
   double VoteFraction(const Point& p) const;
 

@@ -29,11 +29,26 @@ inline bool CellIsPure(const int64_t* counts, const U128* key_sums,
   int64_t c = counts[cell];
   if (c == 0) return false;
   int s = c > 0 ? +1 : -1;
-  U128 magnitude = static_cast<U128>(c > 0 ? c : -c);
   // Normalize the wrapped sums to the inserting direction.
   U128 key_sum = s > 0 ? key_sums[cell] : static_cast<U128>(0) - key_sums[cell];
   U128 checksum_sum = s > 0 ? checksum_sums[cell]
                             : static_cast<U128>(0) - checksum_sums[cell];
+  if (c == 1 || c == -1) {
+    // |count| == 1 dominates every peel (each decoded pair is visited q
+    // times at magnitude 1): purity degenerates to exact-match checks, no
+    // 128-bit division. Identical accept/reject to the general path with
+    // magnitude = 1.
+    if (key_sum > static_cast<U128>(~uint64_t{0})) return false;
+    uint64_t k = static_cast<uint64_t>(key_sum);
+    if (checksum_sum != static_cast<U128>(CellChecksum(k, mixed_salt))) {
+      return false;
+    }
+    *copies = 1;
+    *key = k;
+    *side = s;
+    return true;
+  }
+  U128 magnitude = static_cast<U128>(c > 0 ? c : -c);
   if (key_sum % magnitude != 0) return false;
   U128 candidate = key_sum / magnitude;
   if (candidate > ~uint64_t{0}) return false;
