@@ -36,7 +36,7 @@ void RibltShapeAblation() {
         config.noise = 0;
         config.outlier_dist = 100;
         config.seed = 500 + trial;
-        auto workload = GenerateNoisyPair(config);
+        auto workload = GenerateNoisyPairStore(config);
         if (!workload.ok()) continue;
         ++trials;
         EmdProtocolParams params;

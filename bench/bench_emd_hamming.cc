@@ -41,7 +41,7 @@ void Run() {
       config.noise = 2;
       config.outlier_dist = 40;
       config.seed = 1000 * n + trial;
-      auto workload = GenerateNoisyPair(config);
+      auto workload = GenerateNoisyPairStore(config);
       if (!workload.ok()) continue;
 
       MultiscaleEmdParams params;

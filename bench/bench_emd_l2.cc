@@ -39,7 +39,7 @@ Outcome RunSetting(size_t n, size_t dim, Coord delta, size_t k, double d1,
     config.noise = 2.0;
     config.outlier_dist = 150;
     config.seed = seed_base + trial;
-    auto workload = GenerateNoisyPair(config);
+    auto workload = GenerateNoisyPairStore(config);
     if (!workload.ok()) continue;
 
     MultiscaleEmdParams params;

@@ -35,7 +35,7 @@ void TwoWayTable() {
       config.noise = 2;
       config.outlier_dist = 300;
       config.seed = 60 * n + trial;
-      auto workload = GenerateNoisyPair(config);
+      auto workload = GenerateNoisyPairStore(config);
       if (!workload.ok()) continue;
       ++trials;
 
@@ -88,7 +88,7 @@ void DsBloomCurve() {
               lsh.r1, lsh.r2);
 
   Rng rng(778);
-  PointSet points = GenerateUniform(set_size, dim, 1, &rng);
+  PointStore points = GenerateUniformStore(set_size, dim, 1, &rng);
   filter.InsertMany(points);
 
   bench::Header("  distance   accept-rate   mean-votes");
@@ -97,7 +97,7 @@ void DsBloomCurve() {
     double votes = 0;
     const int kProbes = 200;
     for (int i = 0; i < kProbes; ++i) {
-      const Point& base = points[rng.Below(points.size())];
+      Point base = points.MakePoint(rng.Below(points.size()));
       Point q = PerturbPoint(base, MetricKind::kHamming,
                              static_cast<double>(dist), 1, &rng);
       accepted += filter.QueryNear(q);

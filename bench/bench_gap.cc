@@ -41,7 +41,7 @@ GapOutcome RunSetting(MetricKind metric_kind, size_t dim, Coord delta,
     config.noise = noise;
     config.outlier_dist = outlier_dist;
     config.seed = seed_base + trial;
-    auto workload = GenerateNoisyPair(config);
+    auto workload = GenerateNoisyPairStore(config);
     if (!workload.ok()) continue;
     ++outcome.trials;
 

@@ -46,7 +46,7 @@ void Run() {
       config.noise = 2;
       config.outlier_dist = 600;
       config.seed = 40 * dim + trial;
-      auto workload = GenerateNoisyPair(config);
+      auto workload = GenerateNoisyPairStore(config);
       if (!workload.ok()) continue;
       ++trials;
       Metric metric(MetricKind::kL1);

@@ -205,6 +205,53 @@ void BM_EvaluateAllScalar(benchmark::State& state) {
 }
 BENCHMARK(BM_EvaluateAllScalar);
 
+// ---- Columnar PointStore (bench_pointstore group) --------------------------
+//
+// BM_StoreEvaluateAll is the store-native protocol hot path: the double
+// plane is built once per store, so a warm fill does zero per-point work
+// beyond the kernels themselves. Compare against BM_EvaluateAll (the
+// PointSet adapter, which copies into a temporary arena per call) and the
+// preserved BM_EvaluateAllScalar.
+
+void BM_PointStoreAppend(benchmark::State& state) {
+  // Per-point append rate into a reserved arena (the generator hot path).
+  Rng rng(18);
+  PointStore source = GenerateUniformStore(4096, 8, 1023, &rng);
+  PointStore store(8);
+  store.Reserve(source.size());
+  for (auto _ : state) {
+    store.Clear();
+    store.Reserve(source.size());
+    for (size_t i = 0; i < source.size(); ++i) store.Append(source.row(i));
+    benchmark::DoNotOptimize(store.coord_data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(source.size()));
+}
+BENCHMARK(BM_PointStoreAppend);
+
+void BM_StoreEvaluateAll(benchmark::State& state) {
+  // BM_EvaluateAll's configuration (n=4096 x s=64, 2-stable) on the
+  // store-native path: no flatten copy, cached double plane.
+  Rng rng(16);
+  std::unique_ptr<MlshFamily> family = MakeMlshFamily(MetricKind::kL2, 8, 32.0);
+  Rng draw_rng(17);
+  std::vector<std::unique_ptr<LshFunction>> draws =
+      DrawMany(*family, 64, &draw_rng);
+  PointStore points = GenerateUniformStore(4096, 8, 1023, &rng);
+  points.DoublePlane();  // built once per store, as in the protocols
+  EvalMatrix matrix;
+  for (auto _ : state) {
+    EvaluateAllInto(points, draws, /*num_threads=*/1, &matrix);
+    benchmark::DoNotOptimize(matrix.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(points.size() * draws.size()));
+}
+BENCHMARK(BM_StoreEvaluateAll);
+
 void BM_IbltInsert(benchmark::State& state) {
   IbltParams params;
   params.num_cells = 1024;

@@ -16,15 +16,14 @@
 namespace rsr {
 namespace {
 
-std::vector<PointSet> MakeParties(size_t s, size_t shared, size_t unique_each,
-                                  uint64_t seed) {
+std::vector<PointStore> MakeParties(size_t s, size_t shared,
+                                    size_t unique_each, uint64_t seed) {
   Rng rng(seed);
-  PointSet common = GenerateUniform(shared, 2, 4095, &rng);
-  std::vector<PointSet> parties(s);
+  PointStore common = GenerateUniformStore(shared, 2, 4095, &rng);
+  std::vector<PointStore> parties(s);
   for (auto& set : parties) {
     set = common;
-    PointSet extra = GenerateUniform(unique_each, 2, 4095, &rng);
-    set.insert(set.end(), extra.begin(), extra.end());
+    GenerateUniformInto(unique_each, 2, 4095, &rng, &set);
   }
   return parties;
 }

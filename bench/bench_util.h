@@ -14,6 +14,7 @@
 
 #include "geometry/metric.h"
 #include "geometry/point.h"
+#include "geometry/point_store.h"
 
 namespace rsr {
 namespace bench {
@@ -63,6 +64,24 @@ inline double WorstCaseGap(const PointSet& alice, const PointSet& s_b_prime,
     double best = 1e300;
     for (const Point& b : s_b_prime) {
       best = std::min(best, metric.Distance(a, b));
+    }
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+/// Store-native form: alice rows against a repaired PointSet.
+inline double WorstCaseGap(const PointStore& alice, const PointSet& s_b_prime,
+                           const Metric& metric) {
+  RSR_DCHECK(s_b_prime.empty() || alice.empty() ||
+             s_b_prime[0].dim() == alice.dim());
+  double worst = 0;
+  for (size_t i = 0; i < alice.size(); ++i) {
+    double best = 1e300;
+    for (const Point& b : s_b_prime) {
+      best = std::min(best,
+                      metric.Distance(alice.row(i), b.coords().data(),
+                                      alice.dim()));
     }
     worst = std::max(worst, best);
   }

@@ -42,7 +42,7 @@ void Run() {
       config.noise = 2;
       config.outlier_dist = 200;
       config.seed = 100 * dim + trial;
-      auto workload = GenerateNoisyPair(config);
+      auto workload = GenerateNoisyPairStore(config);
       if (!workload.ok()) continue;
       Metric metric(MetricKind::kL1);
       double emdk = EmdK(workload->alice, workload->bob, metric, k);

@@ -4,14 +4,30 @@
 # Debug + Address/UB-sanitizer configuration of the same test suite.
 #
 # Usage: ci/build_and_test.sh
+# Environment:
+#   RSR_BENCH=1   additionally configure with -DRSR_BUILD_BENCH=ON and
+#                 FAIL LOUDLY if google-benchmark is missing (a requested
+#                 bench build must never silently skip bench_micro — that
+#                 would let a perf PR land with no numbers).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+BENCH_FLAGS=()
+if [[ "${RSR_BENCH:-0}" == "1" ]]; then
+  BENCH_FLAGS=(-DRSR_BUILD_BENCH=ON -DRSR_REQUIRE_BENCHMARK=ON)
+fi
+
 echo "==== Release build + tests (tier-1 verify) ===="
-cmake -B build -S .
+cmake -B build -S . ${BENCH_FLAGS[@]+"${BENCH_FLAGS[@]}"}
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
+
+if [[ "${RSR_BENCH:-0}" == "1" && ! -x build/bench_micro ]]; then
+  echo "error: RSR_BENCH=1 but build/bench_micro was not produced" >&2
+  echo "       (google-benchmark missing or bench build broken)" >&2
+  exit 1
+fi
 
 echo "==== Debug + ASan/UBSan build + tests ===="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DRSR_SANITIZE=ON

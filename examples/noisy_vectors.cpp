@@ -32,7 +32,7 @@ int main() {
   config.noise = 2.0;          // quantization drift
   config.outlier_dist = 120.0;
   config.seed = 4096;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   if (!workload.ok()) {
     std::printf("workload failed: %s\n", workload.status().ToString().c_str());
     return 1;

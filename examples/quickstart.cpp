@@ -28,7 +28,7 @@ int main() {
   config.noise = 2.0;
   config.outlier_dist = 100.0;
   config.seed = 2024;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   if (!workload.ok()) {
     std::printf("workload generation failed: %s\n",
                 workload.status().ToString().c_str());

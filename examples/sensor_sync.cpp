@@ -17,12 +17,29 @@
 
 namespace {
 
-double WorstGap(const rsr::PointSet& from, const rsr::PointSet& to,
+// Row-view helper: works for PointStore-vs-PointStore and
+// PointStore-vs-PointSet without materializing any Point.
+double WorstGap(const rsr::PointStore& from, const rsr::PointStore& to,
                 const rsr::Metric& metric) {
   double worst = 0;
-  for (const auto& a : from) {
+  for (size_t i = 0; i < from.size(); ++i) {
     double best = 1e300;
-    for (const auto& b : to) best = std::min(best, metric.Distance(a, b));
+    for (size_t j = 0; j < to.size(); ++j) {
+      best = std::min(best, metric.Distance(from[i], to[j]));
+    }
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+double WorstGap(const rsr::PointStore& from, const rsr::PointSet& to,
+                const rsr::Metric& metric) {
+  double worst = 0;
+  for (size_t i = 0; i < from.size(); ++i) {
+    double best = 1e300;
+    for (const auto& b : to) {
+      best = std::min(best, metric.Distance(b, from[i]));
+    }
     worst = std::max(worst, best);
   }
   return worst;
@@ -45,7 +62,7 @@ int main() {
   config.noise = 2.0;                // within r1/2 per side
   config.outlier_dist = 400.0;       // comfortably beyond r2
   config.seed = 99;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   if (!workload.ok()) {
     std::printf("workload failed: %s\n", workload.status().ToString().c_str());
     return 1;

@@ -7,7 +7,7 @@
 namespace rsr {
 
 Result<MultiscaleEmdReport> RunMultiscaleEmdProtocol(
-    const PointSet& alice, const PointSet& bob,
+    const PointStore& alice, const PointStore& bob,
     const MultiscaleEmdParams& params) {
   if (params.interval_ratio <= 1.0) {
     return Status::InvalidArgument("interval_ratio must exceed 1");
@@ -63,6 +63,17 @@ Result<MultiscaleEmdReport> RunMultiscaleEmdProtocol(
   }
   report.failure = true;
   return report;
+}
+
+Result<MultiscaleEmdReport> RunMultiscaleEmdProtocol(
+    const PointSet& alice, const PointSet& bob,
+    const MultiscaleEmdParams& params) {
+  if (alice.size() != bob.size() || alice.empty()) {
+    return Status::InvalidArgument("|S_A| must equal |S_B| and be positive");
+  }
+  return RunMultiscaleEmdProtocol(
+      PointStore::FromPointSet(params.base.dim, alice),
+      PointStore::FromPointSet(params.base.dim, bob), params);
 }
 
 }  // namespace rsr

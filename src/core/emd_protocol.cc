@@ -48,15 +48,15 @@ std::vector<uint64_t> ComputeLevelKeys(const EvalMatrix& evals,
 
 }  // namespace
 
-Result<EmdProtocolReport> RunEmdProtocol(const PointSet& alice,
-                                         const PointSet& bob,
+Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
+                                         const PointStore& bob,
                                          const EmdProtocolParams& params) {
   if (alice.size() != bob.size() || alice.empty()) {
     return Status::InvalidArgument("|S_A| must equal |S_B| and be positive");
   }
   const size_t n = alice.size();
-  ValidatePointSet(alice, params.dim, params.delta);
-  ValidatePointSet(bob, params.dim, params.delta);
+  ValidatePointStore(alice, params.dim, params.delta);
+  ValidatePointStore(bob, params.dim, params.delta);
 
   EmdProtocolReport report;
   RSR_ASSIGN_OR_RETURN(report.derived, DeriveEmdParameters(params, n));
@@ -216,11 +216,21 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointSet& alice,
 
   report.s_b_prime.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    if (!removed[i]) report.s_b_prime.push_back(bob[i]);
+    if (!removed[i]) report.s_b_prime.push_back(bob.MakePoint(i));
   }
   for (const Point& p : x_a) report.s_b_prime.push_back(p);
   RSR_CHECK_EQ(report.s_b_prime.size(), n);
   return report;
+}
+
+Result<EmdProtocolReport> RunEmdProtocol(const PointSet& alice,
+                                         const PointSet& bob,
+                                         const EmdProtocolParams& params) {
+  if (alice.size() != bob.size() || alice.empty()) {
+    return Status::InvalidArgument("|S_A| must equal |S_B| and be positive");
+  }
+  return RunEmdProtocol(PointStore::FromPointSet(params.dim, alice),
+                        PointStore::FromPointSet(params.dim, bob), params);
 }
 
 }  // namespace rsr

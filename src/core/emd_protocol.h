@@ -16,6 +16,7 @@
 #include "core/params.h"
 #include "core/transcript.h"
 #include "geometry/point.h"
+#include "geometry/point_store.h"
 #include "util/status.h"
 
 namespace rsr {
@@ -49,6 +50,12 @@ struct EmdProtocolReport {
 /// status: the report comes back with failure = true (the paper's protocol
 /// explicitly reports failure with probability <= 1/8 when
 /// EMD_k <= D2).
+Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
+                                         const PointStore& bob,
+                                         const EmdProtocolParams& params);
+
+/// Compatibility adapter (one release): copies each side into a PointStore
+/// and runs the store-native protocol. Transcripts are bit-identical.
 Result<EmdProtocolReport> RunEmdProtocol(const PointSet& alice,
                                          const PointSet& bob,
                                          const EmdProtocolParams& params);

@@ -8,8 +8,8 @@
 
 namespace rsr {
 
-Result<GapProtocolReport> RunLowDimGapProtocol(const PointSet& alice,
-                                               const PointSet& bob,
+Result<GapProtocolReport> RunLowDimGapProtocol(const PointStore& alice,
+                                               const PointStore& bob,
                                                const LowDimGapParams& params) {
   if (params.dim == 0) return Status::InvalidArgument("dim must be positive");
   if (params.metric != MetricKind::kL1 && params.metric != MetricKind::kL2) {
@@ -18,8 +18,8 @@ Result<GapProtocolReport> RunLowDimGapProtocol(const PointSet& alice,
   if (!(0 < params.r1 && params.r1 < params.r2)) {
     return Status::InvalidArgument("need 0 < r1 < r2");
   }
-  ValidatePointSet(alice, params.dim, params.delta);
-  ValidatePointSet(bob, params.dim, params.delta);
+  ValidatePointStore(alice, params.dim, params.delta);
+  ValidatePointStore(bob, params.dim, params.delta);
 
   const int p_exp = params.metric == MetricKind::kL1 ? 1 : 2;
   OneSidedGridFamily family(params.dim, params.r2, p_exp);
@@ -86,6 +86,15 @@ Result<GapProtocolReport> RunLowDimGapProtocol(const PointSet& alice,
   report.reconciliation = std::move(pipeline.reconciliation);
   report.comm = std::move(pipeline.comm);
   return report;
+}
+
+Result<GapProtocolReport> RunLowDimGapProtocol(const PointSet& alice,
+                                               const PointSet& bob,
+                                               const LowDimGapParams& params) {
+  if (params.dim == 0) return Status::InvalidArgument("dim must be positive");
+  return RunLowDimGapProtocol(PointStore::FromPointSet(params.dim, alice),
+                              PointStore::FromPointSet(params.dim, bob),
+                              params);
 }
 
 }  // namespace rsr

@@ -32,6 +32,11 @@ struct LowDimGapParams {
 
 /// Runs the protocol. Requires rho_hat = r1 * dim / r2 < 1 (the theorem's
 /// applicability regime); otherwise returns InvalidArgument.
+Result<GapProtocolReport> RunLowDimGapProtocol(const PointStore& alice,
+                                               const PointStore& bob,
+                                               const LowDimGapParams& params);
+
+/// Compatibility adapter (one release); transcripts are bit-identical.
 Result<GapProtocolReport> RunLowDimGapProtocol(const PointSet& alice,
                                                const PointSet& bob,
                                                const LowDimGapParams& params);

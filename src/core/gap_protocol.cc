@@ -15,7 +15,7 @@ namespace rsr {
 namespace internal {
 
 Result<GapPipelineResult> RunGapPipeline(
-    const PointSet& alice, const PointSet& bob,
+    const PointStore& alice, const PointStore& bob,
     const std::vector<std::unique_ptr<LshFunction>>& functions,
     const GapPipelineConfig& config) {
   RSR_CHECK_EQ(functions.size(), config.h * config.m);
@@ -33,7 +33,7 @@ Result<GapPipelineResult> RunGapPipeline(
   // call per LSH function per shard), then per slot j a batched vector hash
   // over the m-wide row segment at column j*m. Bit-identical to the
   // historical per-point loop  keys[i][j] = H_j(Eval_{jm}(p_i)..Eval_{jm+m-1}).
-  auto build_keys = [&](const PointSet& points) {
+  auto build_keys = [&](const PointStore& points) {
     const size_t n_points = points.size();
     std::vector<SlottedSet> keys(n_points);
     for (auto& key : keys) key.resize(config.h);
@@ -104,7 +104,7 @@ Result<GapPipelineResult> RunGapPipeline(
     for (size_t b : touched) match_count[b] = 0;
     if (static_cast<double>(best) < config.tau) {
       ++result.far_keys;
-      for (size_t i : owners) result.transmitted.push_back(alice[i]);
+      for (size_t i : owners) result.transmitted.push_back(alice.MakePoint(i));
     }
   }
 
@@ -119,7 +119,7 @@ Result<GapPipelineResult> RunGapPipeline(
   // Bob: S'_B = S_B ∪ T_A (parsed from the wire).
   ByteReader reader(message.buffer());
   uint64_t count = reader.GetVarint64();
-  result.s_b_prime = bob;
+  result.s_b_prime = bob.ToPointSet();
   for (uint64_t i = 0; i < count; ++i) {
     result.s_b_prime.push_back(Point::ReadFrom(&reader));
   }
@@ -129,15 +129,15 @@ Result<GapPipelineResult> RunGapPipeline(
 
 }  // namespace internal
 
-Result<GapProtocolReport> RunGapProtocol(const PointSet& alice,
-                                         const PointSet& bob,
+Result<GapProtocolReport> RunGapProtocol(const PointStore& alice,
+                                         const PointStore& bob,
                                          const GapProtocolParams& params) {
   if (alice.empty() && bob.empty()) {
     return Status::InvalidArgument("both point sets empty");
   }
   if (params.dim == 0) return Status::InvalidArgument("dim must be positive");
-  ValidatePointSet(alice, params.dim, params.delta);
-  ValidatePointSet(bob, params.dim, params.delta);
+  ValidatePointStore(alice, params.dim, params.delta);
+  ValidatePointStore(bob, params.dim, params.delta);
 
   const size_t n = std::max(alice.size(), bob.size());
 
@@ -209,6 +209,17 @@ Result<GapProtocolReport> RunGapProtocol(const PointSet& alice,
   report.reconciliation = std::move(pipeline.reconciliation);
   report.comm = std::move(pipeline.comm);
   return report;
+}
+
+Result<GapProtocolReport> RunGapProtocol(const PointSet& alice,
+                                         const PointSet& bob,
+                                         const GapProtocolParams& params) {
+  if (alice.empty() && bob.empty()) {
+    return Status::InvalidArgument("both point sets empty");
+  }
+  if (params.dim == 0) return Status::InvalidArgument("dim must be positive");
+  return RunGapProtocol(PointStore::FromPointSet(params.dim, alice),
+                        PointStore::FromPointSet(params.dim, bob), params);
 }
 
 }  // namespace rsr

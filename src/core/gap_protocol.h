@@ -15,6 +15,7 @@
 #include "core/params.h"
 #include "core/transcript.h"
 #include "geometry/point.h"
+#include "geometry/point_store.h"
 #include "setsets/reconciler.h"
 #include "util/status.h"
 
@@ -66,6 +67,12 @@ struct GapProtocolReport {
   CommStats comm;
 };
 
+Result<GapProtocolReport> RunGapProtocol(const PointStore& alice,
+                                         const PointStore& bob,
+                                         const GapProtocolParams& params);
+
+/// Compatibility adapter (one release): copies each side into a PointStore
+/// and runs the store-native protocol. Transcripts are bit-identical.
 Result<GapProtocolReport> RunGapProtocol(const PointSet& alice,
                                          const PointSet& bob,
                                          const GapProtocolParams& params);
@@ -93,7 +100,7 @@ struct GapPipelineResult {
 };
 
 Result<GapPipelineResult> RunGapPipeline(
-    const PointSet& alice, const PointSet& bob,
+    const PointStore& alice, const PointStore& bob,
     const std::vector<std::unique_ptr<LshFunction>>& functions,
     const GapPipelineConfig& config);
 

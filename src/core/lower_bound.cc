@@ -57,32 +57,38 @@ Result<IndexInstance> BuildIndexInstance(const std::vector<bool>& x,
   instance.query_index = query_index;
   instance.answer = x[query_index];
   instance.r2 = r2;
+  instance.alice = PointStore(code_bits + 1);
+  instance.bob = PointStore(code_bits + 1);
 
-  auto suffixed = [&](const BitVec& codeword, bool bit) {
-    std::vector<Coord> coords(code_bits + 1);
-    for (size_t b = 0; b < code_bits; ++b) coords[b] = codeword.Get(b) ? 1 : 0;
-    coords[code_bits] = bit ? 1 : 0;
-    return Point(std::move(coords));
+  auto append_suffixed = [&](PointStore* store, const BitVec& codeword,
+                             bool bit) {
+    Coord* row = store->AppendRow();
+    for (size_t b = 0; b < code_bits; ++b) row[b] = codeword.Get(b) ? 1 : 0;
+    row[code_bits] = bit ? 1 : 0;
   };
 
+  instance.alice.Reserve(n);
+  instance.bob.Reserve(n);
   for (size_t j = 0; j < n; ++j) {
-    instance.alice.push_back(suffixed(code[j], x[j]));
+    append_suffixed(&instance.alice, code[j], x[j]);
   }
   for (size_t j = 0; j < n; ++j) {
-    if (j != query_index) instance.bob.push_back(suffixed(code[j], false));
+    if (j != query_index) append_suffixed(&instance.bob, code[j], false);
   }
-  instance.bob.push_back(suffixed(code[n], false));
+  append_suffixed(&instance.bob, code[n], false);
   return instance;
 }
 
 Result<bool> SolveIndexFromGapOutput(const IndexInstance& instance,
                                      const PointSet& s_b_prime) {
-  const Point& target_prefix = instance.alice[instance.query_index];
+  PointRef target_prefix = instance.alice[instance.query_index];
   for (size_t i = instance.bob.size(); i < s_b_prime.size(); ++i) {
     const Point& candidate = s_b_prime[i];
     double min_dist = 1e300;
-    for (const Point& original : instance.bob) {
-      min_dist = std::min(min_dist, HammingDistance(candidate, original));
+    for (size_t j = 0; j < instance.bob.size(); ++j) {
+      min_dist = std::min(
+          min_dist, HammingDistance(candidate.coords().data(),
+                                    instance.bob.row(j), instance.dim));
     }
     if (min_dist < static_cast<double>(instance.r2)) continue;
     // Verify the code prefix matches c_i, then read the final bit.
@@ -118,16 +124,16 @@ bool OneRoundBloomIndexGuess(const IndexInstance& instance, size_t budget_bits,
     return (filter[idx / 8] >> (idx % 8)) & 1;
   };
 
-  for (const Point& p : instance.alice) {
-    uint64_t base = p.ContentHash(seed);
+  for (size_t i = 0; i < instance.alice.size(); ++i) {
+    uint64_t base = instance.alice[i].ContentHash(seed);
     for (int j = 0; j < num_hashes; ++j) {
       set_bit(HashCombine(base, static_cast<uint64_t>(j)));
     }
   }
 
   // Bob tests whether (c_i || 1) is in Alice's set.
-  Point probe = instance.alice[instance.query_index];
-  std::vector<Coord> coords = probe.coords();
+  PointRef probe = instance.alice[instance.query_index];
+  std::vector<Coord> coords(probe.data(), probe.data() + probe.dim());
   coords[instance.dim - 1] = 1;
   Point candidate(std::move(coords));
   uint64_t base = candidate.ContentHash(seed);

@@ -15,6 +15,7 @@
 
 #include "geometry/bitvec.h"
 #include "geometry/point.h"
+#include "geometry/point_store.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -28,8 +29,8 @@ Result<std::vector<BitVec>> MakeSeparatedCode(size_t count, size_t bits,
                                               int max_attempts = 64);
 
 struct IndexInstance {
-  PointSet alice;          // {c_j || x_j}
-  PointSet bob;            // {c_j || 0 : j != query} ∪ {c_{n+1} || 0}
+  PointStore alice;        // {c_j || x_j}
+  PointStore bob;          // {c_j || 0 : j != query} ∪ {c_{n+1} || 0}
   size_t query_index = 0;  // i
   bool answer = false;     // x_i
   size_t dim = 0;          // d = code bits + 1

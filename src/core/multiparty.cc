@@ -11,14 +11,14 @@
 namespace rsr {
 
 Result<MultiPartyReport> RunMultiPartyUnion(
-    const std::vector<PointSet>& parties, const MultiPartyParams& params) {
+    const std::vector<PointStore>& parties, const MultiPartyParams& params) {
   const size_t s = parties.size();
   if (s < 2) return Status::InvalidArgument("need at least two parties");
   if (params.dim == 0 || params.delta < 1 || params.sketch_cells == 0) {
     return Status::InvalidArgument("dim, delta, sketch_cells required");
   }
-  for (const PointSet& set : parties) {
-    ValidatePointSet(set, params.dim, params.delta);
+  for (const PointStore& set : parties) {
+    ValidatePointStore(set, params.dim, params.delta);
   }
 
   RibltParams sketch_params;
@@ -32,7 +32,7 @@ Result<MultiPartyReport> RunMultiPartyUnion(
   // Parties are independent, so construction shards across threads; the
   // broadcasts are serialized afterwards in party order, keeping the
   // transcript identical to the sequential build.
-  std::vector<PointSet> deduped(s);
+  std::vector<PointStore> deduped(s);
   std::vector<Riblt> sketches;
   sketches.reserve(s);
   for (size_t i = 0; i < s; ++i) sketches.emplace_back(sketch_params);
@@ -41,12 +41,9 @@ Result<MultiPartyReport> RunMultiPartyUnion(
   ParallelShards(s, params.num_threads, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       deduped[i] = parties[i];
-      std::sort(deduped[i].begin(), deduped[i].end());
-      deduped[i].erase(std::unique(deduped[i].begin(), deduped[i].end()),
-                       deduped[i].end());
+      deduped[i].SortLexAndDedup();
       std::vector<uint64_t> party_keys(deduped[i].size());
-      ContentHashMany(deduped[i].data(), deduped[i].size(), params.seed,
-                      party_keys.data());
+      deduped[i].ContentHashMany(params.seed, party_keys.data());
       sketches[i].InsertMany(party_keys, deduped[i]);
       ByteWriter writer;
       sketches[i].WriteTo(&writer);
@@ -93,7 +90,7 @@ Result<MultiPartyReport> RunMultiPartyUnion(
           break;
         }
       }
-      report.final_sets[i] = deduped[i];
+      report.final_sets[i] = deduped[i].ToPointSet();
       if (!parse_ok) continue;
       Status scaled =
           combined.AddScaled(sketches[i], -static_cast<int64_t>(s));
@@ -129,6 +126,16 @@ Result<MultiPartyReport> RunMultiPartyUnion(
     if (!ok[i]) report.all_ok = false;
   }
   return report;
+}
+
+Result<MultiPartyReport> RunMultiPartyUnion(
+    const std::vector<PointSet>& parties, const MultiPartyParams& params) {
+  std::vector<PointStore> stores;
+  stores.reserve(parties.size());
+  for (const PointSet& set : parties) {
+    stores.push_back(PointStore::FromPointSet(set));
+  }
+  return RunMultiPartyUnion(stores, params);
 }
 
 }  // namespace rsr

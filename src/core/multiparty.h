@@ -17,6 +17,7 @@
 
 #include "core/transcript.h"
 #include "geometry/point.h"
+#include "geometry/point_store.h"
 #include "util/status.h"
 
 namespace rsr {
@@ -50,7 +51,11 @@ struct MultiPartyReport {
 };
 
 /// Runs the one-round broadcast protocol. Within-party duplicate points are
-/// treated as a single copy (set semantics).
+/// treated as a single copy (set semantics). The store form dedupes, hashes,
+/// and inserts straight from each party's arena; the PointSet form is the
+/// legacy adapter (bit-identical broadcasts).
+Result<MultiPartyReport> RunMultiPartyUnion(
+    const std::vector<PointStore>& parties, const MultiPartyParams& params);
 Result<MultiPartyReport> RunMultiPartyUnion(
     const std::vector<PointSet>& parties, const MultiPartyParams& params);
 

@@ -8,12 +8,12 @@
 
 namespace rsr {
 
-NaiveReport RunNaiveFullTransfer(const PointSet& alice, const PointSet& bob,
+NaiveReport RunNaiveFullTransfer(const PointStore& alice, const PointStore& bob,
                                  bool union_mode) {
   NaiveReport report;
   ByteWriter message;
   message.PutVarint64(alice.size());
-  for (const Point& p : alice) p.WriteTo(&message);
+  alice.WriteTo(&message);
   Transcript transcript;
   transcript.Send("A->B full point set", message);
   report.comm = transcript.stats();
@@ -25,7 +25,7 @@ NaiveReport RunNaiveFullTransfer(const PointSet& alice, const PointSet& bob,
     received.push_back(Point::ReadFrom(&reader));
   }
   if (union_mode) {
-    report.s_b_prime = bob;
+    report.s_b_prime = bob.ToPointSet();
     for (auto& p : received) report.s_b_prime.push_back(std::move(p));
   } else {
     report.s_b_prime = std::move(received);
@@ -33,14 +33,20 @@ NaiveReport RunNaiveFullTransfer(const PointSet& alice, const PointSet& bob,
   return report;
 }
 
+NaiveReport RunNaiveFullTransfer(const PointSet& alice, const PointSet& bob,
+                                 bool union_mode) {
+  return RunNaiveFullTransfer(PointStore::FromPointSet(alice),
+                              PointStore::FromPointSet(bob), union_mode);
+}
+
 namespace {
 
-/// Packs p into out (dim*8 bytes, little-endian); the caller reuses one
-/// buffer across the whole insert/delete loop so the sketch hot path stays
-/// allocation-free.
-void PackPointInto(const Point& p, uint8_t* out) {
-  for (size_t j = 0; j < p.dim(); ++j) {
-    uint64_t v = static_cast<uint64_t>(p[j]);
+/// Packs row (dim coordinates) into out (dim*8 bytes, little-endian); the
+/// caller reuses one buffer across the whole insert/delete loop so the
+/// sketch hot path stays allocation-free.
+void PackRowInto(const Coord* row, size_t dim, uint8_t* out) {
+  for (size_t j = 0; j < dim; ++j) {
+    uint64_t v = static_cast<uint64_t>(row[j]);
     for (int b = 0; b < 8; ++b) {
       out[j * 8 + b] = static_cast<uint8_t>(v >> (8 * b));
     }
@@ -59,26 +65,27 @@ Point UnpackPoint(const std::vector<uint8_t>& bytes, size_t dim) {
   return Point(std::move(coords));
 }
 
-/// Occurrence-salted content keys (canonical order: lexicographic).
-std::vector<uint64_t> SaltedPointKeys(PointSet points, uint64_t seed,
-                                      std::vector<Point>* sorted_out) {
-  std::sort(points.begin(), points.end());
-  std::vector<uint64_t> keys(points.size());
-  // Content hashes in one batch, then occurrence-salt the duplicate runs.
-  ContentHashMany(points.data(), points.size(), seed, keys.data());
+/// Occurrence-salted content keys (canonical order: lexicographic). The
+/// sorted copy lands in *sorted_out; key derivation is one arena pass.
+std::vector<uint64_t> SaltedStoreKeys(const PointStore& points, uint64_t seed,
+                                      PointStore* sorted_out) {
+  PointStore sorted = points;
+  sorted.SortLex();
+  std::vector<uint64_t> keys(sorted.size());
+  sorted.ContentHashMany(seed, keys.data());
   size_t run_start = 0;
-  for (size_t i = 0; i < points.size(); ++i) {
-    if (i > 0 && points[i] != points[i - 1]) run_start = i;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0 && sorted[i] != sorted[i - 1]) run_start = i;
     keys[i] = HashCombine(keys[i], static_cast<uint64_t>(i - run_start));
   }
-  if (sorted_out != nullptr) *sorted_out = std::move(points);
+  *sorted_out = std::move(sorted);
   return keys;
 }
 
 }  // namespace
 
 Result<ExactReconReport> RunExactIbltReconciliation(
-    const PointSet& alice, const PointSet& bob,
+    const PointStore& alice, const PointStore& bob,
     const ExactReconParams& params) {
   if (alice.empty() && bob.empty()) {
     return Status::InvalidArgument("both point sets empty");
@@ -94,14 +101,16 @@ Result<ExactReconReport> RunExactIbltReconciliation(
   iblt_params.value_size = params.dim * 8;
   iblt_params.seed = params.seed;
 
-  PointSet alice_sorted;
+  RSR_CHECK(alice.empty() || alice.dim() == params.dim);
+  RSR_CHECK(bob.empty() || bob.dim() == params.dim);
+
+  PointStore alice_sorted;
   std::vector<uint64_t> alice_keys =
-      SaltedPointKeys(alice, params.seed, &alice_sorted);
+      SaltedStoreKeys(alice, params.seed, &alice_sorted);
   Iblt table(iblt_params);
   std::vector<uint8_t> packed(iblt_params.value_size);
   for (size_t i = 0; i < alice_sorted.size(); ++i) {
-    RSR_CHECK_EQ(alice_sorted[i].dim() * 8, packed.size());
-    PackPointInto(alice_sorted[i], packed.data());
+    PackRowInto(alice_sorted.row(i), params.dim, packed.data());
     table.Update(alice_keys[i], packed.data(), +1);
   }
   ByteWriter message;
@@ -112,13 +121,12 @@ Result<ExactReconReport> RunExactIbltReconciliation(
 
   ByteReader reader(message.buffer());
   RSR_ASSIGN_OR_RETURN(Iblt received, Iblt::ReadFrom(&reader, iblt_params));
-  PointSet bob_sorted;
+  PointStore bob_sorted;
   std::vector<uint64_t> bob_keys =
-      SaltedPointKeys(bob, params.seed, &bob_sorted);
+      SaltedStoreKeys(bob, params.seed, &bob_sorted);
   std::unordered_map<uint64_t, size_t> bob_key_to_index;
   for (size_t i = 0; i < bob_sorted.size(); ++i) {
-    RSR_CHECK_EQ(bob_sorted[i].dim() * 8, packed.size());
-    PackPointInto(bob_sorted[i], packed.data());
+    PackRowInto(bob_sorted.row(i), params.dim, packed.data());
     received.Update(bob_keys[i], packed.data(), -1);
     bob_key_to_index[bob_keys[i]] = i;
   }
@@ -143,10 +151,17 @@ Result<ExactReconReport> RunExactIbltReconciliation(
     }
   }
   for (size_t i = 0; i < bob_sorted.size(); ++i) {
-    if (!removed[i]) report.s_b_prime.push_back(bob_sorted[i]);
+    if (!removed[i]) report.s_b_prime.push_back(bob_sorted.MakePoint(i));
   }
   for (auto& p : additions) report.s_b_prime.push_back(std::move(p));
   return report;
+}
+
+Result<ExactReconReport> RunExactIbltReconciliation(
+    const PointSet& alice, const PointSet& bob,
+    const ExactReconParams& params) {
+  return RunExactIbltReconciliation(PointStore::FromPointSet(alice),
+                                    PointStore::FromPointSet(bob), params);
 }
 
 }  // namespace rsr

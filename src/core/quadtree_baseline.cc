@@ -36,7 +36,7 @@ std::vector<uint64_t> UnpackCells(const std::vector<uint8_t>& bytes,
 }  // namespace
 
 Result<QuadtreeEmdReport> RunQuadtreeEmdProtocol(
-    const PointSet& alice, const PointSet& bob,
+    const PointStore& alice, const PointStore& bob,
     const QuadtreeEmdParams& params) {
   if (alice.size() != bob.size() || alice.empty()) {
     return Status::InvalidArgument("|S_A| must equal |S_B| and be positive");
@@ -44,8 +44,8 @@ Result<QuadtreeEmdReport> RunQuadtreeEmdProtocol(
   if (params.dim == 0 || params.delta < 1) {
     return Status::InvalidArgument("dim and delta must be positive");
   }
-  ValidatePointSet(alice, params.dim, params.delta);
-  ValidatePointSet(bob, params.dim, params.delta);
+  ValidatePointStore(alice, params.dim, params.delta);
+  ValidatePointStore(bob, params.dim, params.delta);
   const size_t n = alice.size();
   const size_t max_diff =
       params.max_diff_entries > 0 ? params.max_diff_entries : 4 * params.k;
@@ -62,23 +62,23 @@ Result<QuadtreeEmdReport> RunQuadtreeEmdProtocol(
   std::vector<Coord> shift(params.dim);
   for (auto& s : shift) s = shared.UniformInt(0, params.delta);
 
-  auto cells_at_level = [&](const Point& p, size_t level) {
+  auto cells_at_level = [&](const Coord* row, size_t level) {
     std::vector<uint64_t> cells(params.dim);
     for (size_t j = 0; j < params.dim; ++j) {
-      cells[j] = static_cast<uint64_t>(p[j] + shift[j]) >> level;
+      cells[j] = static_cast<uint64_t>(row[j] + shift[j]) >> level;
     }
     return cells;
   };
 
   // Occurrence-salted key per (level, cell vector): the i-th of a party's
   // points in the same cell uses salt i, so shared copies cancel.
-  auto build_keys = [&](const PointSet& points, size_t level,
+  auto build_keys = [&](const PointStore& points, size_t level,
                         std::vector<std::vector<uint64_t>>* cell_vectors) {
     std::unordered_map<uint64_t, uint32_t> occurrence;
     std::vector<uint64_t> keys(points.size());
     cell_vectors->resize(points.size());
     for (size_t i = 0; i < points.size(); ++i) {
-      std::vector<uint64_t> cells = cells_at_level(points[i], level);
+      std::vector<uint64_t> cells = cells_at_level(points.row(i), level);
       uint64_t base = HashU64Span(cells.data(), cells.size(),
                                   Mix64(params.seed + level));
       uint32_t occ = occurrence[base]++;
@@ -158,7 +158,7 @@ Result<QuadtreeEmdReport> RunQuadtreeEmdProtocol(
     std::vector<char> removed(n, 0);
     for (size_t i = 0; i < moves; ++i) removed[to_remove[i]] = 1;
     for (size_t i = 0; i < n; ++i) {
-      if (!removed[i]) report.s_b_prime.push_back(bob[i]);
+      if (!removed[i]) report.s_b_prime.push_back(bob.MakePoint(i));
     }
     for (size_t i = 0; i < moves; ++i) report.s_b_prime.push_back(to_add[i]);
     RSR_CHECK_EQ(report.s_b_prime.size(), n);
@@ -167,6 +167,20 @@ Result<QuadtreeEmdReport> RunQuadtreeEmdProtocol(
 
   report.failure = true;
   return report;
+}
+
+Result<QuadtreeEmdReport> RunQuadtreeEmdProtocol(
+    const PointSet& alice, const PointSet& bob,
+    const QuadtreeEmdParams& params) {
+  if (alice.size() != bob.size() || alice.empty()) {
+    return Status::InvalidArgument("|S_A| must equal |S_B| and be positive");
+  }
+  if (params.dim == 0 || params.delta < 1) {
+    return Status::InvalidArgument("dim and delta must be positive");
+  }
+  return RunQuadtreeEmdProtocol(PointStore::FromPointSet(params.dim, alice),
+                                PointStore::FromPointSet(params.dim, bob),
+                                params);
 }
 
 }  // namespace rsr

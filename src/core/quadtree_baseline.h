@@ -12,6 +12,7 @@
 
 #include "core/transcript.h"
 #include "geometry/point.h"
+#include "geometry/point_store.h"
 #include "util/status.h"
 
 namespace rsr {
@@ -39,6 +40,11 @@ struct QuadtreeEmdReport {
   CommStats comm;
 };
 
+Result<QuadtreeEmdReport> RunQuadtreeEmdProtocol(
+    const PointStore& alice, const PointStore& bob,
+    const QuadtreeEmdParams& params);
+
+/// Compatibility adapter (one release); transcripts are bit-identical.
 Result<QuadtreeEmdReport> RunQuadtreeEmdProtocol(
     const PointSet& alice, const PointSet& bob,
     const QuadtreeEmdParams& params);

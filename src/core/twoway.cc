@@ -4,8 +4,8 @@
 
 namespace rsr {
 
-Result<TwoWayGapReport> RunTwoWayGapProtocol(const PointSet& alice,
-                                             const PointSet& bob,
+Result<TwoWayGapReport> RunTwoWayGapProtocol(const PointStore& alice,
+                                             const PointStore& bob,
                                              const GapProtocolParams& params) {
   TwoWayGapReport report;
 
@@ -25,8 +25,20 @@ Result<TwoWayGapReport> RunTwoWayGapProtocol(const PointSet& alice,
   return report;
 }
 
+Result<TwoWayGapReport> RunTwoWayGapProtocol(const PointSet& alice,
+                                             const PointSet& bob,
+                                             const GapProtocolParams& params) {
+  if (alice.empty() && bob.empty()) {
+    return Status::InvalidArgument("both point sets empty");
+  }
+  if (params.dim == 0) return Status::InvalidArgument("dim must be positive");
+  return RunTwoWayGapProtocol(PointStore::FromPointSet(params.dim, alice),
+                              PointStore::FromPointSet(params.dim, bob),
+                              params);
+}
+
 Result<TwoWayEmdReport> RunTwoWayEmdProtocol(
-    const PointSet& alice, const PointSet& bob,
+    const PointStore& alice, const PointStore& bob,
     const MultiscaleEmdParams& params) {
   TwoWayEmdReport report;
 
@@ -46,6 +58,17 @@ Result<TwoWayEmdReport> RunTwoWayEmdProtocol(
   report.comm.Append(report.a_to_b.comm);
   report.comm.Append(report.b_to_a.comm);
   return report;
+}
+
+Result<TwoWayEmdReport> RunTwoWayEmdProtocol(
+    const PointSet& alice, const PointSet& bob,
+    const MultiscaleEmdParams& params) {
+  if (alice.size() != bob.size() || alice.empty()) {
+    return Status::InvalidArgument("|S_A| must equal |S_B| and be positive");
+  }
+  return RunTwoWayEmdProtocol(PointStore::FromPointSet(params.base.dim, alice),
+                              PointStore::FromPointSet(params.base.dim, bob),
+                              params);
 }
 
 }  // namespace rsr

@@ -31,6 +31,9 @@ struct TwoWayGapReport {
 
 /// Runs the Gap protocol once in each direction (independent public coins
 /// derived from the seed).
+Result<TwoWayGapReport> RunTwoWayGapProtocol(const PointStore& alice,
+                                             const PointStore& bob,
+                                             const GapProtocolParams& params);
 Result<TwoWayGapReport> RunTwoWayGapProtocol(const PointSet& alice,
                                              const PointSet& bob,
                                              const GapProtocolParams& params);
@@ -46,6 +49,9 @@ struct TwoWayEmdReport {
 };
 
 /// Runs the multiscale EMD protocol once in each direction.
+Result<TwoWayEmdReport> RunTwoWayEmdProtocol(const PointStore& alice,
+                                             const PointStore& bob,
+                                             const MultiscaleEmdParams& params);
 Result<TwoWayEmdReport> RunTwoWayEmdProtocol(const PointSet& alice,
                                              const PointSet& bob,
                                              const MultiscaleEmdParams& params);

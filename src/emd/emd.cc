@@ -4,37 +4,50 @@
 
 namespace rsr {
 
-CostMatrix DistanceMatrix(const PointSet& x, const PointSet& y,
-                          const Metric& metric) {
+PointRows::PointRows(const PointSet& points) {
+  rows_.reserve(points.size());
+  for (const Point& p : points) {
+    rows_.push_back(p.coords().data());
+    dim_ = p.dim();
+  }
+}
+
+PointRows::PointRows(const PointStore& points) {
+  rows_.reserve(points.size());
+  dim_ = points.dim();
+  for (size_t i = 0; i < points.size(); ++i) rows_.push_back(points.row(i));
+}
+
+CostMatrix DistanceMatrix(PointRows x, PointRows y, const Metric& metric) {
+  RSR_DCHECK(x.size() == 0 || y.size() == 0 || x.dim() == y.dim());
+  const size_t dim = x.size() > 0 ? x.dim() : y.dim();
   CostMatrix cost(x.size(), std::vector<double>(y.size(), 0.0));
   for (size_t i = 0; i < x.size(); ++i) {
     for (size_t j = 0; j < y.size(); ++j) {
-      cost[i][j] = metric.Distance(x[i], y[j]);
+      cost[i][j] = metric.Distance(x[i], y[j], dim);
     }
   }
   return cost;
 }
 
-double EmdExact(const PointSet& x, const PointSet& y, const Metric& metric) {
+double EmdExact(PointRows x, PointRows y, const Metric& metric) {
   RSR_CHECK_EQ(x.size(), y.size());
-  RSR_CHECK(!x.empty());
+  RSR_CHECK(x.size() > 0);
   return MinCostAssignment(DistanceMatrix(x, y, metric)).cost;
 }
 
-double EmdK(const PointSet& x, const PointSet& y, const Metric& metric,
-            size_t k) {
+double EmdK(PointRows x, PointRows y, const Metric& metric, size_t k) {
   RSR_CHECK_EQ(x.size(), y.size());
-  RSR_CHECK(!x.empty());
+  RSR_CHECK(x.size() > 0);
   RSR_CHECK_LT(k, x.size());
   PartialMatchingResult partial = MinCostPartialCosts(
       DistanceMatrix(x, y, metric));
   return partial.costs[x.size() - k];
 }
 
-std::vector<double> EmdKAll(const PointSet& x, const PointSet& y,
-                            const Metric& metric) {
+std::vector<double> EmdKAll(PointRows x, PointRows y, const Metric& metric) {
   RSR_CHECK_EQ(x.size(), y.size());
-  RSR_CHECK(!x.empty());
+  RSR_CHECK(x.size() > 0);
   PartialMatchingResult partial = MinCostPartialCosts(
       DistanceMatrix(x, y, metric));
   std::vector<double> out(x.size());

@@ -5,42 +5,59 @@
 
 namespace rsr {
 
-double HammingDistance(const Point& a, const Point& b) {
-  RSR_DCHECK(a.dim() == b.dim());
+double HammingDistance(const Coord* a, const Coord* b, size_t dim) {
   int64_t count = 0;
-  for (size_t i = 0; i < a.dim(); ++i) {
+  for (size_t i = 0; i < dim; ++i) {
     count += (a[i] != b[i]) ? 1 : 0;
   }
   return static_cast<double>(count);
 }
 
-double L1Distance(const Point& a, const Point& b) {
-  RSR_DCHECK(a.dim() == b.dim());
+double L1Distance(const Coord* a, const Coord* b, size_t dim) {
   int64_t sum = 0;
-  for (size_t i = 0; i < a.dim(); ++i) {
+  for (size_t i = 0; i < dim; ++i) {
     sum += std::llabs(a[i] - b[i]);
   }
   return static_cast<double>(sum);
 }
 
-double L2Distance(const Point& a, const Point& b) {
-  RSR_DCHECK(a.dim() == b.dim());
+double L2Distance(const Coord* a, const Coord* b, size_t dim) {
   double sum = 0.0;
-  for (size_t i = 0; i < a.dim(); ++i) {
+  for (size_t i = 0; i < dim; ++i) {
     double diff = static_cast<double>(a[i] - b[i]);
     sum += diff * diff;
   }
   return std::sqrt(sum);
 }
 
+double HammingDistance(const Point& a, const Point& b) {
+  RSR_DCHECK(a.dim() == b.dim());
+  return HammingDistance(a.coords().data(), b.coords().data(), a.dim());
+}
+
+double L1Distance(const Point& a, const Point& b) {
+  RSR_DCHECK(a.dim() == b.dim());
+  return L1Distance(a.coords().data(), b.coords().data(), a.dim());
+}
+
+double L2Distance(const Point& a, const Point& b) {
+  RSR_DCHECK(a.dim() == b.dim());
+  return L2Distance(a.coords().data(), b.coords().data(), a.dim());
+}
+
 double Metric::Distance(const Point& a, const Point& b) const {
+  RSR_DCHECK(a.dim() == b.dim());
+  return Distance(a.coords().data(), b.coords().data(), a.dim());
+}
+
+double Metric::Distance(const Coord* a, const Coord* b, size_t dim) const {
   switch (kind_) {
     case MetricKind::kHamming:
-      return HammingDistance(a, b);
+      return HammingDistance(a, b, dim);
     case MetricKind::kL1:
-      return L1Distance(a, b);
+      return L1Distance(a, b, dim);
     case MetricKind::kL2:
-      return L2Distance(a, b);
+      return L2Distance(a, b, dim);
   }
   RSR_CHECK(false);
   return 0.0;

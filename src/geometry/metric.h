@@ -10,6 +10,7 @@
 #include <string>
 
 #include "geometry/point.h"
+#include "geometry/point_store.h"
 
 namespace rsr {
 
@@ -18,6 +19,13 @@ enum class MetricKind {
   kL1,
   kL2,
 };
+
+/// Row-level distances: the shared kernels all representations delegate to.
+/// `a` and `b` point at `dim` coordinates each (a PointStore row, a Point's
+/// coordinate vector, or any strided span).
+double HammingDistance(const Coord* a, const Coord* b, size_t dim);
+double L1Distance(const Coord* a, const Coord* b, size_t dim);
+double L2Distance(const Coord* a, const Coord* b, size_t dim);
 
 double HammingDistance(const Point& a, const Point& b);
 double L1Distance(const Point& a, const Point& b);
@@ -30,6 +38,17 @@ class Metric {
 
   MetricKind kind() const { return kind_; }
   double Distance(const Point& a, const Point& b) const;
+  /// Row form: same arithmetic (and therefore bit-identical doubles) as the
+  /// Point form.
+  double Distance(const Coord* a, const Coord* b, size_t dim) const;
+  double Distance(PointRef a, PointRef b) const {
+    RSR_DCHECK(a.dim() == b.dim());
+    return Distance(a.data(), b.data(), a.dim());
+  }
+  double Distance(const Point& a, PointRef b) const {
+    RSR_DCHECK(a.dim() == b.dim());
+    return Distance(a.coords().data(), b.data(), b.dim());
+  }
 
   /// Diameter of [0,delta]^d under this metric.
   double Diameter(size_t dim, Coord delta) const;

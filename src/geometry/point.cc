@@ -2,37 +2,13 @@
 
 #include <sstream>
 
-#include "hashing/hash64.h"
-
 namespace rsr {
-
-bool Point::InDomain(Coord delta) const {
-  for (Coord c : coords_) {
-    if (c < 0 || c > delta) return false;
-  }
-  return true;
-}
-
-uint64_t Point::ContentHash(uint64_t salt) const {
-  uint64_t h = salt ^ (coords_.size() * 0x9ddfea08eb382d69ULL);
-  for (Coord c : coords_) {
-    h = HashCombine(h, static_cast<uint64_t>(c));
-  }
-  return Mix64(h);
-}
-
-void Point::WriteTo(ByteWriter* w) const {
-  w->PutVarint64(coords_.size());
-  for (Coord c : coords_) w->PutSignedVarint64(c);
-}
 
 Point Point::ReadFrom(ByteReader* r) {
   uint64_t dim = r->GetVarint64();
   // Guard against corrupt dimension values blowing up memory.
   if (dim > (1u << 24)) {
-    // Poison the reader by forcing a failed read.
-    uint8_t sink;
-    r->GetBytes(&sink, static_cast<size_t>(-1) / 2);
+    r->Invalidate();
     return Point();
   }
   std::vector<Coord> coords(static_cast<size_t>(dim));
@@ -55,18 +31,15 @@ void ContentHashMany(const Point* points, size_t n, uint64_t salt,
                      uint64_t* out) {
   for (size_t i = 0; i < n; ++i) {
     const std::vector<Coord>& coords = points[i].coords();
-    uint64_t h = salt ^ (coords.size() * 0x9ddfea08eb382d69ULL);
-    for (Coord c : coords) {
-      h = HashCombine(h, static_cast<uint64_t>(c));
-    }
-    out[i] = Mix64(h);
+    out[i] = geometry_internal::RowContentHash(coords.data(), coords.size(),
+                                               salt);
   }
 }
 
 void ValidatePointSet(const PointSet& points, size_t dim, Coord delta) {
   for (const Point& p : points) {
     RSR_CHECK_EQ(p.dim(), dim);
-    RSR_CHECK(p.InDomain(delta));
+    RSR_CHECK(geometry_internal::RowInDomain(p.coords().data(), dim, delta));
   }
 }
 

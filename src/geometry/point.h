@@ -3,6 +3,11 @@
 // Coordinates are integers in {0, ..., Delta} (inclusive), matching the
 // paper's clamping of extracted RIBLT values into [0, Delta]. Binary Hamming
 // space {0,1}^d is the special case Delta = 1.
+//
+// Point is the owning, per-point representation (one heap row each); bulk
+// data lives in the columnar PointStore (point_store.h), which shares the
+// row-level primitives below so the two representations hash, validate, and
+// serialize identically by construction.
 #ifndef RSR_GEOMETRY_POINT_H_
 #define RSR_GEOMETRY_POINT_H_
 
@@ -10,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "hashing/hash64.h"
 #include "util/logging.h"
 #include "util/serialize.h"
 
@@ -17,7 +23,40 @@ namespace rsr {
 
 using Coord = int64_t;
 
-/// An immutable-by-convention d-dimensional integer point.
+namespace geometry_internal {
+
+/// Shared row primitives: Point, PointRef, and PointStore all delegate here,
+/// so the owning and columnar representations cannot drift.
+
+/// True iff every coordinate in [row, row + n) lies in [0, delta].
+inline bool RowInDomain(const Coord* row, size_t n, Coord delta) {
+  for (size_t j = 0; j < n; ++j) {
+    if (row[j] < 0 || row[j] > delta) return false;
+  }
+  return true;
+}
+
+/// Stable 64-bit content hash of one row (shared across parties).
+inline uint64_t RowContentHash(const Coord* row, size_t dim, uint64_t salt) {
+  uint64_t h = salt ^ (dim * 0x9ddfea08eb382d69ULL);
+  for (size_t j = 0; j < dim; ++j) {
+    h = HashCombine(h, static_cast<uint64_t>(row[j]));
+  }
+  return Mix64(h);
+}
+
+/// Wire format of one point: dim as varint, then zigzag varints per
+/// coordinate.
+inline void WriteRowTo(ByteWriter* w, const Coord* row, size_t dim) {
+  w->PutVarint64(dim);
+  for (size_t j = 0; j < dim; ++j) w->PutSignedVarint64(row[j]);
+}
+
+}  // namespace geometry_internal
+
+/// An immutable d-dimensional integer point: coordinates are fixed at
+/// construction (no mutable accessors), so views into shared storage and
+/// cached derived data stay valid.
 class Point {
  public:
   Point() = default;
@@ -30,10 +69,6 @@ class Point {
     RSR_DCHECK(i < coords_.size());
     return coords_[i];
   }
-  Coord& at(size_t i) {
-    RSR_DCHECK(i < coords_.size());
-    return coords_[i];
-  }
   const std::vector<Coord>& coords() const { return coords_; }
 
   bool operator==(const Point& other) const { return coords_ == other.coords_; }
@@ -42,13 +77,21 @@ class Point {
   bool operator<(const Point& other) const { return coords_ < other.coords_; }
 
   /// True iff every coordinate lies in [0, delta].
-  bool InDomain(Coord delta) const;
+  bool InDomain(Coord delta) const {
+    return geometry_internal::RowInDomain(coords_.data(), coords_.size(),
+                                          delta);
+  }
 
   /// Stable 64-bit content hash (shared across parties).
-  uint64_t ContentHash(uint64_t salt) const;
+  uint64_t ContentHash(uint64_t salt) const {
+    return geometry_internal::RowContentHash(coords_.data(), coords_.size(),
+                                             salt);
+  }
 
   /// Serialization: dim as varint then zigzag varints per coordinate.
-  void WriteTo(ByteWriter* w) const;
+  void WriteTo(ByteWriter* w) const {
+    geometry_internal::WriteRowTo(w, coords_.data(), coords_.size());
+  }
   static Point ReadFrom(ByteReader* r);
 
   std::string ToString() const;
@@ -66,6 +109,8 @@ void ContentHashMany(const Point* points, size_t n, uint64_t salt,
                      uint64_t* out);
 
 /// CHECK-fails unless all points share dimension `dim` and lie in [0,delta]^d.
+/// Thin per-point wrapper over the same row predicate PointStore::InDomainAll
+/// uses (geometry_internal::RowInDomain), so the two validation paths agree.
 void ValidatePointSet(const PointSet& points, size_t dim, Coord delta);
 
 }  // namespace rsr

@@ -1,0 +1,204 @@
+// Columnar, arena-backed storage for fixed-dimension point sets.
+//
+// `PointSet = std::vector<Point>` gives every point its own heap-allocated
+// coordinate vector, so the protocol hot loops ("for each point: hash /
+// insert / compare") chase one pointer per point and the batched LSH
+// pipeline had to flatten coordinates into a contiguous double matrix on
+// every run. PointStore replaces that representation with two parallel
+// arenas:
+//
+//   coords : one contiguous Coord buffer, row-major (size() x dim())
+//   doubles: the same rows pre-converted to double, built lazily ONCE per
+//            store and cached (the exact matrix EvalFlatBatch consumes)
+//
+// Views (PointRef) are non-owning and cheap: a pointer into the arena plus
+// the shared dimension. They are invalidated by any mutation of the store
+// (Append/sort/dedup), exactly like iterators into a std::vector.
+//
+// Wire-format contract: WritePointTo/WriteTo/ReadFrom produce and consume
+// bytes IDENTICAL to the legacy per-`Point` format (dim varint, then one
+// zigzag varint per coordinate), so protocols that switched to stores emit
+// bit-identical transcripts (asserted by pointstore_test).
+#ifndef RSR_GEOMETRY_POINT_STORE_H_
+#define RSR_GEOMETRY_POINT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace rsr {
+
+/// Non-owning view of one row (a point) of a PointStore — or of any
+/// contiguous run of `dim` coordinates. Copyable, never allocates.
+class PointRef {
+ public:
+  PointRef(const Coord* data, size_t dim) : data_(data), dim_(dim) {}
+
+  size_t dim() const { return dim_; }
+  const Coord* data() const { return data_; }
+  Coord operator[](size_t j) const {
+    RSR_DCHECK(j < dim_);
+    return data_[j];
+  }
+
+  /// Materializes an owning Point (one allocation).
+  Point ToPoint() const {
+    return Point(std::vector<Coord>(data_, data_ + dim_));
+  }
+
+  bool operator==(const PointRef& other) const;
+  bool operator!=(const PointRef& other) const { return !(*this == other); }
+  /// Lexicographic order — identical to Point::operator<.
+  bool operator<(const PointRef& other) const;
+
+  /// True iff every coordinate lies in [0, delta]. Same predicate as
+  /// Point::InDomain (both delegate to the shared row check).
+  bool InDomain(Coord delta) const;
+
+  /// Stable 64-bit content hash; bit-identical to Point::ContentHash.
+  uint64_t ContentHash(uint64_t salt) const;
+
+  /// Serialization, byte-identical to Point::WriteTo.
+  void WriteTo(ByteWriter* w) const;
+
+  std::string ToString() const;
+
+ private:
+  const Coord* data_;
+  size_t dim_;
+};
+
+/// Fixed-dimension columnar point container.
+class PointStore {
+ public:
+  /// An empty store of unspecified dimension; usable only after assignment
+  /// or the first dimension-setting operation (AppendMany/ReadFrom).
+  PointStore() = default;
+  explicit PointStore(size_t dim) : dim_(dim) { RSR_CHECK(dim > 0); }
+
+  /// Copies transfer the coordinate arena but NOT the cached double plane
+  /// (copies are usually made to mutate — sort, dedup, append — which would
+  /// drop the cache anyway; the copy rebuilds it on first DoublePlane()).
+  /// Moves keep the plane.
+  PointStore(const PointStore& other)
+      : dim_(other.dim_), size_(other.size_), coords_(other.coords_) {}
+  PointStore& operator=(const PointStore& other) {
+    if (this != &other) {
+      dim_ = other.dim_;
+      size_ = other.size_;
+      coords_ = other.coords_;
+      doubles_.clear();
+    }
+    return *this;
+  }
+  PointStore(PointStore&&) = default;
+  PointStore& operator=(PointStore&&) = default;
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Reserve(size_t n) {
+    coords_.reserve(n * dim_);
+    if (!doubles_.empty()) doubles_.reserve(n * dim_);
+  }
+  void Clear() {
+    size_ = 0;
+    coords_.clear();
+    doubles_.clear();
+  }
+
+  /// Row views. The returned pointers/refs are invalidated by mutation.
+  PointRef operator[](size_t i) const { return PointRef(row(i), dim_); }
+  const Coord* row(size_t i) const {
+    RSR_DCHECK(i < size_);
+    return coords_.data() + i * dim_;
+  }
+  /// The whole coordinate arena, row-major size() x dim().
+  const Coord* coord_data() const { return coords_.data(); }
+
+  /// Appends one point and returns its writable row (the caller fills the
+  /// dim() slots). With capacity Reserved, appends never allocate.
+  Coord* AppendRow() {
+    RSR_DCHECK(dim_ > 0);  // a default-constructed store has no row width
+    doubles_.clear();  // invalidate the cached double plane
+    coords_.resize(coords_.size() + dim_);
+    ++size_;
+    return coords_.data() + (size_ - 1) * dim_;
+  }
+  /// `coords` must not alias this store's own arena (appending can
+  /// reallocate it); copy through a scratch buffer to duplicate a row.
+  void Append(const Coord* coords);
+  void Append(PointRef p) {
+    RSR_CHECK_EQ(p.dim(), dim_);
+    Append(p.data());
+  }
+  void Append(const Point& p) {
+    RSR_CHECK_EQ(p.dim(), dim_);
+    Append(p.coords().data());
+  }
+  /// Bulk append. A default-constructed store adopts the dimension of the
+  /// first point; a dimensioned store requires every point to match.
+  void AppendMany(const PointSet& points);
+  /// `other` must be a different store (self-append would read the arena
+  /// while growing it).
+  void AppendStore(const PointStore& other);
+
+  /// Row-major size() x dim() matrix of the coordinates converted to double
+  /// (the layout LshFunction::EvalFlatBatch consumes). Built lazily on first
+  /// use and cached until the store mutates. NOT thread-safe on the building
+  /// call: pipelines must touch it once before fanning out workers
+  /// (EvaluateAllInto does).
+  const double* DoublePlane() const;
+
+  /// out[i] = (*this)[i].ContentHash(salt); bit-identical to the per-Point
+  /// ContentHashMany.
+  void ContentHashMany(uint64_t salt, uint64_t* out) const;
+
+  /// True iff every coordinate of every row lies in [0, delta].
+  bool InDomainAll(Coord delta) const;
+
+  /// Sorts rows lexicographically — the multiset ordering is identical to
+  /// std::sort on the equivalent PointSet.
+  void SortLex();
+  /// SortLex, then removes adjacent duplicate rows (set semantics).
+  void SortLexAndDedup();
+
+  /// Conversions to/from the legacy representation.
+  Point MakePoint(size_t i) const { return (*this)[i].ToPoint(); }
+  PointSet ToPointSet() const;
+  static PointStore FromPointSet(size_t dim, const PointSet& points);
+  /// Adopts the first point's dimension; an empty set yields an empty,
+  /// dimensionless store.
+  static PointStore FromPointSet(const PointSet& points);
+
+  /// Serialization. WritePointTo emits row i exactly like Point::WriteTo;
+  /// WriteTo emits all rows back to back (callers prepend their own count,
+  /// as they did with per-Point loops). ReadFrom consumes `count` points
+  /// written in that format; dimension mismatches or corrupt bytes poison
+  /// the reader (checked by the caller's FinishAndCheckConsumed/status).
+  void WritePointTo(ByteWriter* w, size_t i) const;
+  void WriteTo(ByteWriter* w) const;
+  static PointStore ReadFrom(ByteReader* r, size_t dim, size_t count);
+
+ private:
+  size_t dim_ = 0;
+  size_t size_ = 0;
+  std::vector<Coord> coords_;
+  /// Cached double plane; empty() means "not built" (a nonempty store's
+  /// plane always has size() * dim() > 0 entries).
+  mutable std::vector<double> doubles_;
+};
+
+/// CHECK-fails unless the store has dimension `dim` and all coordinates lie
+/// in [0, delta]^d — the store-native twin of ValidatePointSet (both rest on
+/// the same row predicate, so the two paths cannot drift).
+void ValidatePointStore(const PointStore& store, size_t dim, Coord delta);
+
+}  // namespace rsr
+
+#endif  // RSR_GEOMETRY_POINT_STORE_H_

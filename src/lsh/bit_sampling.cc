@@ -32,6 +32,21 @@ class BitSamplingFunction : public LshFunction {
     }
   }
 
+  // Arena path: a strided gather straight out of the PointStore rows. Bit
+  // sampling consumes raw integer coordinates, so this (not the double
+  // plane) is its store-native batch.
+  void EvalCoordBatch(const Coord* coords, size_t n, size_t dim, uint64_t* out,
+                      size_t out_stride) const override {
+    if (index_ < 0) {
+      for (size_t i = 0; i < n; ++i) out[i * out_stride] = 0;
+      return;
+    }
+    const Coord* at = coords + static_cast<size_t>(index_);
+    for (size_t i = 0; i < n; ++i) {
+      out[i * out_stride] = static_cast<uint64_t>(at[i * dim]);
+    }
+  }
+
  private:
   int64_t index_;
 };

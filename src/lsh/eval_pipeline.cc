@@ -6,7 +6,7 @@
 
 namespace rsr {
 
-void EvaluateAllInto(const PointSet& points,
+void EvaluateAllInto(const PointStore& points,
                      const std::vector<std::unique_ptr<LshFunction>>& functions,
                      size_t num_threads, EvalMatrix* out) {
   const size_t n = points.size();
@@ -14,10 +14,15 @@ void EvaluateAllInto(const PointSet& points,
   out->Reset(n, s);
   if (n == 0 || s == 0) return;
   uint64_t* data = out->mutable_data();
-  const Point* pts = points.data();
-  const size_t dim = pts[0].dim();
+  const size_t dim = points.dim();
   // All draws come from one family, so one representative decides the path.
+  // Flat families read the store's cached double plane (no per-run flatten
+  // copy — the store converts coordinates once, the first time any pipeline
+  // asks); integer-coordinate families stream the arena directly. Both are
+  // touched here, before the fan-out, so workers only ever read.
   const bool flat = functions[0]->SupportsFlatBatch();
+  const double* plane = flat ? points.DoublePlane() : nullptr;
+  const Coord* arena = points.coord_data();
   // Block the point range so one block's matrix slice (block * s * 8 bytes,
   // ~64 KiB) and coordinate rows stay cache-resident across all s strided
   // column writes; without blocking every write of a function pass lands on
@@ -25,32 +30,33 @@ void EvaluateAllInto(const PointSet& points,
   size_t block = (size_t{1} << 13) / (s > 0 ? s : 1);
   if (block < 16) block = 16;
   ParallelShards(n, num_threads, [&](size_t begin, size_t end) {
-    // Flat path: convert the block's coordinates to one contiguous double
-    // matrix ONCE, instead of chasing every Point's heap row and
-    // re-converting int64 coordinates in each of the s function passes.
-    std::vector<double> scratch(flat ? block * dim : 0);
     for (size_t b = begin; b < end; b += block) {
       const size_t len = std::min(block, end - b);
-      if (flat) {
-        for (size_t i = 0; i < len; ++i) {
-          const Coord* c = pts[b + i].coords().data();
-          for (size_t j = 0; j < dim; ++j) {
-            scratch[i * dim + j] = static_cast<double>(c[j]);
-          }
-        }
-      }
       // Function-major within the block: one virtual call per function, with
       // its drawn parameters hoisted for the whole point range.
       for (size_t g = 0; g < s; ++g) {
         if (flat) {
-          functions[g]->EvalFlatBatch(scratch.data(), len, dim,
+          functions[g]->EvalFlatBatch(plane + b * dim, len, dim,
                                       data + b * s + g, s);
         } else {
-          functions[g]->EvalBatch(pts + b, len, data + b * s + g, s);
+          functions[g]->EvalCoordBatch(arena + b * dim, len, dim,
+                                       data + b * s + g, s);
         }
       }
     }
   });
+}
+
+void EvaluateAllInto(const PointSet& points,
+                     const std::vector<std::unique_ptr<LshFunction>>& functions,
+                     size_t num_threads, EvalMatrix* out) {
+  if (points.empty() || functions.empty()) {
+    out->Reset(points.size(), functions.size());
+    return;
+  }
+  PointStore store(points[0].dim());
+  store.AppendMany(points);
+  EvaluateAllInto(store, functions, num_threads, out);
 }
 
 }  // namespace rsr

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "geometry/point_store.h"
 #include "lsh/lsh_family.h"
 
 namespace rsr {
@@ -58,6 +59,19 @@ class EvalMatrix {
 /// boundaries depend only on the point count, and each (function, shard)
 /// writes a disjoint strided column slice, so the matrix is bit-identical
 /// for every thread count.
+///
+/// Store-native hot path: flat-capable families stream the store's cached
+/// double plane (built once per store, not per run), all others stream the
+/// raw coordinate arena via EvalCoordBatch. With a warm store and a sized
+/// matrix the whole fill performs zero per-point allocations.
+void EvaluateAllInto(const PointStore& points,
+                     const std::vector<std::unique_ptr<LshFunction>>& functions,
+                     size_t num_threads, EvalMatrix* out);
+
+/// Legacy adapter: copies the scattered Point rows into a temporary
+/// PointStore once, then runs the store pipeline. Protocol code passes
+/// stores directly; this overload exists for one release so external
+/// PointSet callers keep compiling.
 void EvaluateAllInto(const PointSet& points,
                      const std::vector<std::unique_ptr<LshFunction>>& functions,
                      size_t num_threads, EvalMatrix* out);

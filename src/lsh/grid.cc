@@ -47,6 +47,14 @@ class GridFunction : public LshFunction {
         offsets_.data(), dim, w_, salt_, out, out_stride);
   }
 
+  void EvalCoordBatch(const Coord* coords, size_t n, size_t dim, uint64_t* out,
+                      size_t out_stride) const override {
+    RSR_DCHECK(dim == offsets_.size());
+    lsh_internal::GridHashBatch(
+        [coords, dim](size_t i) { return coords + i * dim; }, n,
+        offsets_.data(), dim, w_, salt_, out, out_stride);
+  }
+
  private:
   std::vector<double> offsets_;
   double w_;

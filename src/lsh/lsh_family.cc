@@ -19,4 +19,14 @@ void LshFunction::EvalFlatBatch(const double* coords, size_t n, size_t dim,
   RSR_CHECK(false);  // only valid when SupportsFlatBatch()
 }
 
+void LshFunction::EvalCoordBatch(const Coord* coords, size_t n, size_t dim,
+                                 uint64_t* out, size_t out_stride) const {
+  // Correctness fallback (one temporary Point per row); the shipped
+  // families all override with allocation-free kernels.
+  for (size_t i = 0; i < n; ++i) {
+    Point p(std::vector<Coord>(coords + i * dim, coords + (i + 1) * dim));
+    out[i * out_stride] = Eval(p);
+  }
+}
+
 }  // namespace rsr

@@ -75,6 +75,15 @@ class LshFunction {
   /// when SupportsFlatBatch(); the default CHECK-fails.
   virtual void EvalFlatBatch(const double* coords, size_t n, size_t dim,
                              uint64_t* out, size_t out_stride) const;
+
+  /// Like EvalBatch over a row-major n x dim matrix of raw integer
+  /// coordinates (one PointStore arena: coords + i * dim is point i's row).
+  /// Every family overrides this allocation-free (the batch kernels are
+  /// templated on the row accessor); the default materializes a temporary
+  /// Point per row, which is correct for exotic families but slow. Results
+  /// are bit-identical to Eval, like every other batch path.
+  virtual void EvalCoordBatch(const Coord* coords, size_t n, size_t dim,
+                              uint64_t* out, size_t out_stride) const;
 };
 
 /// A distribution over hash functions.

@@ -47,6 +47,14 @@ class PStableFunction : public LshFunction {
         direction_.data(), dim, offset_, w_, out, out_stride);
   }
 
+  void EvalCoordBatch(const Coord* coords, size_t n, size_t dim, uint64_t* out,
+                      size_t out_stride) const override {
+    RSR_DCHECK(dim == direction_.size());
+    lsh_internal::DotCellBatch(
+        [coords, dim](size_t i) { return coords + i * dim; }, n,
+        direction_.data(), dim, offset_, w_, out, out_stride);
+  }
+
  private:
   std::vector<double> direction_;
   double offset_;

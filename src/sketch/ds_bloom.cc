@@ -64,15 +64,28 @@ void DistanceSensitiveBloomFilter::Insert(const Point& p) {
 }
 
 void DistanceSensitiveBloomFilter::InsertMany(const PointSet& points) {
+  // Thin adapter (like the protocol-level PointSet overloads): one copy
+  // into an arena, then the store-native path — so there is exactly one
+  // bank-addressing implementation to keep bit-identical to Insert.
+  if (points.empty()) return;
+  InsertMany(PointStore::FromPointSet(points));
+}
+
+void DistanceSensitiveBloomFilter::InsertMany(const PointStore& points) {
   const size_t n = points.size();
   if (n == 0) return;
+  const size_t dim = points.dim();
   std::vector<uint64_t> acc(n);
   std::vector<uint64_t> evals(n);
   for (size_t bank = 0; bank < params_.num_banks; ++bank) {
     std::fill(acc.begin(), acc.end(), mix_salts_[bank]);
     for (size_t j = 0; j < params_.hashes_per_bank; ++j) {
-      functions_[bank * params_.hashes_per_bank + j]->EvalBatch(
-          points.data(), n, evals.data(), 1);
+      const LshFunction& fn = *functions_[bank * params_.hashes_per_bank + j];
+      if (fn.SupportsFlatBatch()) {
+        fn.EvalFlatBatch(points.DoublePlane(), n, dim, evals.data(), 1);
+      } else {
+        fn.EvalCoordBatch(points.coord_data(), n, dim, evals.data(), 1);
+      }
       for (size_t i = 0; i < n; ++i) acc[i] = HashCombine(acc[i], evals[i]);
     }
     std::vector<uint8_t>& bits = banks_[bank];

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "geometry/point_store.h"
 #include "lsh/lsh_family.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -59,6 +60,10 @@ class DistanceSensitiveBloomFilter {
   /// EvalBatch over the whole set instead of a virtual call per point. Final
   /// bank contents are bit-identical to repeated Insert (bit OR commutes).
   void InsertMany(const PointSet& points);
+
+  /// Store-native batch insert: flat-capable draws stream the store's double
+  /// plane, others its coordinate arena — no per-point Point objects at all.
+  void InsertMany(const PointStore& points);
 
   /// Fraction of banks whose addressed bit is set for p.
   double VoteFraction(const Point& p) const;

@@ -133,6 +133,18 @@ void Riblt::Update(uint64_t key, const Coord* value, int direction) {
   }
 }
 
+void Riblt::UpdateMany(std::span<const uint64_t> keys, const PointStore& values,
+                       int direction) {
+  RSR_CHECK_EQ(keys.size(), values.size());
+  if (keys.empty()) return;
+  RSR_CHECK_EQ(values.dim(), params_.dim);
+  const Coord* rows = values.coord_data();
+  const size_t dim = params_.dim;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Update(keys[i], rows + i * dim, direction);
+  }
+}
+
 void Riblt::UpdateMany(std::span<const uint64_t> keys, const PointSet& values,
                        int direction) {
   RSR_CHECK_EQ(keys.size(), values.size());

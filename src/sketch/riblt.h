@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "geometry/point.h"
+#include "geometry/point_store.h"
 #include "hashing/kindependent.h"
 #include "util/fastdiv.h"
 #include "util/random.h"
@@ -98,9 +99,20 @@ class Riblt {
   void Update(uint64_t key, const Coord* value, int direction);
 
   /// Batched hot path: one key per point, whole buckets at a time (the EMD
-  /// protocol inserts every level's keyed point set in one call).
+  /// protocol inserts every level's keyed point set in one call). The
+  /// PointStore form walks the contiguous coordinate arena — no per-point
+  /// pointer chase, never allocates; the PointSet form is the legacy
+  /// adapter.
+  void UpdateMany(std::span<const uint64_t> keys, const PointStore& values,
+                  int direction);
   void UpdateMany(std::span<const uint64_t> keys, const PointSet& values,
                   int direction);
+  void InsertMany(std::span<const uint64_t> keys, const PointStore& values) {
+    UpdateMany(keys, values, +1);
+  }
+  void DeleteMany(std::span<const uint64_t> keys, const PointStore& values) {
+    UpdateMany(keys, values, -1);
+  }
   void InsertMany(std::span<const uint64_t> keys, const PointSet& values) {
     UpdateMany(keys, values, +1);
   }

@@ -74,6 +74,10 @@ class ByteReader {
   bool failed() const { return failed_; }
   size_t remaining() const { return len_ - pos_; }
 
+  /// Marks the reader failed (sticky), e.g. after caller-side validation
+  /// rejects a parsed value. All subsequent reads return zeros.
+  void Invalidate() { failed_ = true; }
+
   /// OK iff no read overran the buffer. Call after a decode sequence.
   Status status() const {
     if (failed_) return Status::Corruption("read past end of buffer");

@@ -2,38 +2,48 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace rsr {
 
-PointSet GenerateUniform(size_t n, size_t dim, Coord delta, Rng* rng) {
-  PointSet points;
-  points.reserve(n);
+void GenerateUniformInto(size_t n, size_t dim, Coord delta, Rng* rng,
+                         PointStore* out) {
+  RSR_CHECK_EQ(out->dim(), dim);
+  out->Reserve(out->size() + n);
   for (size_t i = 0; i < n; ++i) {
-    std::vector<Coord> coords(dim);
-    for (auto& c : coords) c = rng->UniformInt(0, delta);
-    points.push_back(Point(std::move(coords)));
+    Coord* row = out->AppendRow();
+    for (size_t j = 0; j < dim; ++j) row[j] = rng->UniformInt(0, delta);
   }
-  return points;
 }
 
-Point PerturbPoint(const Point& p, MetricKind metric, double radius,
-                   Coord delta, Rng* rng) {
-  std::vector<Coord> coords = p.coords();
+PointStore GenerateUniformStore(size_t n, size_t dim, Coord delta, Rng* rng) {
+  PointStore store(dim);
+  GenerateUniformInto(n, dim, delta, rng, &store);
+  return store;
+}
+
+PointSet GenerateUniform(size_t n, size_t dim, Coord delta, Rng* rng) {
+  return GenerateUniformStore(n, dim, delta, rng).ToPointSet();
+}
+
+void PerturbRowInto(const Coord* p, size_t dim, MetricKind metric,
+                    double radius, Coord delta, Rng* rng, Coord* out) {
+  std::copy(p, p + dim, out);
   switch (metric) {
     case MetricKind::kHamming: {
       // Change floor(radius) distinct coordinates to different values.
-      size_t budget = std::min<size_t>(static_cast<size_t>(radius), p.dim());
-      std::vector<size_t> indices(p.dim());
-      for (size_t i = 0; i < p.dim(); ++i) indices[i] = i;
+      size_t budget = std::min<size_t>(static_cast<size_t>(radius), dim);
+      std::vector<size_t> indices(dim);
+      for (size_t i = 0; i < dim; ++i) indices[i] = i;
       for (size_t i = 0; i < budget; ++i) {
-        size_t pick = i + static_cast<size_t>(rng->Below(p.dim() - i));
+        size_t pick = i + static_cast<size_t>(rng->Below(dim - i));
         std::swap(indices[i], indices[pick]);
         size_t j = indices[i];
-        Coord old = coords[j];
+        Coord old = out[j];
         // delta == 1: flip; otherwise draw a different value.
         Coord next = old;
         while (next == old) next = rng->UniformInt(0, delta);
-        coords[j] = next;
+        out[j] = next;
       }
       break;
     }
@@ -42,16 +52,16 @@ Point PerturbPoint(const Point& p, MetricKind metric, double radius,
       // shrink the realized distance.
       size_t budget = static_cast<size_t>(radius);
       for (size_t step = 0; step < budget; ++step) {
-        size_t j = static_cast<size_t>(rng->Below(p.dim()));
+        size_t j = static_cast<size_t>(rng->Below(dim));
         Coord dir = (rng->Next() & 1) ? 1 : -1;
-        coords[j] = std::clamp<Coord>(coords[j] + dir, 0, delta);
+        out[j] = std::clamp<Coord>(out[j] + dir, 0, delta);
       }
       break;
     }
     case MetricKind::kL2: {
       // Random direction, uniform magnitude, integer rounding; rescale until
       // the rounded offset stays within the budget.
-      std::vector<double> dir(p.dim());
+      std::vector<double> dir(dim);
       double norm = 0.0;
       for (auto& d : dir) {
         d = rng->Gaussian();
@@ -59,18 +69,18 @@ Point PerturbPoint(const Point& p, MetricKind metric, double radius,
       }
       norm = std::sqrt(std::max(norm, 1e-12));
       double magnitude = radius * rng->UniformDouble();
+      std::vector<Coord> candidate(dim);
       for (int attempt = 0; attempt < 40; ++attempt) {
-        std::vector<Coord> candidate = p.coords();
         double realized = 0.0;
-        for (size_t j = 0; j < p.dim(); ++j) {
+        for (size_t j = 0; j < dim; ++j) {
           double offset = dir[j] / norm * magnitude;
           Coord step = static_cast<Coord>(std::llround(offset));
-          candidate[j] = std::clamp<Coord>(candidate[j] + step, 0, delta);
+          candidate[j] = std::clamp<Coord>(p[j] + step, 0, delta);
           double diff = static_cast<double>(candidate[j] - p[j]);
           realized += diff * diff;
         }
         if (std::sqrt(realized) <= radius) {
-          coords = std::move(candidate);
+          std::copy(candidate.begin(), candidate.end(), out);
           break;
         }
         magnitude *= 0.8;
@@ -78,10 +88,18 @@ Point PerturbPoint(const Point& p, MetricKind metric, double radius,
       break;
     }
   }
+}
+
+Point PerturbPoint(const Point& p, MetricKind metric, double radius,
+                   Coord delta, Rng* rng) {
+  std::vector<Coord> coords(p.dim());
+  PerturbRowInto(p.coords().data(), p.dim(), metric, radius, delta, rng,
+                 coords.data());
   return Point(std::move(coords));
 }
 
-Result<NoisyPairWorkload> GenerateNoisyPair(const NoisyPairConfig& config) {
+Result<NoisyPairStoreWorkload> GenerateNoisyPairStore(
+    const NoisyPairConfig& config) {
   if (config.dim == 0 || config.delta < 1 || config.n == 0) {
     return Status::InvalidArgument("dim, delta, n must be positive");
   }
@@ -90,38 +108,48 @@ Result<NoisyPairWorkload> GenerateNoisyPair(const NoisyPairConfig& config) {
   }
   Rng rng(config.seed);
   Metric metric(config.metric);
+  const size_t dim = config.dim;
 
-  NoisyPairWorkload workload;
+  NoisyPairStoreWorkload workload;
+  workload.alice = PointStore(dim);
+  workload.bob = PointStore(dim);
+  workload.ground = PointStore(dim);
+  workload.alice_outliers = PointStore(dim);
+  workload.bob_outliers = PointStore(dim);
+
   size_t ground_size = config.n - config.outliers;
-  workload.ground = GenerateUniform(ground_size, config.dim, config.delta,
-                                    &rng);
-  for (const Point& g : workload.ground) {
-    workload.alice.push_back(
-        PerturbPoint(g, config.metric, config.noise, config.delta, &rng));
-    workload.bob.push_back(
-        PerturbPoint(g, config.metric, config.noise, config.delta, &rng));
+  GenerateUniformInto(ground_size, dim, config.delta, &rng, &workload.ground);
+  workload.alice.Reserve(config.n);
+  workload.bob.Reserve(config.n);
+  for (size_t i = 0; i < ground_size; ++i) {
+    PerturbRowInto(workload.ground.row(i), dim, config.metric, config.noise,
+                   config.delta, &rng, workload.alice.AppendRow());
+    PerturbRowInto(workload.ground.row(i), dim, config.metric, config.noise,
+                   config.delta, &rng, workload.bob.AppendRow());
   }
 
-  auto place_outlier = [&](PointSet* target_list) -> Status {
+  PointStore scratch(dim);
+  auto place_outlier = [&](PointStore* target_list) -> Status {
     for (int tries = 0; tries < 4000; ++tries) {
-      Point candidate =
-          GenerateUniform(1, config.dim, config.delta, &rng)[0];
+      scratch.Clear();
+      GenerateUniformInto(1, dim, config.delta, &rng, &scratch);
+      const Coord* candidate = scratch.row(0);
       if (config.outlier_dist > 0) {
-        bool far_enough = true;
-        auto check = [&](const PointSet& others) {
-          for (const Point& o : others) {
-            if (metric.Distance(candidate, o) < config.outlier_dist) {
+        auto check = [&](const PointStore& others) {
+          for (size_t i = 0; i < others.size(); ++i) {
+            if (metric.Distance(candidate, others.row(i), dim) <
+                config.outlier_dist) {
               return false;
             }
           }
           return true;
         };
-        far_enough = check(workload.alice) && check(workload.bob) &&
-                     check(workload.alice_outliers) &&
-                     check(workload.bob_outliers);
+        bool far_enough = check(workload.alice) && check(workload.bob) &&
+                          check(workload.alice_outliers) &&
+                          check(workload.bob_outliers);
         if (!far_enough) continue;
       }
-      target_list->push_back(std::move(candidate));
+      target_list->Append(candidate);
       return Status::OK();
     }
     return Status::OutOfRange(
@@ -132,30 +160,46 @@ Result<NoisyPairWorkload> GenerateNoisyPair(const NoisyPairConfig& config) {
     RSR_RETURN_NOT_OK(place_outlier(&workload.alice_outliers));
     RSR_RETURN_NOT_OK(place_outlier(&workload.bob_outliers));
   }
-  for (const Point& p : workload.alice_outliers) workload.alice.push_back(p);
-  for (const Point& p : workload.bob_outliers) workload.bob.push_back(p);
+  workload.alice.AppendStore(workload.alice_outliers);
+  workload.bob.AppendStore(workload.bob_outliers);
   return workload;
 }
 
-PointSet GenerateClusters(const ClusterConfig& config) {
+Result<NoisyPairWorkload> GenerateNoisyPair(const NoisyPairConfig& config) {
+  RSR_ASSIGN_OR_RETURN(NoisyPairStoreWorkload stores,
+                       GenerateNoisyPairStore(config));
+  NoisyPairWorkload workload;
+  workload.alice = stores.alice.ToPointSet();
+  workload.bob = stores.bob.ToPointSet();
+  workload.ground = stores.ground.ToPointSet();
+  workload.alice_outliers = stores.alice_outliers.ToPointSet();
+  workload.bob_outliers = stores.bob_outliers.ToPointSet();
+  return workload;
+}
+
+PointStore GenerateClustersStore(const ClusterConfig& config) {
   Rng rng(config.seed);
-  PointSet centers = GenerateUniform(config.num_clusters, config.dim,
-                                     config.delta, &rng);
-  PointSet points;
-  points.reserve(config.num_clusters * config.points_per_cluster);
-  for (const Point& center : centers) {
+  PointStore centers = GenerateUniformStore(config.num_clusters, config.dim,
+                                            config.delta, &rng);
+  PointStore points(config.dim);
+  points.Reserve(config.num_clusters * config.points_per_cluster);
+  for (size_t c = 0; c < centers.size(); ++c) {
+    const Coord* center = centers.row(c);
     for (size_t i = 0; i < config.points_per_cluster; ++i) {
-      std::vector<Coord> coords(config.dim);
+      Coord* row = points.AppendRow();
       for (size_t j = 0; j < config.dim; ++j) {
         double offset = rng.Gaussian() * config.spread;
-        coords[j] = std::clamp<Coord>(
+        row[j] = std::clamp<Coord>(
             center[j] + static_cast<Coord>(std::llround(offset)), 0,
             config.delta);
       }
-      points.push_back(Point(std::move(coords)));
     }
   }
   return points;
+}
+
+PointSet GenerateClusters(const ClusterConfig& config) {
+  return GenerateClustersStore(config).ToPointSet();
 }
 
 }  // namespace rsr

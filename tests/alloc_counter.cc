@@ -1,0 +1,33 @@
+#include "alloc_counter.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<long long> g_allocations{0};
+
+}  // namespace
+
+namespace rsr {
+namespace testing {
+
+long long AllocationCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace testing
+}  // namespace rsr
+
+// Counting overrides: delegate to malloc/free, count every allocation.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }

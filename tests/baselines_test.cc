@@ -249,9 +249,11 @@ TEST(LowerBoundTest, InstanceShapeMatchesReduction) {
   EXPECT_EQ(instance->dim, 129u);
   EXPECT_TRUE(instance->answer);
   // Alice's queried point is >= r2 from all of Bob's points.
-  const Point& queried = instance->alice[2];
-  for (const Point& b : instance->bob) {
-    EXPECT_GE(HammingDistance(queried, b), 16.0);
+  PointRef queried = instance->alice[2];
+  for (size_t j = 0; j < instance->bob.size(); ++j) {
+    EXPECT_GE(HammingDistance(queried.data(), instance->bob.row(j),
+                              instance->dim),
+              16.0);
   }
 }
 

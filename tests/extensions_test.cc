@@ -241,8 +241,9 @@ TEST_F(DsBloomTest, AmplificationSharpensSeparation) {
   Point p = GenerateUniform(1, 64, 1, &rng)[0];
   f1.Insert(p);
   f2.Insert(p);
-  Point far = p;
-  for (size_t i = 0; i < 40; ++i) far.at(i) = 1 - far[i];
+  std::vector<Coord> far_coords = p.coords();
+  for (size_t i = 0; i < 40; ++i) far_coords[i] = 1 - far_coords[i];
+  Point far(std::move(far_coords));
   EXPECT_LE(f2.VoteFraction(far), f1.VoteFraction(far));
   EXPECT_LT(f2.threshold(), f1.threshold());
 }

@@ -202,6 +202,70 @@ TEST(IntegrationTest, TranscriptBytesArePositiveAndAdditive) {
   EXPECT_EQ(report->comm.total_bits(), 8 * sum);
 }
 
+TEST(IntegrationTest, StoreWorkloadDrivesWholePipelineIdentically) {
+  // End-to-end representation identity: generate the workload as stores,
+  // run the multiscale EMD and Gap protocols (threads 1 and 8), and verify
+  // every transcript byte and output point matches the legacy PointSet
+  // path. The columnar arena must be invisible on the wire.
+  NoisyPairConfig config;
+  config.metric = MetricKind::kL2;
+  config.dim = 3;
+  config.delta = 511;
+  config.n = 48;
+  config.outliers = 2;
+  config.noise = 2.0;
+  config.outlier_dist = 120;
+  config.seed = 424242;
+  auto stores = GenerateNoisyPairStore(config);
+  auto sets = GenerateNoisyPair(config);
+  ASSERT_TRUE(stores.ok());
+  ASSERT_TRUE(sets.ok());
+  ASSERT_EQ(stores->alice.ToPointSet(), sets->alice);
+  ASSERT_EQ(stores->bob.ToPointSet(), sets->bob);
+
+  for (size_t threads : {size_t{1}, size_t{8}}) {
+    MultiscaleEmdParams emd;
+    emd.base.metric = MetricKind::kL2;
+    emd.base.dim = 3;
+    emd.base.delta = 511;
+    emd.base.k = 2;
+    emd.base.seed = 99;
+    emd.base.num_threads = threads;
+    emd.interval_ratio = 4.0;
+    auto emd_stores = RunMultiscaleEmdProtocol(stores->alice, stores->bob,
+                                               emd);
+    auto emd_sets = RunMultiscaleEmdProtocol(sets->alice, sets->bob, emd);
+    ASSERT_TRUE(emd_stores.ok());
+    ASSERT_TRUE(emd_sets.ok());
+    EXPECT_EQ(emd_stores->failure, emd_sets->failure);
+    EXPECT_EQ(emd_stores->chosen_interval, emd_sets->chosen_interval);
+    EXPECT_EQ(emd_stores->s_b_prime, emd_sets->s_b_prime);
+    EXPECT_EQ(emd_stores->comm.total_bytes(), emd_sets->comm.total_bytes());
+
+    GapProtocolParams gap;
+    gap.metric = MetricKind::kL2;
+    gap.dim = 3;
+    gap.delta = 511;
+    gap.r1 = 4;
+    gap.r2 = 100;
+    gap.k = 2;
+    gap.seed = 888;
+    gap.num_threads = threads;
+    auto gap_stores = RunGapProtocol(stores->alice, stores->bob, gap);
+    auto gap_sets = RunGapProtocol(sets->alice, sets->bob, gap);
+    ASSERT_TRUE(gap_stores.ok());
+    ASSERT_TRUE(gap_sets.ok());
+    EXPECT_EQ(gap_stores->s_b_prime, gap_sets->s_b_prime);
+    EXPECT_EQ(gap_stores->transmitted, gap_sets->transmitted);
+    EXPECT_EQ(gap_stores->comm.total_bytes(), gap_sets->comm.total_bytes());
+  }
+
+  // The evaluation oracles read either representation identically.
+  Metric metric(MetricKind::kL2);
+  EXPECT_EQ(EmdK(stores->alice, stores->bob, metric, 2),
+            EmdK(sets->alice, sets->bob, metric, 2));
+}
+
 TEST(IntegrationTest, FullyDeterministicAcrossModules) {
   NoisyPairConfig config;
   config.metric = MetricKind::kHamming;

@@ -197,8 +197,9 @@ TEST(RibltTest, MixedCancellationWithNoise) {
   PointSet base = GenerateUniform(n, 2, 99, &rng);
   for (size_t i = 0; i < n; ++i) {
     table.Insert(100 + i, base[i]);
-    Point noisy = base[i];
-    noisy.at(0) = std::min<Coord>(noisy[0] + 1, 100);
+    std::vector<Coord> noisy_coords = base[i].coords();
+    noisy_coords[0] = std::min<Coord>(noisy_coords[0] + 1, 100);
+    Point noisy(std::move(noisy_coords));
     table.Delete(100 + i, noisy);
   }
   table.Insert(5000, P({1, 2}));   // Alice-only

@@ -7,43 +7,25 @@
 //
 // Also covers the decode-completeness semantics the hot path must preserve:
 // residual value XORs with zeroed counts/keys must report complete = false.
-#include <atomic>
-#include <cstdlib>
-#include <new>
+//
+// The global operator new/delete counting overrides live in alloc_counter.cc
+// (one definition for the whole combined test binary; pointstore_test reads
+// the same counter).
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "alloc_counter.h"
 #include "sketch/iblt.h"
 #include "sketch/riblt.h"
 #include "sketch/strata.h"
 #include "util/random.h"
 #include "workload/generators.h"
 
-namespace {
-
-std::atomic<long long> g_allocations{0};
-
-long long AllocationCount() {
-  return g_allocations.load(std::memory_order_relaxed);
-}
-
-}  // namespace
-
-// Counting overrides: delegate to malloc/free, count every allocation.
-void* operator new(std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-
 namespace rsr {
 namespace {
+
+using ::rsr::testing::AllocationCount;
 
 TEST(SketchHotPathTest, IbltUpdateDoesNotAllocate) {
   IbltParams params;
