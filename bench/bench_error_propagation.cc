@@ -64,9 +64,10 @@ void Run() {
         if (!result.ok()) continue;
         ++decoded;
         double contaminated = 0;
-        for (const auto& pair : result->inserted) {
-          contaminated += std::abs(static_cast<double>(pair.value[0] - kBase)) /
-                          static_cast<double>(kError);
+        for (size_t i = 0; i < result->inserted.size(); ++i) {
+          contaminated +=
+              std::abs(static_cast<double>(result->inserted[i][0] - kBase)) /
+              static_cast<double>(kError);
         }
         contamination.push_back(contaminated);
       }

@@ -163,7 +163,10 @@ BENCHMARK(BM_PairwisePrefixesScalar);
 void BM_EvaluateAll(benchmark::State& state) {
   // The EMD protocol's point-hashing stage: n=4096 points x s=64 MLSH draws
   // (2-stable family, the bench_emd_l2 configuration) via the batch
-  // pipeline. Time is per full matrix; items/sec counts (point, draw) pairs.
+  // pipeline, fed from a scattered PointSet. The per-iteration copy into a
+  // fresh arena reproduces what the retired EvaluateAllInto(PointSet)
+  // adapter paid, so the BM_StoreEvaluateAll comparison stays meaningful.
+  // Time is per full matrix; items/sec counts (point, draw) pairs.
   Rng rng(16);
   std::unique_ptr<MlshFamily> family = MakeMlshFamily(MetricKind::kL2, 8, 32.0);
   Rng draw_rng(17);
@@ -172,7 +175,9 @@ void BM_EvaluateAll(benchmark::State& state) {
   PointSet points = GenerateUniform(4096, 8, 1023, &rng);
   EvalMatrix matrix;
   for (auto _ : state) {
-    EvaluateAllInto(points, draws, /*num_threads=*/1, &matrix);
+    PointStore store(8);
+    store.AppendMany(points);
+    EvaluateAllInto(store, draws, /*num_threads=*/1, &matrix);
     benchmark::DoNotOptimize(matrix.data());
     benchmark::ClobberMemory();
   }
@@ -360,6 +365,9 @@ void BM_RibltInsert(benchmark::State& state) {
 BENCHMARK(BM_RibltInsert);
 
 void BM_RibltDecode(benchmark::State& state) {
+  // Convenience-wrapper decode: a fresh RibltDecodeResult per call, so every
+  // iteration pays the result's arena/key-vector allocations. Baseline for
+  // BM_RibltDecodeStore.
   RibltParams params;
   params.num_cells = 288;
   params.dim = 8;
@@ -376,6 +384,30 @@ void BM_RibltDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RibltDecode);
+
+void BM_RibltDecodeStore(benchmark::State& state) {
+  // Store-native decode on a reused result (the EMD protocol's per-level
+  // loop): after the first call the arenas and key vectors are warm, so the
+  // whole peel runs with zero heap allocations. Same table/coins as
+  // BM_RibltDecode; the delta against it is pure allocation cost.
+  RibltParams params;
+  params.num_cells = 288;
+  params.dim = 8;
+  params.delta = 1023;
+  params.seed = 11;
+  Riblt table(params);
+  Rng rng(12);
+  for (int i = 0; i < 16; ++i) {
+    table.Insert(rng.Next(), GenerateUniform(1, 8, 1023, &rng)[0]);
+  }
+  RibltDecodeResult result;
+  for (auto _ : state) {
+    Rng decode_rng(13);
+    benchmark::DoNotOptimize(table.DecodeInto(64, 32, &decode_rng, &result));
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_RibltDecodeStore);
 
 void BM_EmdExact(benchmark::State& state) {
   Rng rng(14);

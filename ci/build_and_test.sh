@@ -9,6 +9,10 @@
 #                 FAIL LOUDLY if google-benchmark is missing (a requested
 #                 bench build must never silently skip bench_micro — that
 #                 would let a perf PR land with no numbers).
+#   RSR_WERROR=1  (default) configure with -DRSR_WERROR=ON so every warning
+#                 is an error; API sweeps cannot leave unused parameters or
+#                 dead overload remnants behind. Set RSR_WERROR=0 to relax
+#                 (e.g. when bisecting with an older toolchain).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,9 +21,13 @@ BENCH_FLAGS=()
 if [[ "${RSR_BENCH:-0}" == "1" ]]; then
   BENCH_FLAGS=(-DRSR_BUILD_BENCH=ON -DRSR_REQUIRE_BENCHMARK=ON)
 fi
+WERROR_FLAGS=(-DRSR_WERROR=ON)
+if [[ "${RSR_WERROR:-1}" == "0" ]]; then
+  WERROR_FLAGS=(-DRSR_WERROR=OFF)
+fi
 
 echo "==== Release build + tests (tier-1 verify) ===="
-cmake -B build -S . ${BENCH_FLAGS[@]+"${BENCH_FLAGS[@]}"}
+cmake -B build -S . "${WERROR_FLAGS[@]}" ${BENCH_FLAGS[@]+"${BENCH_FLAGS[@]}"}
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
@@ -30,7 +38,8 @@ if [[ "${RSR_BENCH:-0}" == "1" && ! -x build/bench_micro ]]; then
 fi
 
 echo "==== Debug + ASan/UBSan build + tests ===="
-cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DRSR_SANITIZE=ON
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DRSR_SANITIZE=ON \
+  "${WERROR_FLAGS[@]}"
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j
 

@@ -65,15 +65,4 @@ Result<MultiscaleEmdReport> RunMultiscaleEmdProtocol(
   return report;
 }
 
-Result<MultiscaleEmdReport> RunMultiscaleEmdProtocol(
-    const PointSet& alice, const PointSet& bob,
-    const MultiscaleEmdParams& params) {
-  if (alice.size() != bob.size() || alice.empty()) {
-    return Status::InvalidArgument("|S_A| must equal |S_B| and be positive");
-  }
-  return RunMultiscaleEmdProtocol(
-      PointStore::FromPointSet(params.base.dim, alice),
-      PointStore::FromPointSet(params.base.dim, bob), params);
-}
-
 }  // namespace rsr

@@ -32,12 +32,6 @@ Result<MultiscaleEmdReport> RunMultiscaleEmdProtocol(
     const PointStore& alice, const PointStore& bob,
     const MultiscaleEmdParams& params);
 
-/// Compatibility adapter (one release): copies into stores once, so the
-/// per-interval Algorithm 1 runs all share one arena + double plane.
-Result<MultiscaleEmdReport> RunMultiscaleEmdProtocol(
-    const PointSet& alice, const PointSet& bob,
-    const MultiscaleEmdParams& params);
-
 }  // namespace rsr
 
 #endif  // RSR_CORE_EMD_MULTISCALE_H_

@@ -126,6 +126,7 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
   const size_t max_per_side = 2 * params.k;
   size_t decoded_level = 0;
   RibltDecodeResult best;
+  RibltDecodeResult decoded;  // reused across levels: one warm arena pair
   std::vector<Riblt> received;
   received.reserve(derived.levels);
   for (size_t level = 1; level <= derived.levels; ++level) {
@@ -149,19 +150,20 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
 
   for (size_t level = derived.levels; level >= 1; --level) {
     Riblt& table = received[level - 1];
-    Result<RibltDecodeResult> decoded =
-        table.Decode(max_pairs, max_per_side, &bob_coins);
+    Status decode_status =
+        table.DecodeInto(max_pairs, max_per_side, &bob_coins, &decoded);
     EmdLevelOutcome& outcome = report.levels[level - 1];
-    if (decoded.ok()) {
+    if (decode_status.ok()) {
       outcome.decoded = true;
-      outcome.pairs_alice = decoded->inserted.size();
-      outcome.pairs_bob = decoded->deleted.size();
+      outcome.pairs_alice = decoded.inserted.size();
+      outcome.pairs_bob = decoded.deleted.size();
       if (decoded_level == 0) {
         decoded_level = level;
-        best = std::move(*decoded);
+        best = std::move(decoded);
         // Coarser levels are not needed; keep scanning only to fill
         // diagnostics cheaply? Decoding coarser levels costs little and the
-        // outcomes are useful to benches, so continue.
+        // outcomes are useful to benches, so continue. (DecodeInto resets
+        // the moved-from result before reusing it.)
       }
     }
     if (level == 1) break;  // size_t guard
@@ -173,20 +175,24 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
     return report;
   }
   report.decoded_level = decoded_level;
-  for (const RibltPair& pair : best.inserted) report.x_a.push_back(pair.value);
-  for (const RibltPair& pair : best.deleted) report.x_b.push_back(pair.value);
+  report.x_a = std::move(best.inserted);
+  report.x_b = std::move(best.deleted);
 
   // ---- Repair: S'_B = (S_B \ Y_B) ∪ X_A, with |S'_B| = n. ----
   Metric metric(params.metric);
-  PointSet x_a = report.x_a;
-  PointSet x_b = report.x_b;
+  const PointStore& x_b = report.x_b;
 
   // Keep |X_A| <= |X_B| by trimming X_A (drop lexicographically largest —
-  // deterministic; see DESIGN.md "size repair").
-  if (x_a.size() > x_b.size()) {
-    std::sort(x_a.begin(), x_a.end());
-    report.trimmed_from_x_a = x_a.size() - x_b.size();
-    x_a.resize(x_b.size());
+  // deterministic; see DESIGN.md "size repair"). The report's arena is
+  // copied only when a trim actually mutates it.
+  const PointStore* x_a = &report.x_a;
+  PointStore trimmed;
+  if (report.x_a.size() > x_b.size()) {
+    trimmed = report.x_a;
+    trimmed.SortLex();
+    report.trimmed_from_x_a = trimmed.size() - x_b.size();
+    trimmed.Truncate(x_b.size());
+    x_a = &trimmed;
   }
 
   std::vector<char> removed(n, 0);
@@ -194,7 +200,7 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
     // Min-cost matching of X_B (rows) into S_B (columns).
     CostMatrix cost = DistanceMatrix(x_b, bob, metric);
     AssignmentResult assignment = MinCostAssignment(cost);
-    if (x_a.size() < x_b.size()) {
+    if (x_a->size() < x_b.size()) {
       // Remove only |X_A| of the matched points so |S'_B| stays n. Keep the
       // pairs with the largest matching cost unmatched (least confident).
       std::vector<size_t> order(x_b.size());
@@ -203,8 +209,8 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
         return cost[a][static_cast<size_t>(assignment.row_to_col[a])] <
                cost[b][static_cast<size_t>(assignment.row_to_col[b])];
       });
-      report.kept_in_y_b = x_b.size() - x_a.size();
-      for (size_t r = 0; r < x_a.size(); ++r) {
+      report.kept_in_y_b = x_b.size() - x_a->size();
+      for (size_t r = 0; r < x_a->size(); ++r) {
         removed[static_cast<size_t>(assignment.row_to_col[order[r]])] = 1;
       }
     } else {
@@ -218,19 +224,11 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
   for (size_t i = 0; i < n; ++i) {
     if (!removed[i]) report.s_b_prime.push_back(bob.MakePoint(i));
   }
-  for (const Point& p : x_a) report.s_b_prime.push_back(p);
+  for (size_t i = 0; i < x_a->size(); ++i) {
+    report.s_b_prime.push_back(x_a->MakePoint(i));
+  }
   RSR_CHECK_EQ(report.s_b_prime.size(), n);
   return report;
-}
-
-Result<EmdProtocolReport> RunEmdProtocol(const PointSet& alice,
-                                         const PointSet& bob,
-                                         const EmdProtocolParams& params) {
-  if (alice.size() != bob.size() || alice.empty()) {
-    return Status::InvalidArgument("|S_A| must equal |S_B| and be positive");
-  }
-  return RunEmdProtocol(PointStore::FromPointSet(params.dim, alice),
-                        PointStore::FromPointSet(params.dim, bob), params);
 }
 
 }  // namespace rsr

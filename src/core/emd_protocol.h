@@ -36,8 +36,9 @@ struct EmdProtocolReport {
   /// i*, 1-based; 0 on failure.
   size_t decoded_level = 0;
   std::vector<EmdLevelOutcome> levels;
-  /// Points extracted at level i*.
-  PointSet x_a, x_b;
+  /// Points extracted at level i* (moved straight out of the store-native
+  /// decode result; row order is extraction order).
+  PointStore x_a, x_b;
   /// Size repair bookkeeping (|X_A| != |X_B| handling; see DESIGN.md).
   size_t trimmed_from_x_a = 0;
   size_t kept_in_y_b = 0;
@@ -52,12 +53,6 @@ struct EmdProtocolReport {
 /// EMD_k <= D2).
 Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
                                          const PointStore& bob,
-                                         const EmdProtocolParams& params);
-
-/// Compatibility adapter (one release): copies each side into a PointStore
-/// and runs the store-native protocol. Transcripts are bit-identical.
-Result<EmdProtocolReport> RunEmdProtocol(const PointSet& alice,
-                                         const PointSet& bob,
                                          const EmdProtocolParams& params);
 
 }  // namespace rsr

@@ -88,13 +88,4 @@ Result<GapProtocolReport> RunLowDimGapProtocol(const PointStore& alice,
   return report;
 }
 
-Result<GapProtocolReport> RunLowDimGapProtocol(const PointSet& alice,
-                                               const PointSet& bob,
-                                               const LowDimGapParams& params) {
-  if (params.dim == 0) return Status::InvalidArgument("dim must be positive");
-  return RunLowDimGapProtocol(PointStore::FromPointSet(params.dim, alice),
-                              PointStore::FromPointSet(params.dim, bob),
-                              params);
-}
-
 }  // namespace rsr

@@ -36,11 +36,6 @@ Result<GapProtocolReport> RunLowDimGapProtocol(const PointStore& alice,
                                                const PointStore& bob,
                                                const LowDimGapParams& params);
 
-/// Compatibility adapter (one release); transcripts are bit-identical.
-Result<GapProtocolReport> RunLowDimGapProtocol(const PointSet& alice,
-                                               const PointSet& bob,
-                                               const LowDimGapParams& params);
-
 }  // namespace rsr
 
 #endif  // RSR_CORE_GAP_LOWDIM_H_

@@ -211,15 +211,4 @@ Result<GapProtocolReport> RunGapProtocol(const PointStore& alice,
   return report;
 }
 
-Result<GapProtocolReport> RunGapProtocol(const PointSet& alice,
-                                         const PointSet& bob,
-                                         const GapProtocolParams& params) {
-  if (alice.empty() && bob.empty()) {
-    return Status::InvalidArgument("both point sets empty");
-  }
-  if (params.dim == 0) return Status::InvalidArgument("dim must be positive");
-  return RunGapProtocol(PointStore::FromPointSet(params.dim, alice),
-                        PointStore::FromPointSet(params.dim, bob), params);
-}
-
 }  // namespace rsr

@@ -71,12 +71,6 @@ Result<GapProtocolReport> RunGapProtocol(const PointStore& alice,
                                          const PointStore& bob,
                                          const GapProtocolParams& params);
 
-/// Compatibility adapter (one release): copies each side into a PointStore
-/// and runs the store-native protocol. Transcripts are bit-identical.
-Result<GapProtocolReport> RunGapProtocol(const PointSet& alice,
-                                         const PointSet& bob,
-                                         const GapProtocolParams& params);
-
 namespace internal {
 
 /// Shared pipeline for the general and low-dimension variants: key

@@ -105,18 +105,20 @@ Result<MultiPartyReport> RunMultiPartyUnion(
       ok[i] = 1;
       // Positive counts = elements party i is missing (multiplicity m > 0
       // among the other parties); each distinct key yields m identical
-      // copies, add one.
-      std::sort(decoded->inserted.begin(), decoded->inserted.end(),
-                [](const RibltPair& a, const RibltPair& b) {
-                  return a.key < b.key;
-                });
+      // copies, add one. The extracted rows stay in the result's arena; a
+      // key-sorted index picks one representative row per distinct key.
+      const std::vector<uint64_t>& keys = decoded->inserted_keys;
+      std::vector<size_t> order(keys.size());
+      for (size_t p = 0; p < order.size(); ++p) order[p] = p;
+      std::sort(order.begin(), order.end(),
+                [&keys](size_t a, size_t b) { return keys[a] < keys[b]; });
       uint64_t last_key = 0;
       bool have_last = false;
-      for (const RibltPair& pair : decoded->inserted) {
-        if (have_last && pair.key == last_key) continue;
-        last_key = pair.key;
+      for (size_t p : order) {
+        if (have_last && keys[p] == last_key) continue;
+        last_key = keys[p];
         have_last = true;
-        report.final_sets[i].push_back(pair.value);
+        report.final_sets[i].push_back(decoded->inserted.MakePoint(p));
       }
     }
   });
@@ -126,16 +128,6 @@ Result<MultiPartyReport> RunMultiPartyUnion(
     if (!ok[i]) report.all_ok = false;
   }
   return report;
-}
-
-Result<MultiPartyReport> RunMultiPartyUnion(
-    const std::vector<PointSet>& parties, const MultiPartyParams& params) {
-  std::vector<PointStore> stores;
-  stores.reserve(parties.size());
-  for (const PointSet& set : parties) {
-    stores.push_back(PointStore::FromPointSet(set));
-  }
-  return RunMultiPartyUnion(stores, params);
 }
 
 }  // namespace rsr

@@ -51,13 +51,10 @@ struct MultiPartyReport {
 };
 
 /// Runs the one-round broadcast protocol. Within-party duplicate points are
-/// treated as a single copy (set semantics). The store form dedupes, hashes,
-/// and inserts straight from each party's arena; the PointSet form is the
-/// legacy adapter (bit-identical broadcasts).
+/// treated as a single copy (set semantics); deduplication, hashing, and
+/// sketch insertion all walk each party's arena directly.
 Result<MultiPartyReport> RunMultiPartyUnion(
     const std::vector<PointStore>& parties, const MultiPartyParams& params);
-Result<MultiPartyReport> RunMultiPartyUnion(
-    const std::vector<PointSet>& parties, const MultiPartyParams& params);
 
 }  // namespace rsr
 

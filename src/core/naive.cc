@@ -33,12 +33,6 @@ NaiveReport RunNaiveFullTransfer(const PointStore& alice, const PointStore& bob,
   return report;
 }
 
-NaiveReport RunNaiveFullTransfer(const PointSet& alice, const PointSet& bob,
-                                 bool union_mode) {
-  return RunNaiveFullTransfer(PointStore::FromPointSet(alice),
-                              PointStore::FromPointSet(bob), union_mode);
-}
-
 namespace {
 
 /// Packs row (dim coordinates) into out (dim*8 bytes, little-endian); the
@@ -155,13 +149,6 @@ Result<ExactReconReport> RunExactIbltReconciliation(
   }
   for (auto& p : additions) report.s_b_prime.push_back(std::move(p));
   return report;
-}
-
-Result<ExactReconReport> RunExactIbltReconciliation(
-    const PointSet& alice, const PointSet& bob,
-    const ExactReconParams& params) {
-  return RunExactIbltReconciliation(PointStore::FromPointSet(alice),
-                                    PointStore::FromPointSet(bob), params);
 }
 
 }  // namespace rsr

@@ -21,11 +21,8 @@ struct NaiveReport {
 };
 
 /// Alice ships S_A verbatim; Bob replaces (EMD model) or unions (Gap model).
-/// The store form streams the arena straight onto the wire (byte-identical
-/// message); the PointSet form is the legacy adapter.
+/// The point-set message streams the arena straight onto the wire.
 NaiveReport RunNaiveFullTransfer(const PointStore& alice, const PointStore& bob,
-                                 bool union_mode);
-NaiveReport RunNaiveFullTransfer(const PointSet& alice, const PointSet& bob,
                                  bool union_mode);
 
 struct ExactReconParams {
@@ -48,13 +45,11 @@ struct ExactReconReport {
 
 /// One round: Alice sends an IBLT of her (occurrence-salted) points with the
 /// packed coordinates as values; Bob deletes his, decodes, and applies the
-/// difference. Store-native (sorting, hashing, and packing all walk the
-/// arena); the PointSet overload adapts.
+/// difference. Store-native: sorting, hashing, and packing all walk the
+/// arena.
 Result<ExactReconReport> RunExactIbltReconciliation(
     const PointStore& alice, const PointStore& bob,
     const ExactReconParams& params);
-Result<ExactReconReport> RunExactIbltReconciliation(
-    const PointSet& alice, const PointSet& bob, const ExactReconParams& params);
 
 }  // namespace rsr
 

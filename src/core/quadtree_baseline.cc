@@ -169,18 +169,4 @@ Result<QuadtreeEmdReport> RunQuadtreeEmdProtocol(
   return report;
 }
 
-Result<QuadtreeEmdReport> RunQuadtreeEmdProtocol(
-    const PointSet& alice, const PointSet& bob,
-    const QuadtreeEmdParams& params) {
-  if (alice.size() != bob.size() || alice.empty()) {
-    return Status::InvalidArgument("|S_A| must equal |S_B| and be positive");
-  }
-  if (params.dim == 0 || params.delta < 1) {
-    return Status::InvalidArgument("dim and delta must be positive");
-  }
-  return RunQuadtreeEmdProtocol(PointStore::FromPointSet(params.dim, alice),
-                                PointStore::FromPointSet(params.dim, bob),
-                                params);
-}
-
 }  // namespace rsr

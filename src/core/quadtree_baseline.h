@@ -44,11 +44,6 @@ Result<QuadtreeEmdReport> RunQuadtreeEmdProtocol(
     const PointStore& alice, const PointStore& bob,
     const QuadtreeEmdParams& params);
 
-/// Compatibility adapter (one release); transcripts are bit-identical.
-Result<QuadtreeEmdReport> RunQuadtreeEmdProtocol(
-    const PointSet& alice, const PointSet& bob,
-    const QuadtreeEmdParams& params);
-
 }  // namespace rsr
 
 #endif  // RSR_CORE_QUADTREE_BASELINE_H_

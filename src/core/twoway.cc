@@ -25,18 +25,6 @@ Result<TwoWayGapReport> RunTwoWayGapProtocol(const PointStore& alice,
   return report;
 }
 
-Result<TwoWayGapReport> RunTwoWayGapProtocol(const PointSet& alice,
-                                             const PointSet& bob,
-                                             const GapProtocolParams& params) {
-  if (alice.empty() && bob.empty()) {
-    return Status::InvalidArgument("both point sets empty");
-  }
-  if (params.dim == 0) return Status::InvalidArgument("dim must be positive");
-  return RunTwoWayGapProtocol(PointStore::FromPointSet(params.dim, alice),
-                              PointStore::FromPointSet(params.dim, bob),
-                              params);
-}
-
 Result<TwoWayEmdReport> RunTwoWayEmdProtocol(
     const PointStore& alice, const PointStore& bob,
     const MultiscaleEmdParams& params) {
@@ -58,17 +46,6 @@ Result<TwoWayEmdReport> RunTwoWayEmdProtocol(
   report.comm.Append(report.a_to_b.comm);
   report.comm.Append(report.b_to_a.comm);
   return report;
-}
-
-Result<TwoWayEmdReport> RunTwoWayEmdProtocol(
-    const PointSet& alice, const PointSet& bob,
-    const MultiscaleEmdParams& params) {
-  if (alice.size() != bob.size() || alice.empty()) {
-    return Status::InvalidArgument("|S_A| must equal |S_B| and be positive");
-  }
-  return RunTwoWayEmdProtocol(PointStore::FromPointSet(params.base.dim, alice),
-                              PointStore::FromPointSet(params.base.dim, bob),
-                              params);
 }
 
 }  // namespace rsr

@@ -34,9 +34,6 @@ struct TwoWayGapReport {
 Result<TwoWayGapReport> RunTwoWayGapProtocol(const PointStore& alice,
                                              const PointStore& bob,
                                              const GapProtocolParams& params);
-Result<TwoWayGapReport> RunTwoWayGapProtocol(const PointSet& alice,
-                                             const PointSet& bob,
-                                             const GapProtocolParams& params);
 
 struct TwoWayEmdReport {
   /// Alice's repaired copy of Bob's data, and vice versa.
@@ -51,9 +48,6 @@ struct TwoWayEmdReport {
 /// Runs the multiscale EMD protocol once in each direction.
 Result<TwoWayEmdReport> RunTwoWayEmdProtocol(const PointStore& alice,
                                              const PointStore& bob,
-                                             const MultiscaleEmdParams& params);
-Result<TwoWayEmdReport> RunTwoWayEmdProtocol(const PointSet& alice,
-                                             const PointSet& bob,
                                              const MultiscaleEmdParams& params);
 
 }  // namespace rsr

@@ -102,6 +102,14 @@ class PointStore {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Row-wise equality (same row count, same coordinates in the same order).
+  /// Two empty stores compare equal regardless of declared dimension.
+  bool operator==(const PointStore& other) const {
+    return size_ == other.size_ && (empty() || dim_ == other.dim_) &&
+           coords_ == other.coords_;
+  }
+  bool operator!=(const PointStore& other) const { return !(*this == other); }
+
   void Reserve(size_t n) {
     coords_.reserve(n * dim_);
     if (!doubles_.empty()) doubles_.reserve(n * dim_);
@@ -161,6 +169,15 @@ class PointStore {
 
   /// True iff every coordinate of every row lies in [0, delta].
   bool InDomainAll(Coord delta) const;
+
+  /// Drops every row past the first n (no-op when n >= size()). Capacity is
+  /// kept; a cached double plane survives as its valid prefix.
+  void Truncate(size_t n) {
+    if (n >= size_) return;
+    size_ = n;
+    coords_.resize(n * dim_);
+    if (!doubles_.empty()) doubles_.resize(n * dim_);
+  }
 
   /// Sorts rows lexicographically — the multiset ordering is identical to
   /// std::sort on the equivalent PointSet.

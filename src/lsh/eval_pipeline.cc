@@ -47,16 +47,4 @@ void EvaluateAllInto(const PointStore& points,
   });
 }
 
-void EvaluateAllInto(const PointSet& points,
-                     const std::vector<std::unique_ptr<LshFunction>>& functions,
-                     size_t num_threads, EvalMatrix* out) {
-  if (points.empty() || functions.empty()) {
-    out->Reset(points.size(), functions.size());
-    return;
-  }
-  PointStore store(points[0].dim());
-  store.AppendMany(points);
-  EvaluateAllInto(store, functions, num_threads, out);
-}
-
 }  // namespace rsr

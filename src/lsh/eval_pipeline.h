@@ -68,14 +68,6 @@ void EvaluateAllInto(const PointStore& points,
                      const std::vector<std::unique_ptr<LshFunction>>& functions,
                      size_t num_threads, EvalMatrix* out);
 
-/// Legacy adapter: copies the scattered Point rows into a temporary
-/// PointStore once, then runs the store pipeline. Protocol code passes
-/// stores directly; this overload exists for one release so external
-/// PointSet callers keep compiling.
-void EvaluateAllInto(const PointSet& points,
-                     const std::vector<std::unique_ptr<LshFunction>>& functions,
-                     size_t num_threads, EvalMatrix* out);
-
 }  // namespace rsr
 
 #endif  // RSR_LSH_EVAL_PIPELINE_H_

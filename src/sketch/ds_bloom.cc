@@ -63,14 +63,6 @@ void DistanceSensitiveBloomFilter::Insert(const Point& p) {
   }
 }
 
-void DistanceSensitiveBloomFilter::InsertMany(const PointSet& points) {
-  // Thin adapter (like the protocol-level PointSet overloads): one copy
-  // into an arena, then the store-native path — so there is exactly one
-  // bank-addressing implementation to keep bit-identical to Insert.
-  if (points.empty()) return;
-  InsertMany(PointStore::FromPointSet(points));
-}
-
 void DistanceSensitiveBloomFilter::InsertMany(const PointStore& points) {
   const size_t n = points.size();
   if (n == 0) return;

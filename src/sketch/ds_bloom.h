@@ -56,13 +56,11 @@ class DistanceSensitiveBloomFilter {
 
   void Insert(const Point& p);
 
-  /// Batch insert via the function-major LSH pipeline: per (bank, draw) one
-  /// EvalBatch over the whole set instead of a virtual call per point. Final
-  /// bank contents are bit-identical to repeated Insert (bit OR commutes).
-  void InsertMany(const PointSet& points);
-
-  /// Store-native batch insert: flat-capable draws stream the store's double
-  /// plane, others its coordinate arena — no per-point Point objects at all.
+  /// Store-native batch insert via the function-major LSH pipeline: per
+  /// (bank, draw) one batch evaluation over the whole set instead of a
+  /// virtual call per point — flat-capable draws stream the store's double
+  /// plane, others its coordinate arena. Final bank contents are
+  /// bit-identical to repeated Insert (bit OR commutes).
   void InsertMany(const PointStore& points);
 
   /// Fraction of banks whose addressed bit is set for p.

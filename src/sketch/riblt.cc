@@ -145,15 +145,6 @@ void Riblt::UpdateMany(std::span<const uint64_t> keys, const PointStore& values,
   }
 }
 
-void Riblt::UpdateMany(std::span<const uint64_t> keys, const PointSet& values,
-                       int direction) {
-  RSR_CHECK_EQ(keys.size(), values.size());
-  for (size_t i = 0; i < keys.size(); ++i) {
-    RSR_CHECK_EQ(values[i].dim(), params_.dim);
-    Update(keys[i], values[i].coords().data(), direction);
-  }
-}
-
 Status Riblt::AddScaled(const Riblt& other, int64_t factor) {
   if (other.params_.num_cells != params_.num_cells ||
       other.params_.num_hashes != params_.num_hashes ||
@@ -177,11 +168,22 @@ Status Riblt::AddScaled(const Riblt& other, int64_t factor) {
   return Status::OK();
 }
 
-Result<RibltDecodeResult> Riblt::Decode(size_t max_pairs, size_t max_per_side,
-                                        Rng* rng) const {
+Status Riblt::DecodeInto(size_t max_pairs, size_t max_per_side, Rng* rng,
+                         RibltDecodeResult* out) const {
   const size_t total = counts_.size();
   const size_t dim = params_.dim;
-  RibltDecodeResult result;
+
+  // Reset the result in place. A reused result keeps its arena and key
+  // capacity, so re-decoding appends into existing storage; only a dimension
+  // change (or the very first use) rebuilds the stores.
+  if (out->inserted.dim() != dim) out->inserted = PointStore(dim);
+  if (out->deleted.dim() != dim) out->deleted = PointStore(dim);
+  out->inserted.Clear();
+  out->deleted.Clear();
+  out->inserted_keys.clear();
+  out->deleted_keys.clear();
+  out->complete = false;
+  out->peel_steps = 0;
 
   // Peel on pooled scratch copies of the cell slabs; after the first call
   // these are memcpys into existing capacity, not allocations.
@@ -226,7 +228,7 @@ Result<RibltDecodeResult> Riblt::Decode(size_t max_pairs, size_t max_per_side,
                     &copies, &key, &side)) {
       continue;
     }
-    ++result.peel_steps;
+    ++out->peel_steps;
 
     total_pairs += static_cast<size_t>(copies);
     if (total_pairs > max_pairs) {
@@ -245,30 +247,22 @@ Result<RibltDecodeResult> Riblt::Decode(size_t max_pairs, size_t max_per_side,
       double delta = static_cast<double>(params_.delta);
       if (average[j] > delta) average[j] = delta;
     }
+    PointStore& values_out = side > 0 ? out->inserted : out->deleted;
+    std::vector<uint64_t>& keys_out =
+        side > 0 ? out->inserted_keys : out->deleted_keys;
     for (int64_t copy = 0; copy < copies; ++copy) {
-      std::vector<Coord> coords(dim);
+      Coord* row = values_out.AppendRow();
       for (size_t j = 0; j < dim; ++j) {
         double floor_val = std::floor(average[j]);
         double frac = average[j] - floor_val;
         Coord v = static_cast<Coord>(floor_val);
         if (frac > 0.0 && rng->Bernoulli(frac)) v += 1;
         if (v > params_.delta) v = params_.delta;
-        coords[j] = v;
+        row[j] = v;
       }
-      RibltPair pair;
-      pair.key = key;
-      pair.value = Point(std::move(coords));
-      pair.side = side;
-      if (side > 0) {
-        result.inserted.push_back(std::move(pair));
-        if (result.inserted.size() > max_per_side) {
-          return Status::DecodeFailure("RIBLT exceeded per-side pair cap");
-        }
-      } else {
-        result.deleted.push_back(std::move(pair));
-        if (result.deleted.size() > max_per_side) {
-          return Status::DecodeFailure("RIBLT exceeded per-side pair cap");
-        }
+      keys_out.push_back(key);
+      if (values_out.size() > max_per_side) {
+        return Status::DecodeFailure("RIBLT exceeded per-side pair cap");
       }
     }
 
@@ -303,16 +297,23 @@ Result<RibltDecodeResult> Riblt::Decode(size_t max_pairs, size_t max_per_side,
   // Success: all counts and key material drained. Value residue from
   // canceled equal-key pairs is expected (it is exactly the in-bucket error
   // the analysis charges to mu).
-  result.complete = true;
+  out->complete = true;
   for (size_t c = 0; c < total; ++c) {
     if (counts[c] != 0 || key_sums[c] != 0 || checksum_sums[c] != 0) {
-      result.complete = false;
+      out->complete = false;
       break;
     }
   }
-  if (!result.complete) {
+  if (!out->complete) {
     return Status::DecodeFailure("RIBLT peeling stuck (nonempty 2-core)");
   }
+  return Status::OK();
+}
+
+Result<RibltDecodeResult> Riblt::Decode(size_t max_pairs, size_t max_per_side,
+                                        Rng* rng) const {
+  RibltDecodeResult result;
+  RSR_RETURN_NOT_OK(DecodeInto(max_pairs, max_per_side, rng, &result));
   return result;
 }
 

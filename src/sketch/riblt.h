@@ -56,17 +56,17 @@ struct RibltParams {
   uint64_t seed = 0;
 };
 
-/// One extracted key-value pair. side = +1 for the inserting party (Alice in
-/// Algorithm 1), -1 for the deleting party (Bob).
-struct RibltPair {
-  uint64_t key = 0;
-  Point value;
-  int side = 0;
-};
-
+/// Store-native decode output. Extracted values land as rows in two columnar
+/// arenas — `inserted` for the inserting party (side +1, Alice in
+/// Algorithm 1), `deleted` for the deleting party (side -1, Bob) — with the
+/// parallel key vectors pairing inserted_keys[i] with inserted[i] (and
+/// likewise for deleted). Emission goes straight through PointStore::AppendRow,
+/// so a reused result re-decodes without any per-pair heap allocation.
 struct RibltDecodeResult {
-  std::vector<RibltPair> inserted;  // side +1
-  std::vector<RibltPair> deleted;   // side -1
+  PointStore inserted;  // side +1 values; row i pairs with inserted_keys[i]
+  PointStore deleted;   // side -1 values; row i pairs with deleted_keys[i]
+  std::vector<uint64_t> inserted_keys;
+  std::vector<uint64_t> deleted_keys;
   /// True iff peeling drained all counts/keys (value residue from canceled
   /// equal-key pairs is expected and allowed).
   bool complete = false;
@@ -99,24 +99,15 @@ class Riblt {
   void Update(uint64_t key, const Coord* value, int direction);
 
   /// Batched hot path: one key per point, whole buckets at a time (the EMD
-  /// protocol inserts every level's keyed point set in one call). The
-  /// PointStore form walks the contiguous coordinate arena — no per-point
-  /// pointer chase, never allocates; the PointSet form is the legacy
-  /// adapter.
+  /// protocol inserts every level's keyed point set in one call). Walks the
+  /// contiguous coordinate arena — no per-point pointer chase, never
+  /// allocates.
   void UpdateMany(std::span<const uint64_t> keys, const PointStore& values,
-                  int direction);
-  void UpdateMany(std::span<const uint64_t> keys, const PointSet& values,
                   int direction);
   void InsertMany(std::span<const uint64_t> keys, const PointStore& values) {
     UpdateMany(keys, values, +1);
   }
   void DeleteMany(std::span<const uint64_t> keys, const PointStore& values) {
-    UpdateMany(keys, values, -1);
-  }
-  void InsertMany(std::span<const uint64_t> keys, const PointSet& values) {
-    UpdateMany(keys, values, +1);
-  }
-  void DeleteMany(std::span<const uint64_t> keys, const PointSet& values) {
     UpdateMany(keys, values, -1);
   }
 
@@ -130,7 +121,12 @@ class Riblt {
   /// decode fails (returns DecodeFailure) if more than max_pairs total or
   /// max_per_side pairs for either side are extracted, or if the table does
   /// not drain. `rng` drives the randomized rounding of averaged values
-  /// (decoder-local coins).
+  /// (decoder-local coins). *out is reset and refilled; extracted rows are
+  /// appended directly to its arenas, so with a warm (previously decoded
+  /// into) result the whole call performs zero heap allocations.
+  Status DecodeInto(size_t max_pairs, size_t max_per_side, Rng* rng,
+                    RibltDecodeResult* out) const;
+  /// Convenience wrapper: DecodeInto a fresh result.
   Result<RibltDecodeResult> Decode(size_t max_pairs, size_t max_per_side,
                                    Rng* rng) const;
 

@@ -38,8 +38,14 @@ void StrataEstimator::InsertMany(std::span<const uint64_t> keys) {
 
 Result<uint64_t> StrataEstimator::EstimateDiff(
     const StrataEstimator& other) const {
+  // Every parameter participates in the cell layout or the wire format:
+  // num_hashes changes the peeling hypergraph and checksum_bytes the cell
+  // checksums, so a partial guard would subtract incompatible IBLTs and
+  // return garbage instead of an error.
   if (other.params_.num_strata != params_.num_strata ||
       other.params_.cells_per_stratum != params_.cells_per_stratum ||
+      other.params_.num_hashes != params_.num_hashes ||
+      other.params_.checksum_bytes != params_.checksum_bytes ||
       other.params_.seed != params_.seed) {
     return Status::InvalidArgument("strata estimator parameter mismatch");
   }
@@ -52,8 +58,14 @@ Result<uint64_t> StrataEstimator::EstimateDiff(
                              other.strata_[static_cast<size_t>(i)]));
     if (!decoded.complete) {
       // Extrapolate: strata deeper than i sampled the difference at rate
-      // 2^{-(i+1)} cumulatively.
-      return (exact_from_deeper) << (i + 1);
+      // 2^{-(i+1)} cumulatively. Stratum i itself failed to decode, so the
+      // difference is nonzero even when no deeper stratum contributed an
+      // entry — floor the estimate at one undecoded element's worth,
+      // 1 << (i + 1), instead of reporting 0 and letting adaptive sizing
+      // under-provision the subsequent sketch.
+      uint64_t scaled = exact_from_deeper << (i + 1);
+      uint64_t floor = uint64_t{1} << (i + 1);
+      return scaled < floor ? floor : scaled;
     }
     exact_from_deeper += decoded.entries.size();
   }

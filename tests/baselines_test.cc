@@ -27,7 +27,7 @@ QuadtreeEmdParams QtParams(size_t dim, Coord delta, size_t k, uint64_t seed) {
 
 TEST(QuadtreeTest, IdenticalSetsDecodeAtFinestLevel) {
   Rng rng(1);
-  PointSet pts = GenerateUniform(32, 2, 255, &rng);
+  PointStore pts = GenerateUniformStore(32, 2, 255, &rng);
   auto report = RunQuadtreeEmdProtocol(pts, pts, QtParams(2, 255, 2, 5));
   ASSERT_TRUE(report.ok());
   ASSERT_FALSE(report->failure);
@@ -45,7 +45,7 @@ TEST(QuadtreeTest, RepairsOutlierDifferences) {
   config.noise = 0;
   config.outlier_dist = 60;
   config.seed = 21;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   ASSERT_TRUE(workload.ok());
   auto report = RunQuadtreeEmdProtocol(workload->alice, workload->bob,
                                        QtParams(2, 255, 2, 9));
@@ -77,7 +77,7 @@ TEST(QuadtreeTest, RoundingErrorGrowsWithDimension) {
       config.noise = 2;
       config.outlier_dist = 120;
       config.seed = 100 * pass + trial;
-      auto workload = GenerateNoisyPair(config);
+      auto workload = GenerateNoisyPairStore(config);
       ASSERT_TRUE(workload.ok());
       auto report = RunQuadtreeEmdProtocol(workload->alice, workload->bob,
                                            QtParams(dim, 2047, 1, 7 + trial));
@@ -99,8 +99,8 @@ TEST(QuadtreeTest, RoundingErrorGrowsWithDimension) {
 
 TEST(QuadtreeTest, FailureWhenBudgetFarTooSmall) {
   Rng rng(2);
-  PointSet a = GenerateUniform(64, 2, 255, &rng);
-  PointSet b = GenerateUniform(64, 2, 255, &rng);
+  PointStore a = GenerateUniformStore(64, 2, 255, &rng);
+  PointStore b = GenerateUniformStore(64, 2, 255, &rng);
   QuadtreeEmdParams params = QtParams(2, 255, 1, 3);
   params.cell_multiplier = 4.0;  // tiny IBLTs, 64 random diffs
   auto report = RunQuadtreeEmdProtocol(a, b, params);
@@ -116,18 +116,18 @@ TEST(QuadtreeTest, FailureWhenBudgetFarTooSmall) {
 
 TEST(NaiveTest, ReplaceModeYieldsAliceExactly) {
   Rng rng(3);
-  PointSet a = GenerateUniform(16, 3, 63, &rng);
-  PointSet b = GenerateUniform(16, 3, 63, &rng);
+  PointStore a = GenerateUniformStore(16, 3, 63, &rng);
+  PointStore b = GenerateUniformStore(16, 3, 63, &rng);
   NaiveReport report = RunNaiveFullTransfer(a, b, /*union_mode=*/false);
-  EXPECT_EQ(report.s_b_prime, a);
+  EXPECT_EQ(report.s_b_prime, a.ToPointSet());
   EXPECT_EQ(report.comm.rounds(), 1);
   EXPECT_GT(report.comm.total_bytes(), 16u * 3u);
 }
 
 TEST(NaiveTest, UnionModeKeepsBob) {
   Rng rng(4);
-  PointSet a = GenerateUniform(4, 2, 15, &rng);
-  PointSet b = GenerateUniform(5, 2, 15, &rng);
+  PointStore a = GenerateUniformStore(4, 2, 15, &rng);
+  PointStore b = GenerateUniformStore(5, 2, 15, &rng);
   NaiveReport report = RunNaiveFullTransfer(a, b, /*union_mode=*/true);
   EXPECT_EQ(report.s_b_prime.size(), 9u);
 }
@@ -148,7 +148,9 @@ TEST(ExactReconTest, RecoversExactDifferences) {
   params.delta = 255;
   params.num_cells = 32;
   params.seed = 6;
-  auto report = RunExactIbltReconciliation(alice, bob, params);
+  auto report = RunExactIbltReconciliation(PointStore::FromPointSet(alice),
+                                           PointStore::FromPointSet(bob),
+                                           params);
   ASSERT_TRUE(report.ok());
   ASSERT_FALSE(report->failure);
   EXPECT_EQ(report->diff_size, 6u);
@@ -170,7 +172,7 @@ TEST(ExactReconTest, NoisyPointsAllCountAsDifferences) {
   config.outliers = 0;
   config.noise = 2;  // every point slightly different
   config.seed = 7;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   ASSERT_TRUE(workload.ok());
   ExactReconParams params;
   params.dim = 2;
@@ -187,8 +189,8 @@ TEST(ExactReconTest, NoisyPointsAllCountAsDifferences) {
 
 TEST(ExactReconTest, UndersizedTableReportsFailure) {
   Rng rng(9);
-  PointSet a = GenerateUniform(50, 2, 255, &rng);
-  PointSet b = GenerateUniform(50, 2, 255, &rng);
+  PointStore a = GenerateUniformStore(50, 2, 255, &rng);
+  PointStore b = GenerateUniformStore(50, 2, 255, &rng);
   ExactReconParams params;
   params.dim = 2;
   params.delta = 255;
@@ -209,7 +211,9 @@ TEST(ExactReconTest, DuplicatePointsHandledViaSalting) {
   params.delta = 10;
   params.num_cells = 32;
   params.seed = 11;
-  auto report = RunExactIbltReconciliation(alice, bob, params);
+  auto report = RunExactIbltReconciliation(PointStore::FromPointSet(alice),
+                                           PointStore::FromPointSet(bob),
+                                           params);
   ASSERT_TRUE(report.ok());
   ASSERT_FALSE(report->failure);
   PointSet got = report->s_b_prime;

@@ -60,8 +60,8 @@ TEST(EmdParamsTest, DerivedQuantitiesFollowTheorem34) {
 
 TEST(EmdProtocolTest, RejectsMismatchedSizes) {
   Rng rng(1);
-  PointSet a = GenerateUniform(4, 2, 10, &rng);
-  PointSet b = GenerateUniform(5, 2, 10, &rng);
+  PointStore a = GenerateUniformStore(4, 2, 10, &rng);
+  PointStore b = GenerateUniformStore(5, 2, 10, &rng);
   auto report =
       RunEmdProtocol(a, b, BaseParams(MetricKind::kL1, 2, 10, 1, 1));
   EXPECT_FALSE(report.ok());
@@ -69,7 +69,7 @@ TEST(EmdProtocolTest, RejectsMismatchedSizes) {
 
 TEST(EmdProtocolTest, IdenticalSetsReconcileToThemselves) {
   Rng rng(2);
-  PointSet pts = GenerateUniform(32, 3, 63, &rng);
+  PointStore pts = GenerateUniformStore(32, 3, 63, &rng);
   EmdProtocolParams params = BaseParams(MetricKind::kL1, 3, 63, 2, 7);
   params.d1 = 1;
   params.d2 = 8;
@@ -82,7 +82,7 @@ TEST(EmdProtocolTest, IdenticalSetsReconcileToThemselves) {
 
 TEST(EmdProtocolTest, SingleRoundAndCommMatchesFormulaShape) {
   Rng rng(3);
-  PointSet pts = GenerateUniform(64, 4, 127, &rng);
+  PointStore pts = GenerateUniformStore(64, 4, 127, &rng);
   EmdProtocolParams params = BaseParams(MetricKind::kL1, 4, 127, 4, 9);
   params.d1 = 4;
   params.d2 = 64;
@@ -118,7 +118,7 @@ TEST(EmdProtocolTest, RecoversOutlierDifferences) {
     config.noise = 0;  // exact shared ground truth; only outliers differ
     config.outlier_dist = 60;
     config.seed = 1000 + trial;
-    auto workload = GenerateNoisyPair(config);
+    auto workload = GenerateNoisyPairStore(config);
     ASSERT_TRUE(workload.ok());
 
     EmdProtocolParams params =
@@ -152,8 +152,8 @@ TEST(EmdProtocolTest, FailureReportedWhenD2TooSmall) {
   // Sets differing by far more than D2 allows: every level overloads, and
   // the protocol must report failure honestly rather than emit garbage.
   Rng rng(4);
-  PointSet a = GenerateUniform(64, 2, 255, &rng);
-  PointSet b = GenerateUniform(64, 2, 255, &rng);
+  PointStore a = GenerateUniformStore(64, 2, 255, &rng);
+  PointStore b = GenerateUniformStore(64, 2, 255, &rng);
   EmdProtocolParams params = BaseParams(MetricKind::kL1, 2, 255, 1, 11);
   params.d1 = 1;
   params.d2 = 2;  // absurdly tight
@@ -175,7 +175,7 @@ TEST(EmdProtocolTest, OutputSizeAlwaysN) {
     config.noise = 1.0;
     config.outlier_dist = 40;
     config.seed = 3000 + trial;
-    auto workload = GenerateNoisyPair(config);
+    auto workload = GenerateNoisyPairStore(config);
     ASSERT_TRUE(workload.ok());
     EmdProtocolParams params =
         BaseParams(MetricKind::kL2, 3, 127, 2, 4000 + trial);
@@ -192,8 +192,8 @@ TEST(EmdProtocolTest, OutputSizeAlwaysN) {
 
 TEST(EmdProtocolTest, DeterministicGivenSeed) {
   Rng rng(6);
-  PointSet a = GenerateUniform(24, 2, 63, &rng);
-  PointSet b = GenerateUniform(24, 2, 63, &rng);
+  PointStore a = GenerateUniformStore(24, 2, 63, &rng);
+  PointStore b = GenerateUniformStore(24, 2, 63, &rng);
   EmdProtocolParams params = BaseParams(MetricKind::kL1, 2, 63, 4, 42);
   params.d1 = 16;
   params.d2 = 256;
@@ -213,7 +213,7 @@ TEST(EmdProtocolTest, DeterministicGivenSeed) {
 
 TEST(MultiscaleTest, RejectsBadRatio) {
   Rng rng(7);
-  PointSet pts = GenerateUniform(8, 2, 15, &rng);
+  PointStore pts = GenerateUniformStore(8, 2, 15, &rng);
   MultiscaleEmdParams params;
   params.base = BaseParams(MetricKind::kL1, 2, 15, 1, 1);
   params.interval_ratio = 1.0;
@@ -232,7 +232,7 @@ TEST(MultiscaleTest, CoversWideRangeWithoutPriorBounds) {
   config.noise = 0;
   config.outlier_dist = 50;
   config.seed = 77;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   ASSERT_TRUE(workload.ok());
 
   MultiscaleEmdParams params;
@@ -251,7 +251,7 @@ TEST(MultiscaleTest, CoversWideRangeWithoutPriorBounds) {
 TEST(MultiscaleTest, ChoosesFinerIntervalForSmallerDifferences) {
   // Identical sets: the very first (finest) interval must decode.
   Rng rng(8);
-  PointSet pts = GenerateUniform(32, 2, 255, &rng);
+  PointStore pts = GenerateUniformStore(32, 2, 255, &rng);
   MultiscaleEmdParams params;
   params.base = BaseParams(MetricKind::kL1, 2, 255, 2, 21);
   params.interval_ratio = 4.0;
@@ -263,7 +263,7 @@ TEST(MultiscaleTest, ChoosesFinerIntervalForSmallerDifferences) {
 
 TEST(MultiscaleTest, CommIsSumOfIntervalMessages) {
   Rng rng(9);
-  PointSet pts = GenerateUniform(16, 2, 63, &rng);
+  PointStore pts = GenerateUniformStore(16, 2, 63, &rng);
   MultiscaleEmdParams params;
   params.base = BaseParams(MetricKind::kL1, 2, 63, 1, 23);
   params.interval_ratio = 2.0;

@@ -14,12 +14,16 @@
 namespace rsr {
 namespace {
 
-double WorstCaseGap(const PointSet& from, const PointSet& to,
+double WorstCaseGap(const PointStore& from, const PointSet& to,
                     const Metric& metric) {
   double worst = 0;
-  for (const Point& a : from) {
+  for (size_t i = 0; i < from.size(); ++i) {
     double best = 1e300;
-    for (const Point& b : to) best = std::min(best, metric.Distance(a, b));
+    for (const Point& b : to) {
+      best = std::min(best,
+                      metric.Distance(from.row(i), b.coords().data(),
+                                      from.dim()));
+    }
     worst = std::max(worst, best);
   }
   return worst;
@@ -37,7 +41,7 @@ TEST(TwoWayGapTest, BothDirectionsCovered) {
   config.noise = 2;
   config.outlier_dist = 300;
   config.seed = 11;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   ASSERT_TRUE(workload.ok());
 
   GapProtocolParams params;
@@ -69,7 +73,7 @@ TEST(TwoWayGapTest, CommIsSumOfDirections) {
   config.noise = 1;
   config.outlier_dist = 40;
   config.seed = 12;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   ASSERT_TRUE(workload.ok());
 
   GapProtocolParams params;
@@ -100,7 +104,7 @@ TEST(TwoWayGapTest, FinalSetsNeedNotMatch) {
   config.noise = 2;
   config.outlier_dist = 300;
   config.seed = 13;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   ASSERT_TRUE(workload.ok());
 
   GapProtocolParams params;
@@ -129,7 +133,7 @@ TEST(TwoWayEmdTest, BothDirectionsRepair) {
   config.noise = 1.5;
   config.outlier_dist = 100;
   config.seed = 14;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   ASSERT_TRUE(workload.ok());
 
   MultiscaleEmdParams params;

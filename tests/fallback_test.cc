@@ -124,7 +124,7 @@ TEST(FallbackTest, GapProtocolSurvivesTinySketchHints) {
   config.noise = 1;
   config.outlier_dist = 48;
   config.seed = 9;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   ASSERT_TRUE(workload.ok());
 
   GapProtocolParams params;
@@ -140,10 +140,12 @@ TEST(FallbackTest, GapProtocolSurvivesTinySketchHints) {
   auto report = RunGapProtocol(workload->alice, workload->bob, params);
   ASSERT_TRUE(report.ok());
   Metric metric(MetricKind::kHamming);
-  for (const Point& a : workload->alice) {
+  for (size_t i = 0; i < workload->alice.size(); ++i) {
     double best = 1e300;
     for (const Point& b : report->s_b_prime) {
-      best = std::min(best, metric.Distance(a, b));
+      best = std::min(best, metric.Distance(workload->alice.row(i),
+                                            b.coords().data(),
+                                            workload->alice.dim()));
     }
     EXPECT_LE(best, 40.0);
   }

@@ -16,13 +16,14 @@ namespace rsr {
 namespace {
 
 /// Max over a in alice of min distance to s_b_prime.
-double WorstCaseGap(const PointSet& alice, const PointSet& s_b_prime,
+double WorstCaseGap(const PointStore& alice, const PointSet& s_b_prime,
                     const Metric& metric) {
   double worst = 0;
-  for (const Point& a : alice) {
+  for (size_t i = 0; i < alice.size(); ++i) {
     double best = 1e300;
     for (const Point& b : s_b_prime) {
-      best = std::min(best, metric.Distance(a, b));
+      best = std::min(best, metric.Distance(alice.row(i), b.coords().data(),
+                                            alice.dim()));
     }
     worst = std::max(worst, best);
   }
@@ -62,7 +63,7 @@ TEST(GapParamsTest, P2NearHalfByConstruction) {
 
 TEST(GapProtocolTest, IdenticalSetsTransmitNothing) {
   Rng rng(1);
-  PointSet pts = GenerateUniform(64, 128, 1, &rng);
+  PointStore pts = GenerateUniformStore(64, 128, 1, &rng);
   auto report = RunGapProtocol(pts, pts, HammingParams(128, 2, 32, 1, 5));
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->transmitted.size(), 0u);
@@ -83,7 +84,7 @@ TEST(GapProtocolTest, GuaranteeHoldsWithOutliersHamming) {
     config.noise = 2;          // close pairs within r1 = 4
     config.outlier_dist = 80;  // far points beyond r2 = 64
     config.seed = 900 + trial;
-    auto workload = GenerateNoisyPair(config);
+    auto workload = GenerateNoisyPairStore(config);
     ASSERT_TRUE(workload.ok());
 
     auto report = RunGapProtocol(workload->alice, workload->bob,
@@ -111,7 +112,7 @@ TEST(GapProtocolTest, GuaranteeHoldsL1) {
     config.noise = 3;
     config.outlier_dist = 300;
     config.seed = 700 + trial;
-    auto workload = GenerateNoisyPair(config);
+    auto workload = GenerateNoisyPairStore(config);
     ASSERT_TRUE(workload.ok());
 
     GapProtocolParams params;
@@ -142,14 +143,14 @@ TEST(GapProtocolTest, SBPrimeIsSupersetOfBob) {
   config.noise = 1;
   config.outlier_dist = 40;
   config.seed = 31;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   ASSERT_TRUE(workload.ok());
   auto report = RunGapProtocol(workload->alice, workload->bob,
                                HammingParams(128, 2, 32, 1, 8));
   ASSERT_TRUE(report.ok());
   ASSERT_GE(report->s_b_prime.size(), workload->bob.size());
   for (size_t i = 0; i < workload->bob.size(); ++i) {
-    EXPECT_EQ(report->s_b_prime[i], workload->bob[i]);
+    EXPECT_EQ(report->s_b_prime[i], workload->bob.MakePoint(i));
   }
   EXPECT_EQ(report->s_b_prime.size(),
             workload->bob.size() + report->transmitted.size());
@@ -167,7 +168,7 @@ TEST(GapProtocolTest, CommunicationBeatsNaiveWhenFewDifferences) {
   config.noise = 1;
   config.outlier_dist = 256;
   config.seed = 17;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   ASSERT_TRUE(workload.ok());
   GapProtocolParams params = HammingParams(1024, 2, 192, 1, 23);
   params.h_multiplier = 4.0;
@@ -181,7 +182,7 @@ TEST(GapProtocolTest, CommunicationBeatsNaiveWhenFewDifferences) {
 
 TEST(GapProtocolTest, FourRoundsPlusReconcilerRetries) {
   Rng rng(2);
-  PointSet pts = GenerateUniform(32, 128, 1, &rng);
+  PointStore pts = GenerateUniformStore(32, 128, 1, &rng);
   auto report = RunGapProtocol(pts, pts, HammingParams(128, 2, 32, 1, 3));
   ASSERT_TRUE(report.ok());
   // 3 reconciler messages + 1 transmission when nothing retries.
@@ -198,7 +199,7 @@ TEST(GapProtocolTest, WorksWithVerbatimReconciler) {
   config.noise = 1;
   config.outlier_dist = 48;
   config.seed = 19;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   ASSERT_TRUE(workload.ok());
   GapProtocolParams params = HammingParams(128, 2, 40, 1, 29);
   params.reconciler.mode = SetsReconcilerMode::kVerbatim;
@@ -210,8 +211,8 @@ TEST(GapProtocolTest, WorksWithVerbatimReconciler) {
 
 TEST(GapProtocolTest, DeterministicGivenSeed) {
   Rng rng(3);
-  PointSet a = GenerateUniform(24, 128, 1, &rng);
-  PointSet b = GenerateUniform(24, 128, 1, &rng);
+  PointStore a = GenerateUniformStore(24, 128, 1, &rng);
+  PointStore b = GenerateUniformStore(24, 128, 1, &rng);
   auto r1 = RunGapProtocol(a, b, HammingParams(128, 2, 32, 2, 77));
   auto r2 = RunGapProtocol(a, b, HammingParams(128, 2, 32, 2, 77));
   ASSERT_TRUE(r1.ok());
@@ -222,7 +223,7 @@ TEST(GapProtocolTest, DeterministicGivenSeed) {
 
 TEST(GapProtocolTest, DerivedParametersSane) {
   Rng rng(4);
-  PointSet pts = GenerateUniform(16, 64, 1, &rng);
+  PointStore pts = GenerateUniformStore(16, 64, 1, &rng);
   auto report = RunGapProtocol(pts, pts, HammingParams(64, 1, 16, 1, 31));
   ASSERT_TRUE(report.ok());
   EXPECT_GE(report->derived.m, 1u);
@@ -237,7 +238,7 @@ TEST(GapProtocolTest, DerivedParametersSane) {
 
 TEST(LowDimGapTest, RejectsRhoHatAboveOne) {
   Rng rng(5);
-  PointSet pts = GenerateUniform(8, 8, 255, &rng);
+  PointStore pts = GenerateUniformStore(8, 8, 255, &rng);
   LowDimGapParams params;
   params.metric = MetricKind::kL1;
   params.dim = 8;
@@ -260,7 +261,7 @@ TEST(LowDimGapTest, GuaranteeHoldsL1) {
     config.noise = 2;
     config.outlier_dist = 200;
     config.seed = 500 + trial;
-    auto workload = GenerateNoisyPair(config);
+    auto workload = GenerateNoisyPairStore(config);
     ASSERT_TRUE(workload.ok());
 
     LowDimGapParams params;
@@ -296,7 +297,7 @@ TEST(LowDimGapTest, OneSidedErrorNeverMissesFarPoints) {
     config.noise = 1;
     config.outlier_dist = 400;
     config.seed = 5100 + trial;
-    auto workload = GenerateNoisyPair(config);
+    auto workload = GenerateNoisyPairStore(config);
     ASSERT_TRUE(workload.ok());
 
     LowDimGapParams params;
@@ -314,8 +315,9 @@ TEST(LowDimGapTest, OneSidedErrorNeverMissesFarPoints) {
     // Alice's outlier is >= 400 > r2 away from everything of Bob's; with
     // p2 = 0 its key shares no entry with any Bob key, so it MUST be sent.
     bool found = false;
+    Point outlier = workload->alice_outliers.MakePoint(0);
     for (const Point& p : report->transmitted) {
-      if (p == workload->alice_outliers[0]) found = true;
+      if (p == outlier) found = true;
     }
     EXPECT_TRUE(found) << "trial " << trial;
   }
@@ -323,7 +325,7 @@ TEST(LowDimGapTest, OneSidedErrorNeverMissesFarPoints) {
 
 TEST(LowDimGapTest, DerivedHScalesWithRhoHat) {
   Rng rng(6);
-  PointSet pts = GenerateUniform(16, 2, 4095, &rng);
+  PointStore pts = GenerateUniformStore(16, 2, 4095, &rng);
   LowDimGapParams tight;
   tight.metric = MetricKind::kL1;
   tight.dim = 2;

@@ -17,13 +17,14 @@
 namespace rsr {
 namespace {
 
-double WorstCaseGap(const PointSet& alice, const PointSet& s_b_prime,
+double WorstCaseGap(const PointStore& alice, const PointSet& s_b_prime,
                     const Metric& metric) {
   double worst = 0;
-  for (const Point& a : alice) {
+  for (size_t i = 0; i < alice.size(); ++i) {
     double best = 1e300;
     for (const Point& b : s_b_prime) {
-      best = std::min(best, metric.Distance(a, b));
+      best = std::min(best, metric.Distance(alice.row(i), b.coords().data(),
+                                            alice.dim()));
     }
     worst = std::max(worst, best);
   }
@@ -43,7 +44,7 @@ TEST(IntegrationTest, SensorScenarioEmdPipeline) {
   config.noise = 2.0;
   config.outlier_dist = 120;
   config.seed = 424242;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   ASSERT_TRUE(workload.ok());
 
   Metric metric(MetricKind::kL2);
@@ -77,7 +78,7 @@ TEST(IntegrationTest, EmdProtocolBeatsNaiveCommunicationForSmallK) {
   config.noise = 0;
   config.outlier_dist = 500;
   config.seed = 31337;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   ASSERT_TRUE(workload.ok());
 
   EmdProtocolParams params;
@@ -109,7 +110,7 @@ TEST(IntegrationTest, GapAndEmdModelsComposable) {
   config.noise = 2;
   config.outlier_dist = 250;
   config.seed = 777;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   ASSERT_TRUE(workload.ok());
 
   GapProtocolParams gap;
@@ -144,7 +145,7 @@ TEST(IntegrationTest, OursVsQuadtreeOnHighDimensionalData) {
     config.noise = 2;
     config.outlier_dist = 300;
     config.seed = 8800 + trial;
-    auto workload = GenerateNoisyPair(config);
+    auto workload = GenerateNoisyPairStore(config);
     ASSERT_TRUE(workload.ok());
     Metric metric(MetricKind::kL1);
 
@@ -181,7 +182,7 @@ TEST(IntegrationTest, OursVsQuadtreeOnHighDimensionalData) {
 
 TEST(IntegrationTest, TranscriptBytesArePositiveAndAdditive) {
   Rng rng(1);
-  PointSet pts = GenerateUniform(24, 2, 63, &rng);
+  PointStore pts = GenerateUniformStore(24, 2, 63, &rng);
   EmdProtocolParams params;
   params.metric = MetricKind::kL1;
   params.dim = 2;
@@ -203,10 +204,11 @@ TEST(IntegrationTest, TranscriptBytesArePositiveAndAdditive) {
 }
 
 TEST(IntegrationTest, StoreWorkloadDrivesWholePipelineIdentically) {
-  // End-to-end representation identity: generate the workload as stores,
-  // run the multiscale EMD and Gap protocols (threads 1 and 8), and verify
-  // every transcript byte and output point matches the legacy PointSet
-  // path. The columnar arena must be invisible on the wire.
+  // End-to-end representation identity: the PointSet generators draw the
+  // same points as the store generators, and a store converted from that
+  // PointSet output must drive the multiscale EMD and Gap protocols
+  // (threads 1 and 8) byte-identically to the natively generated arena.
+  // However the arena was built, it must be invisible on the wire.
   NoisyPairConfig config;
   config.metric = MetricKind::kL2;
   config.dim = 3;
@@ -222,6 +224,8 @@ TEST(IntegrationTest, StoreWorkloadDrivesWholePipelineIdentically) {
   ASSERT_TRUE(sets.ok());
   ASSERT_EQ(stores->alice.ToPointSet(), sets->alice);
   ASSERT_EQ(stores->bob.ToPointSet(), sets->bob);
+  PointStore alice_converted = PointStore::FromPointSet(3, sets->alice);
+  PointStore bob_converted = PointStore::FromPointSet(3, sets->bob);
 
   for (size_t threads : {size_t{1}, size_t{8}}) {
     MultiscaleEmdParams emd;
@@ -234,7 +238,8 @@ TEST(IntegrationTest, StoreWorkloadDrivesWholePipelineIdentically) {
     emd.interval_ratio = 4.0;
     auto emd_stores = RunMultiscaleEmdProtocol(stores->alice, stores->bob,
                                                emd);
-    auto emd_sets = RunMultiscaleEmdProtocol(sets->alice, sets->bob, emd);
+    auto emd_sets =
+        RunMultiscaleEmdProtocol(alice_converted, bob_converted, emd);
     ASSERT_TRUE(emd_stores.ok());
     ASSERT_TRUE(emd_sets.ok());
     EXPECT_EQ(emd_stores->failure, emd_sets->failure);
@@ -252,7 +257,7 @@ TEST(IntegrationTest, StoreWorkloadDrivesWholePipelineIdentically) {
     gap.seed = 888;
     gap.num_threads = threads;
     auto gap_stores = RunGapProtocol(stores->alice, stores->bob, gap);
-    auto gap_sets = RunGapProtocol(sets->alice, sets->bob, gap);
+    auto gap_sets = RunGapProtocol(alice_converted, bob_converted, gap);
     ASSERT_TRUE(gap_stores.ok());
     ASSERT_TRUE(gap_sets.ok());
     EXPECT_EQ(gap_stores->s_b_prime, gap_sets->s_b_prime);
@@ -276,8 +281,8 @@ TEST(IntegrationTest, FullyDeterministicAcrossModules) {
   config.noise = 1;
   config.outlier_dist = 30;
   config.seed = 1234;
-  auto w1 = GenerateNoisyPair(config);
-  auto w2 = GenerateNoisyPair(config);
+  auto w1 = GenerateNoisyPairStore(config);
+  auto w2 = GenerateNoisyPairStore(config);
   ASSERT_TRUE(w1.ok());
   ASSERT_TRUE(w2.ok());
 

@@ -118,9 +118,10 @@ TEST(LshBatchTest, EvaluateAllIntoMatchesScalarForEveryThreadCount) {
         reference[i][g] = functions[g]->Eval(points[i]);
       }
     }
+    PointStore store = PointStore::FromPointSet(dim, points);
     for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
       EvalMatrix matrix;
-      EvaluateAllInto(points, functions, threads, &matrix);
+      EvaluateAllInto(store, functions, threads, &matrix);
       ASSERT_EQ(matrix.rows(), points.size());
       ASSERT_EQ(matrix.cols(), functions.size());
       for (size_t i = 0; i < points.size(); ++i) {
@@ -223,7 +224,7 @@ TEST(LshBatchTest, DsBloomInsertManyMatchesInsert) {
   Rng rng(9);
   PointSet points = GenerateUniform(64, dim, 1, &rng);
   for (const Point& p : points) one_by_one.Insert(p);
-  batched.InsertMany(points);
+  batched.InsertMany(PointStore::FromPointSet(dim, points));
   PointSet queries = GenerateUniform(128, dim, 1, &rng);
   for (const Point& q : queries) {
     ASSERT_EQ(one_by_one.VoteFraction(q), batched.VoteFraction(q));
@@ -246,9 +247,11 @@ TEST(LshBatchTest, EmdTranscriptIdenticalForEveryThreadCount) {
     const size_t dim = metric == MetricKind::kHamming ? 64 : 3;
     const Coord delta = metric == MetricKind::kHamming ? 1 : 63;
     Rng rng(42);
-    PointSet alice = GenerateUniform(48, dim, delta, &rng);
-    PointSet bob = alice;
-    bob[0] = GenerateUniform(1, dim, delta, &rng)[0];  // one difference
+    PointSet alice_set = GenerateUniform(48, dim, delta, &rng);
+    PointSet bob_set = alice_set;
+    bob_set[0] = GenerateUniform(1, dim, delta, &rng)[0];  // one difference
+    PointStore alice = PointStore::FromPointSet(dim, alice_set);
+    PointStore bob = PointStore::FromPointSet(dim, bob_set);
     EmdProtocolParams params;
     params.metric = metric;
     params.dim = dim;
@@ -276,8 +279,8 @@ TEST(LshBatchTest, EmdTranscriptIdenticalForEveryThreadCount) {
 
 TEST(LshBatchTest, GapTranscriptIdenticalForEveryThreadCount) {
   Rng rng(43);
-  PointSet alice = GenerateUniform(32, 128, 1, &rng);
-  PointSet bob = GenerateUniform(32, 128, 1, &rng);
+  PointStore alice = GenerateUniformStore(32, 128, 1, &rng);
+  PointStore bob = GenerateUniformStore(32, 128, 1, &rng);
   GapProtocolParams params;
   params.metric = MetricKind::kHamming;
   params.dim = 128;
@@ -302,8 +305,8 @@ TEST(LshBatchTest, GapTranscriptIdenticalForEveryThreadCount) {
 
 TEST(LshBatchTest, LowDimGapTranscriptIdenticalForEveryThreadCount) {
   Rng rng(44);
-  PointSet alice = GenerateUniform(24, 2, 255, &rng);
-  PointSet bob = GenerateUniform(24, 2, 255, &rng);
+  PointStore alice = GenerateUniformStore(24, 2, 255, &rng);
+  PointStore bob = GenerateUniformStore(24, 2, 255, &rng);
   LowDimGapParams params;
   params.metric = MetricKind::kL1;
   params.dim = 2;
@@ -325,138 +328,16 @@ TEST(LshBatchTest, LowDimGapTranscriptIdenticalForEveryThreadCount) {
   }
 }
 
-// ---- Store-vs-PointSet representation identity ---------------------------
-//
-// The protocols' primary entry points take PointStore; the PointSet
-// overloads are adapters. Both must produce bit-identical transcripts and
-// outputs for every thread count — the representation may never leak into
-// the wire.
-
-TEST(LshBatchTest, EmdStoreAndPointSetTranscriptsIdentical) {
-  for (MetricKind metric :
-       {MetricKind::kL1, MetricKind::kL2, MetricKind::kHamming}) {
-    const size_t dim = metric == MetricKind::kHamming ? 64 : 3;
-    const Coord delta = metric == MetricKind::kHamming ? 1 : 63;
-    Rng rng(52);
-    PointSet alice = GenerateUniform(48, dim, delta, &rng);
-    PointSet bob = alice;
-    bob[0] = GenerateUniform(1, dim, delta, &rng)[0];
-    PointStore alice_store = PointStore::FromPointSet(dim, alice);
-    PointStore bob_store = PointStore::FromPointSet(dim, bob);
-    EmdProtocolParams params;
-    params.metric = metric;
-    params.dim = dim;
-    params.delta = delta;
-    params.k = 2;
-    params.d1 = 1;
-    params.d2 = 16;
-    params.seed = 4321;
-    for (size_t threads : {size_t{1}, size_t{8}}) {
-      params.num_threads = threads;
-      auto from_sets = RunEmdProtocol(alice, bob, params);
-      auto from_stores = RunEmdProtocol(alice_store, bob_store, params);
-      ASSERT_TRUE(from_sets.ok());
-      ASSERT_TRUE(from_stores.ok());
-      EXPECT_EQ(from_stores->failure, from_sets->failure);
-      EXPECT_EQ(from_stores->decoded_level, from_sets->decoded_level);
-      EXPECT_EQ(from_stores->s_b_prime, from_sets->s_b_prime);
-      EXPECT_EQ(from_stores->x_a, from_sets->x_a);
-      EXPECT_EQ(from_stores->x_b, from_sets->x_b);
-      ExpectSameComm(from_stores->comm, from_sets->comm);
-    }
-  }
-}
-
-TEST(LshBatchTest, GapStoreAndPointSetTranscriptsIdentical) {
-  Rng rng(53);
-  PointSet alice = GenerateUniform(32, 128, 1, &rng);
-  PointSet bob = GenerateUniform(32, 128, 1, &rng);
-  PointStore alice_store = PointStore::FromPointSet(128, alice);
-  PointStore bob_store = PointStore::FromPointSet(128, bob);
-  GapProtocolParams params;
-  params.metric = MetricKind::kHamming;
-  params.dim = 128;
-  params.delta = 1;
-  params.r1 = 2;
-  params.r2 = 32;
-  params.k = 2;
-  params.seed = 78;
-  for (size_t threads : {size_t{1}, size_t{8}}) {
-    params.num_threads = threads;
-    auto from_sets = RunGapProtocol(alice, bob, params);
-    auto from_stores = RunGapProtocol(alice_store, bob_store, params);
-    ASSERT_TRUE(from_sets.ok());
-    ASSERT_TRUE(from_stores.ok());
-    EXPECT_EQ(from_stores->transmitted, from_sets->transmitted);
-    EXPECT_EQ(from_stores->s_b_prime, from_sets->s_b_prime);
-    EXPECT_EQ(from_stores->far_keys, from_sets->far_keys);
-    ExpectSameComm(from_stores->comm, from_sets->comm);
-  }
-}
-
-TEST(LshBatchTest, LowDimGapStoreAndPointSetTranscriptsIdentical) {
-  Rng rng(54);
-  PointSet alice = GenerateUniform(24, 2, 255, &rng);
-  PointSet bob = GenerateUniform(24, 2, 255, &rng);
-  PointStore alice_store = PointStore::FromPointSet(2, alice);
-  PointStore bob_store = PointStore::FromPointSet(2, bob);
-  LowDimGapParams params;
-  params.metric = MetricKind::kL1;
-  params.dim = 2;
-  params.delta = 255;
-  params.r1 = 2;
-  params.r2 = 40;
-  params.k = 2;
-  params.seed = 56;
-  for (size_t threads : {size_t{1}, size_t{8}}) {
-    params.num_threads = threads;
-    auto from_sets = RunLowDimGapProtocol(alice, bob, params);
-    auto from_stores = RunLowDimGapProtocol(alice_store, bob_store, params);
-    ASSERT_TRUE(from_sets.ok());
-    ASSERT_TRUE(from_stores.ok());
-    EXPECT_EQ(from_stores->transmitted, from_sets->transmitted);
-    EXPECT_EQ(from_stores->s_b_prime, from_sets->s_b_prime);
-    ExpectSameComm(from_stores->comm, from_sets->comm);
-  }
-}
-
-TEST(LshBatchTest, MultiPartyStoreAndPointSetIdentical) {
-  Rng rng(55);
-  PointSet base = GenerateUniform(20, 3, 127, &rng);
-  std::vector<PointSet> parties(3, base);
-  parties[0].pop_back();
-  parties[1].push_back(GenerateUniform(1, 3, 127, &rng)[0]);
-  std::vector<PointStore> stores;
-  for (const PointSet& set : parties) {
-    stores.push_back(PointStore::FromPointSet(3, set));
-  }
-  MultiPartyParams params;
-  params.dim = 3;
-  params.delta = 127;
-  params.sketch_cells = 36 * 4;
-  params.seed = 8;
-  for (size_t threads : {size_t{1}, size_t{8}}) {
-    params.num_threads = threads;
-    auto from_sets = RunMultiPartyUnion(parties, params);
-    auto from_stores = RunMultiPartyUnion(stores, params);
-    ASSERT_TRUE(from_sets.ok());
-    ASSERT_TRUE(from_stores.ok());
-    EXPECT_EQ(from_stores->all_ok, from_sets->all_ok);
-    ASSERT_EQ(from_stores->final_sets.size(), from_sets->final_sets.size());
-    for (size_t i = 0; i < from_sets->final_sets.size(); ++i) {
-      EXPECT_EQ(from_stores->party_ok[i], from_sets->party_ok[i]);
-      EXPECT_EQ(from_stores->final_sets[i], from_sets->final_sets[i]);
-    }
-    ExpectSameComm(from_stores->comm, from_sets->comm);
-  }
-}
-
 TEST(LshBatchTest, MultiPartyIdenticalForEveryThreadCount) {
   Rng rng(45);
   PointSet base = GenerateUniform(20, 3, 127, &rng);
-  std::vector<PointSet> parties(3, base);
-  parties[0].pop_back();
-  parties[1].push_back(GenerateUniform(1, 3, 127, &rng)[0]);
+  std::vector<PointSet> party_sets(3, base);
+  party_sets[0].pop_back();
+  party_sets[1].push_back(GenerateUniform(1, 3, 127, &rng)[0]);
+  std::vector<PointStore> parties;
+  for (const PointSet& set : party_sets) {
+    parties.push_back(PointStore::FromPointSet(3, set));
+  }
   MultiPartyParams params;
   params.dim = 3;
   params.delta = 127;

@@ -24,6 +24,15 @@ PointSet SortedUnion(const std::vector<PointSet>& parties) {
   return all;
 }
 
+std::vector<PointStore> ToStores(const std::vector<PointSet>& parties) {
+  std::vector<PointStore> stores;
+  stores.reserve(parties.size());
+  for (const PointSet& set : parties) {
+    stores.push_back(PointStore::FromPointSet(2, set));
+  }
+  return stores;
+}
+
 MultiPartyParams MakeParams(size_t cells, uint64_t seed = 9) {
   MultiPartyParams params;
   params.dim = 2;
@@ -47,9 +56,10 @@ std::vector<PointSet> MakeParties(size_t s, size_t shared, size_t unique_each,
 }
 
 TEST(MultiPartyTest, RejectsDegenerateInputs) {
-  EXPECT_FALSE(RunMultiPartyUnion({PointSet{}}, MakeParams(32)).ok());
+  EXPECT_FALSE(
+      RunMultiPartyUnion(std::vector<PointStore>(1), MakeParams(32)).ok());
   MultiPartyParams bad = MakeParams(0);
-  std::vector<PointSet> two(2);
+  std::vector<PointStore> two(2);
   EXPECT_FALSE(RunMultiPartyUnion(two, bad).ok());
 }
 
@@ -57,7 +67,7 @@ TEST(MultiPartyTest, IdenticalPartiesNoWork) {
   Rng rng(1);
   PointSet shared = GenerateUniform(50, 2, 1023, &rng);
   std::vector<PointSet> parties(4, shared);
-  auto report = RunMultiPartyUnion(parties, MakeParams(36));
+  auto report = RunMultiPartyUnion(ToStores(parties), MakeParams(36));
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report->all_ok);
   for (const auto& final_set : report->final_sets) {
@@ -73,7 +83,7 @@ TEST_P(MultiPartyCountTest, EveryPartyGetsTheUnion) {
   PointSet want = SortedUnion(parties);
   // Decode load per party <= (s-1)*3 missing + own 3 surplus; size with the
   // paper's 4 q^2 margin.
-  auto report = RunMultiPartyUnion(parties, MakeParams(36 * (s * 3 + 3)));
+  auto report = RunMultiPartyUnion(ToStores(parties), MakeParams(36 * (s * 3 + 3)));
   ASSERT_TRUE(report.ok());
   ASSERT_TRUE(report->all_ok);
   for (size_t i = 0; i < s; ++i) {
@@ -100,7 +110,7 @@ TEST(MultiPartyTest, PartialOverlapPatterns) {
   parties[0].push_back(extras[3]);
   parties[1].push_back(extras[3]);
   parties[2].push_back(extras[3]);                       // multiplicity 3
-  auto report = RunMultiPartyUnion(parties, MakeParams(36 * 16));
+  auto report = RunMultiPartyUnion(ToStores(parties), MakeParams(36 * 16));
   ASSERT_TRUE(report.ok());
   ASSERT_TRUE(report->all_ok);
   PointSet want = SortedUnion(parties);
@@ -118,7 +128,7 @@ TEST(MultiPartyTest, WithinPartyDuplicatesCollapse) {
   std::vector<PointSet> parties(3, base);
   parties[1].push_back(base[0]);  // duplicate of a shared point
   parties[1].push_back(base[0]);
-  auto report = RunMultiPartyUnion(parties, MakeParams(36 * 4));
+  auto report = RunMultiPartyUnion(ToStores(parties), MakeParams(36 * 4));
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report->all_ok);
   for (const auto& final_set : report->final_sets) {
@@ -128,7 +138,7 @@ TEST(MultiPartyTest, WithinPartyDuplicatesCollapse) {
 
 TEST(MultiPartyTest, UndersizedSketchFailsHonestly) {
   auto parties = MakeParties(3, 20, 30, 7);  // 90+ diff mass
-  auto report = RunMultiPartyUnion(parties, MakeParams(24));
+  auto report = RunMultiPartyUnion(ToStores(parties), MakeParams(24));
   ASSERT_TRUE(report.ok());
   EXPECT_FALSE(report->all_ok);
   // Failed parties keep their input sets (no garbage).
@@ -141,7 +151,7 @@ TEST(MultiPartyTest, UndersizedSketchFailsHonestly) {
 
 TEST(MultiPartyTest, CommIsOneBroadcastPerParty) {
   auto parties = MakeParties(5, 30, 2, 11);
-  auto report = RunMultiPartyUnion(parties, MakeParams(36 * 12));
+  auto report = RunMultiPartyUnion(ToStores(parties), MakeParams(36 * 12));
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->comm.rounds(), 5);
 }

@@ -47,7 +47,7 @@ TEST_P(EmdProtocolGridTest, InvariantsHold) {
   config.noise = metric_kind == MetricKind::kHamming ? 1 : 2;
   config.outlier_dist = metric_kind == MetricKind::kHamming ? 30 : 150;
   config.seed = 17 * n + k;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   ASSERT_TRUE(workload.ok());
 
   MultiscaleEmdParams params;
@@ -112,7 +112,7 @@ TEST_P(GapProtocolGridTest, GuaranteeAndSupersetHold) {
   config.noise = r1 / 2;
   config.outlier_dist = r2 * 1.4;
   config.seed = 29 * n + k;
-  auto workload = GenerateNoisyPair(config);
+  auto workload = GenerateNoisyPairStore(config);
   ASSERT_TRUE(workload.ok());
 
   GapProtocolParams params;
@@ -130,13 +130,15 @@ TEST_P(GapProtocolGridTest, GuaranteeAndSupersetHold) {
   // Superset: S'_B extends S_B verbatim.
   ASSERT_GE(report->s_b_prime.size(), workload->bob.size());
   for (size_t i = 0; i < workload->bob.size(); ++i) {
-    EXPECT_EQ(report->s_b_prime[i], workload->bob[i]);
+    EXPECT_EQ(report->s_b_prime[i], workload->bob.MakePoint(i));
   }
   // Guarantee: every Alice point within r2 of S'_B.
-  for (const Point& a : workload->alice) {
+  for (size_t i = 0; i < workload->alice.size(); ++i) {
     double best = 1e300;
     for (const Point& b : report->s_b_prime) {
-      best = std::min(best, metric.Distance(a, b));
+      best = std::min(best, metric.Distance(workload->alice.row(i),
+                                            b.coords().data(),
+                                            workload->alice.dim()));
     }
     EXPECT_LE(best, r2 + 1e-9);
   }
@@ -238,8 +240,8 @@ TEST(SketchAlgebraTest, RibltDecodeConservesMultiset) {
   auto result = table.Decode(100, 100, &decode_rng);
   if (!result.ok()) GTEST_SKIP() << "mixed-sign cells can legally jam";
   std::map<uint64_t, int64_t> got;
-  for (const auto& pair : result->inserted) got[pair.key] += 1;
-  for (const auto& pair : result->deleted) got[pair.key] -= 1;
+  for (uint64_t key : result->inserted_keys) got[key] += 1;
+  for (uint64_t key : result->deleted_keys) got[key] -= 1;
   for (auto& [key, count] : net) {
     if (count == 0) continue;
     EXPECT_EQ(got[key], count) << "key " << key;
@@ -318,8 +320,8 @@ TEST(WireRobustnessTest, CorruptedRibltDecodeIsSafe) {
     auto result = restored->Decode(100, 100, &decode_rng);
     if (result.ok()) {
       // Extracted values must still respect the domain (clamping).
-      for (const auto& pair : result->inserted) {
-        EXPECT_TRUE(pair.value.InDomain(params.delta));
+      for (size_t i = 0; i < result->inserted.size(); ++i) {
+        EXPECT_TRUE(result->inserted[i].InDomain(params.delta));
       }
     }
   }

@@ -51,13 +51,12 @@ TEST(RibltTest, ExactRecoveryUniqueKeys) {
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->inserted.size(), 2u);
   ASSERT_EQ(result->deleted.size(), 2u);
-  for (const auto& pair : result->inserted) {
-    EXPECT_EQ(pair.value, alice.at(pair.key));
-    EXPECT_EQ(pair.side, 1);
+  for (size_t i = 0; i < result->inserted.size(); ++i) {
+    EXPECT_EQ(result->inserted.MakePoint(i),
+              alice.at(result->inserted_keys[i]));
   }
-  for (const auto& pair : result->deleted) {
-    EXPECT_EQ(pair.value, bob.at(pair.key));
-    EXPECT_EQ(pair.side, -1);
+  for (size_t i = 0; i < result->deleted.size(); ++i) {
+    EXPECT_EQ(result->deleted.MakePoint(i), bob.at(result->deleted_keys[i]));
   }
 }
 
@@ -88,9 +87,9 @@ TEST(RibltTest, DuplicateKeysSameSideAveraged) {
   auto result = table.Decode(100, 100, &rng);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->inserted.size(), 2u);
-  for (const auto& pair : result->inserted) {
-    EXPECT_EQ(pair.key, 77u);
-    EXPECT_EQ(pair.value[0], 15);
+  for (size_t i = 0; i < result->inserted.size(); ++i) {
+    EXPECT_EQ(result->inserted_keys[i], 77u);
+    EXPECT_EQ(result->inserted[i][0], 15);
   }
 }
 
@@ -105,9 +104,9 @@ TEST(RibltTest, RandomizedRoundingIsUnbiased) {
     Rng rng(9000 + trial);
     auto result = table.Decode(10, 10, &rng);
     ASSERT_TRUE(result.ok());
-    for (const auto& pair : result->inserted) {
-      if (pair.value[0] == 10) ++tens;
-      if (pair.value[0] == 11) ++elevens;
+    for (size_t i = 0; i < result->inserted.size(); ++i) {
+      if (result->inserted[i][0] == 10) ++tens;
+      if (result->inserted[i][0] == 11) ++elevens;
     }
   }
   EXPECT_GT(tens, 250);
@@ -126,9 +125,9 @@ TEST(RibltTest, ExtractedValuesClampedToDomain) {
     Rng rng(trial);
     auto result = table.Decode(10, 10, &rng);
     if (!result.ok()) continue;
-    for (const auto& pair : result->inserted) {
-      EXPECT_GE(pair.value[0], 0);
-      EXPECT_LE(pair.value[0], 20);
+    for (size_t i = 0; i < result->inserted.size(); ++i) {
+      EXPECT_GE(result->inserted[i][0], 0);
+      EXPECT_LE(result->inserted[i][0], 20);
     }
   }
 }
@@ -147,9 +146,9 @@ TEST(RibltTest, ErrorPropagationMatchesFigure1) {
   ASSERT_TRUE(result.ok());
   std::set<uint64_t> keys;
   int64_t total = 0;
-  for (const auto& pair : result->inserted) {
-    keys.insert(pair.key);
-    total += pair.value[0];
+  for (size_t i = 0; i < result->inserted.size(); ++i) {
+    keys.insert(result->inserted_keys[i]);
+    total += result->inserted[i][0];
   }
   EXPECT_EQ(keys, (std::set<uint64_t>{2, 3}));
   // The -10 error lands on whatever subset of {2,3} shares cells with key 1
@@ -208,8 +207,8 @@ TEST(RibltTest, MixedCancellationWithNoise) {
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->inserted.size(), 1u);
   ASSERT_EQ(result->deleted.size(), 1u);
-  EXPECT_EQ(result->inserted[0].key, 5000u);
-  EXPECT_EQ(result->deleted[0].key, 6000u);
+  EXPECT_EQ(result->inserted_keys[0], 5000u);
+  EXPECT_EQ(result->deleted_keys[0], 6000u);
 }
 
 TEST(RibltTest, SerializationRoundTrip) {
@@ -230,6 +229,109 @@ TEST(RibltTest, SerializationRoundTrip) {
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a->inserted.size(), b->inserted.size());
   EXPECT_EQ(a->deleted.size(), b->deleted.size());
+}
+
+TEST(RibltTest, StoreNativeResultPreservesPairSemantics) {
+  // The store-native result must carry exactly the information the legacy
+  // vector<RibltPair> did: row i of `inserted` pairs with inserted_keys[i],
+  // and duplicate-key extraction (requirement 5) emits |C| parallel rows of
+  // the averaged value. Values 10/20/30 under one key average to exactly 20.
+  Riblt table(MakeParams(48, 2, 100, 3, 31));
+  table.Insert(9, P({10, 10}));
+  table.Insert(9, P({20, 20}));
+  table.Insert(9, P({30, 30}));
+  table.Delete(77, P({5, 6}));
+  Rng rng(32);
+  auto result = table.Decode(100, 100, &rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->inserted.size(), 3u);
+  ASSERT_EQ(result->inserted_keys.size(), 3u);
+  ASSERT_EQ(result->inserted.dim(), 2u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(result->inserted_keys[i], 9u);
+    EXPECT_EQ(result->inserted[i][0], 20);
+    EXPECT_EQ(result->inserted[i][1], 20);
+  }
+  ASSERT_EQ(result->deleted.size(), 1u);
+  ASSERT_EQ(result->deleted_keys.size(), 1u);
+  EXPECT_EQ(result->deleted_keys[0], 77u);
+  EXPECT_EQ(result->deleted.MakePoint(0), P({5, 6}));
+}
+
+TEST(RibltTest, StoreNativeErrorPropagationWithMultipleCopies) {
+  // Figure 1's valued error path composed with copies > 1: a canceled
+  // equal-key pair hides error -2*E in its cells; a colliding duplicate-key
+  // extraction (C = 2 copies of key 2) absorbs whatever part of the error
+  // lands in its cells. Whatever the hash layout, key identities stay exact,
+  // every row stays in-domain, and the two copies agree (the average is
+  // integral or both rows round independently but stay within 1).
+  for (int trial = 0; trial < 30; ++trial) {
+    Riblt table(MakeParams(24, 1, 100, 3, 500 + trial));
+    table.Insert(1, P({40}));
+    table.Delete(1, P({60}));  // error -20 hidden in key 1's cells
+    table.Insert(2, P({50}));
+    table.Insert(2, P({50}));  // C = 2 copies, same value
+    Rng rng(600 + trial);
+    auto result = table.Decode(10, 10, &rng);
+    if (!result.ok()) continue;  // mixed-sign cells can legally jam
+    ASSERT_EQ(result->inserted.size(), result->inserted_keys.size());
+    ASSERT_EQ(result->inserted.size(), 2u) << "trial " << trial;
+    for (size_t i = 0; i < result->inserted.size(); ++i) {
+      EXPECT_EQ(result->inserted_keys[i], 2u);
+      EXPECT_GE(result->inserted[i][0], 0);
+      EXPECT_LE(result->inserted[i][0], 100);
+      // Error -20 split over 2 copies shifts the average by at most 10.
+      EXPECT_GE(result->inserted[i][0], 39);
+      EXPECT_LE(result->inserted[i][0], 51);
+    }
+    EXPECT_TRUE(result->deleted.empty());
+    EXPECT_TRUE(result->deleted_keys.empty());
+  }
+}
+
+TEST(RibltTest, DecodeIntoReusedResultResetsCompletely) {
+  // A result warmed by one decode must be fully reset by the next DecodeInto
+  // — including across tables of different dimension — with no residue of
+  // the previous contents.
+  Riblt wide(MakeParams(48, 3, 50, 3, 41));
+  wide.Insert(5, P({1, 2, 3}));
+  wide.Insert(6, P({4, 5, 6}));
+  RibltDecodeResult result;
+  Rng rng1(42);
+  ASSERT_TRUE(wide.DecodeInto(10, 10, &rng1, &result).ok());
+  ASSERT_EQ(result.inserted.size(), 2u);
+  ASSERT_EQ(result.inserted.dim(), 3u);
+
+  Riblt narrow(MakeParams(36, 1, 50, 3, 43));
+  narrow.Delete(7, P({9}));
+  Rng rng2(44);
+  ASSERT_TRUE(narrow.DecodeInto(10, 10, &rng2, &result).ok());
+  EXPECT_TRUE(result.inserted.empty());
+  EXPECT_TRUE(result.inserted_keys.empty());
+  ASSERT_EQ(result.deleted.size(), 1u);
+  EXPECT_EQ(result.deleted.dim(), 1u);
+  EXPECT_EQ(result.deleted_keys[0], 7u);
+  EXPECT_EQ(result.deleted[0][0], 9);
+}
+
+TEST(RibltTest, FailedDecodeLeavesResultReusable) {
+  // A decode that fails its caps mid-peel must not poison the reused result:
+  // the next DecodeInto starts from a clean slate.
+  Riblt overloaded(MakeParams(120, 1, 10, 3, 45));
+  for (uint64_t k = 0; k < 20; ++k) overloaded.Insert(k + 1, P({1}));
+  RibltDecodeResult result;
+  Rng rng1(46);
+  EXPECT_FALSE(overloaded.DecodeInto(10, 10, &rng1, &result).ok());
+
+  Riblt clean(MakeParams(36, 1, 10, 3, 47));
+  clean.Insert(3, P({4}));
+  Rng rng2(48);
+  ASSERT_TRUE(clean.DecodeInto(10, 10, &rng2, &result).ok());
+  EXPECT_TRUE(result.complete);
+  ASSERT_EQ(result.inserted.size(), 1u);
+  EXPECT_EQ(result.inserted_keys[0], 3u);
+  EXPECT_EQ(result.inserted[0][0], 4);
+  EXPECT_TRUE(result.deleted.empty());
 }
 
 TEST(RibltTest, RequiresQAtLeast3) {

@@ -110,13 +110,45 @@ TEST(SketchHotPathTest, RibltUpdateManyDoesNotAllocate) {
   params.seed = 10;
   Riblt table(params);
   Rng rng(11);
-  PointSet points = GenerateUniform(256, 4, 255, &rng);
+  PointStore points = GenerateUniformStore(256, 4, 255, &rng);
   std::vector<uint64_t> keys(points.size());
   for (auto& k : keys) k = rng.Next();
   long long before = AllocationCount();
   table.InsertMany(keys, points);
   table.DeleteMany(keys, points);
   EXPECT_EQ(AllocationCount(), before);
+}
+
+TEST(SketchHotPathTest, RibltWarmDecodeIntoDoesNotAllocate) {
+  // The store-native decode contract: with a warm scratch pool AND a warm
+  // (previously decoded into) result, DecodeInto performs zero heap
+  // allocations end-to-end — the extracted rows go straight into the
+  // result's reused arenas.
+  RibltParams params;
+  params.num_cells = 288;
+  params.dim = 8;
+  params.delta = 1023;
+  params.seed = 15;
+  Riblt table(params);
+  Rng rng(16);
+  PointStore points = GenerateUniformStore(16, 8, 1023, &rng);
+  std::vector<uint64_t> keys(points.size());
+  for (auto& k : keys) k = rng.Next();
+  table.InsertMany(keys, points);
+
+  RibltDecodeResult result;
+  Rng warmup_rng(17);
+  ASSERT_TRUE(table.DecodeInto(64, 32, &warmup_rng, &result).ok());
+  ASSERT_EQ(result.inserted.size(), points.size());
+
+  long long before = AllocationCount();
+  Rng decode_rng(17);
+  Status status = table.DecodeInto(64, 32, &decode_rng, &result);
+  EXPECT_EQ(AllocationCount(), before);
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.inserted.size(), points.size());
+  EXPECT_EQ(result.inserted_keys.size(), points.size());
 }
 
 TEST(SketchHotPathTest, StrataInsertDoesNotAllocate) {

@@ -78,6 +78,68 @@ TEST(StrataTest, ParameterMismatchRejected) {
   EXPECT_FALSE(a.EstimateDiff(b).ok());
 }
 
+TEST(StrataTest, NumHashesMismatchRejected) {
+  // num_hashes changes the peeling hypergraph: subtracting such IBLTs is
+  // garbage, so the guard must reject it (it used to compare only
+  // num_strata/cells/seed and silently "succeed").
+  StrataParams p1 = MakeParams(3);
+  StrataParams p2 = MakeParams(3);
+  p2.num_hashes = p1.num_hashes + 1;
+  StrataEstimator a(p1), b(p2);
+  Rng rng(14);
+  for (int i = 0; i < 50; ++i) {
+    uint64_t k = rng.Next();
+    a.Insert(k);
+    b.Insert(k);
+  }
+  auto estimate = a.EstimateDiff(b);
+  ASSERT_FALSE(estimate.ok());
+  EXPECT_EQ(estimate.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StrataTest, ChecksumBytesMismatchRejected) {
+  StrataParams p1 = MakeParams(3);
+  StrataParams p2 = MakeParams(3);
+  p2.checksum_bytes = 8;  // p1 uses the default 4
+  StrataEstimator a(p1), b(p2);
+  auto estimate = a.EstimateDiff(b);
+  ASSERT_FALSE(estimate.ok());
+  EXPECT_EQ(estimate.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StrataTest, UndecodableFirstStratumNeverEstimatesZero) {
+  // Single stratum holding a difference far beyond its cell capacity: the
+  // stratum cannot decode and no deeper stratum exists, so the legacy
+  // extrapolation returned 0 << 1 == 0 — "no difference" for a difference of
+  // a thousand keys, under-provisioning every adaptive consumer. The fix
+  // floors the estimate at 1 << (i + 1).
+  StrataParams params = MakeParams(15);
+  params.num_strata = 1;
+  StrataEstimator a(params), b(params);
+  Rng rng(16);
+  for (int i = 0; i < 1000; ++i) a.Insert(rng.Next());
+  auto estimate = a.EstimateDiff(b);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_GE(*estimate, 2u);  // the 1 << (i+1) floor at i = 0
+}
+
+TEST(StrataTest, ZeroDeepEntriesExtrapolationUsesFloor) {
+  // Multi-strata variant: a difference large enough that even the deepest
+  // stratum overloads (each stratum samples ~diff/2^{i+1} >> cells). The
+  // walk fails at the deepest stratum with zero accumulated entries and
+  // must return the floor for that depth, not zero.
+  StrataParams params = MakeParams(17);
+  params.num_strata = 4;
+  params.cells_per_stratum = 16;
+  StrataEstimator a(params), b(params);
+  Rng rng(18);
+  for (int i = 0; i < 20000; ++i) a.Insert(rng.Next());
+  auto estimate = a.EstimateDiff(b);
+  ASSERT_TRUE(estimate.ok());
+  // First failure at i = num_strata - 1 = 3 yields at least 1 << 4.
+  EXPECT_GE(*estimate, 16u);
+}
+
 TEST(StrataTest, SerializationRoundTrip) {
   StrataParams params = MakeParams(21);
   StrataEstimator a(params);
