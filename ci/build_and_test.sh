@@ -13,6 +13,11 @@
 #                 is an error; API sweeps cannot leave unused parameters or
 #                 dead overload remnants behind. Set RSR_WERROR=0 to relax
 #                 (e.g. when bisecting with an older toolchain).
+#   RSR_CTEST_TIMEOUT=SECONDS  per-test timeout (default 300). A hung test —
+#                 e.g. a sizing loop that never terminates — must FAIL CI,
+#                 not wedge it. Applied both as `ctest --timeout` and as the
+#                 CMake-side per-test TIMEOUT property (the property wins
+#                 over the flag, so both must agree).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,11 +30,14 @@ WERROR_FLAGS=(-DRSR_WERROR=ON)
 if [[ "${RSR_WERROR:-1}" == "0" ]]; then
   WERROR_FLAGS=(-DRSR_WERROR=OFF)
 fi
+CTEST_TIMEOUT="${RSR_CTEST_TIMEOUT:-300}"
+TIMEOUT_FLAGS=(-DRSR_TEST_TIMEOUT="${CTEST_TIMEOUT}")
 
 echo "==== Release build + tests (tier-1 verify) ===="
-cmake -B build -S . "${WERROR_FLAGS[@]}" ${BENCH_FLAGS[@]+"${BENCH_FLAGS[@]}"}
+cmake -B build -S . "${WERROR_FLAGS[@]}" "${TIMEOUT_FLAGS[@]}" \
+  ${BENCH_FLAGS[@]+"${BENCH_FLAGS[@]}"}
 cmake --build build -j
-ctest --test-dir build --output-on-failure -j
+ctest --test-dir build --output-on-failure -j --timeout "${CTEST_TIMEOUT}"
 
 if [[ "${RSR_BENCH:-0}" == "1" && ! -x build/bench_micro ]]; then
   echo "error: RSR_BENCH=1 but build/bench_micro was not produced" >&2
@@ -39,8 +47,8 @@ fi
 
 echo "==== Debug + ASan/UBSan build + tests ===="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DRSR_SANITIZE=ON \
-  "${WERROR_FLAGS[@]}"
+  "${WERROR_FLAGS[@]}" "${TIMEOUT_FLAGS[@]}"
 cmake --build build-asan -j
-ctest --test-dir build-asan --output-on-failure -j
+ctest --test-dir build-asan --output-on-failure -j --timeout "${CTEST_TIMEOUT}"
 
 echo "==== CI OK ===="

@@ -1,0 +1,87 @@
+// Adaptive sizing: the "tiny diff, huge k budget" scenario.
+//
+// A nightly sync job must survive the worst week ever recorded, so it is
+// configured with a difference budget of k = 128 — but on a normal night the
+// two replicas differ by a single pair of records. The static protocol pays
+// for the worst case every night (cells = 4 q^2 k per level); with
+// params.adaptive.enabled the parties first exchange per-level strata
+// estimators and size every level to the difference that is actually there,
+// clamped to the static budget. Same guarantee, same decode caps — the k
+// budget still bounds what CAN be repaired — but the bytes now track the
+// true difference.
+//
+// Build & run:  cmake -B build -DRSR_BUILD_EXAMPLES=ON && cmake --build build
+//               && ./build/example_adaptive_sync
+#include <algorithm>
+#include <cstdio>
+
+#include "core/emd_protocol.h"
+#include "emd/emd.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace rsr;
+
+  // Two replicas of 512 records in [0, 1023]^3; exactly one record pair
+  // differs tonight (one fresh record per side).
+  NoisyPairConfig config;
+  config.metric = MetricKind::kL2;
+  config.dim = 3;
+  config.delta = 1023;
+  config.n = 512;
+  config.outliers = 1;
+  config.noise = 0.0;
+  config.outlier_dist = 100.0;
+  config.seed = 2026;
+  auto workload = GenerateNoisyPairStore(config);
+  if (!workload.ok()) {
+    std::printf("workload generation failed: %s\n",
+                workload.status().ToString().c_str());
+    return 1;
+  }
+
+  EmdProtocolParams params;
+  params.metric = MetricKind::kL2;
+  params.dim = 3;
+  params.delta = 1023;
+  params.k = 128;  // provisioned for the worst week ever recorded
+  params.d1 = 16;
+  params.d2 = 2048;
+  params.seed = 11;
+
+  auto run = [&](bool adaptive) {
+    params.adaptive.enabled = adaptive;
+    return RunEmdProtocol(workload->alice, workload->bob, params);
+  };
+  auto statik = run(false);
+  auto adaptive = run(true);
+  if (!statik.ok() || !adaptive.ok() || statik->failure ||
+      adaptive->failure) {
+    std::printf("protocol reported failure (retry with a new seed)\n");
+    return 1;
+  }
+
+  Metric metric(MetricKind::kL2);
+  double before = EmdExact(workload->alice, workload->bob, metric);
+  double after = EmdExact(workload->alice, adaptive->s_b_prime, metric);
+  std::printf("true difference                : 2 points (k budget: %zu)\n",
+              params.k);
+  std::printf("EMD(Alice, Bob) before / after : %.1f / %.1f\n", before, after);
+  std::printf("static path   : %2d round(s), %7zu bytes (%zu cells/level)\n",
+              statik->comm.rounds(), statik->comm.total_bytes(),
+              statik->derived.cells);
+  size_t min_cells = adaptive->level_cells.front();
+  size_t max_cells = min_cells;
+  for (size_t cells : adaptive->level_cells) {
+    min_cells = std::min(min_cells, cells);
+    max_cells = std::max(max_cells, cells);
+  }
+  std::printf("adaptive path : %2d round(s), %7zu bytes (%zu..%zu "
+              "cells/level)\n",
+              adaptive->comm.rounds(), adaptive->comm.total_bytes(),
+              min_cells, max_cells);
+  std::printf("\nThe negotiation round costs one estimator message; the k\n"
+              "budget is untouched (a bad night still decodes up to 4k\n"
+              "pairs), but tonight's bytes track tonight's difference.\n");
+  return 0;
+}

@@ -1,0 +1,163 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hashing/hash64.h"
+#include "util/parallel.h"
+
+namespace rsr {
+
+StrataParams MakeLevelStrataParams(const AdaptiveSizingParams& params,
+                                   uint64_t seed, size_t index) {
+  StrataParams strata;
+  strata.num_strata = params.num_strata;
+  strata.cells_per_stratum = params.cells_per_stratum;
+  strata.num_hashes = params.strata_hashes;
+  strata.checksum_bytes = params.strata_checksum_bytes;
+  strata.seed = HashCombine(seed, 0xada'0000ULL + index);
+  return strata;
+}
+
+std::vector<StrataEstimator> BuildLevelEstimators(
+    std::span<const uint64_t> level_major_keys, size_t levels, size_t n,
+    const AdaptiveSizingParams& params, uint64_t seed, size_t num_threads) {
+  RSR_CHECK(level_major_keys.size() >= levels * n);
+  std::vector<StrataEstimator> estimators;
+  estimators.reserve(levels);
+  for (size_t level = 0; level < levels; ++level) {
+    estimators.emplace_back(MakeLevelStrataParams(params, seed, level));
+  }
+  // Each level's estimator is a pure function of its own key span, so levels
+  // shard freely; IBLT updates commute, and no shard touches another's
+  // estimator.
+  ParallelShards(levels, num_threads, [&](size_t begin, size_t end) {
+    for (size_t level = begin; level < end; ++level) {
+      estimators[level].InsertMany(
+          level_major_keys.subspan(level * n, n));
+    }
+  });
+  return estimators;
+}
+
+void WriteEstimators(const std::vector<StrataEstimator>& estimators,
+                     ByteWriter* w) {
+  for (const StrataEstimator& estimator : estimators) estimator.WriteTo(w);
+}
+
+Result<std::vector<StrataEstimator>> ReadEstimators(
+    ByteReader* r, const AdaptiveSizingParams& params, uint64_t seed,
+    size_t levels) {
+  std::vector<StrataEstimator> estimators;
+  estimators.reserve(levels);
+  for (size_t level = 0; level < levels; ++level) {
+    RSR_ASSIGN_OR_RETURN(
+        StrataEstimator estimator,
+        StrataEstimator::ReadFrom(r, MakeLevelStrataParams(params, seed,
+                                                           level)));
+    estimators.push_back(std::move(estimator));
+  }
+  return estimators;
+}
+
+size_t AdaptiveCellCount(uint64_t estimate, double cells_per_diff,
+                         size_t floor_cells, size_t cap_cells) {
+  // A non-positive (or NaN) multiplier has no sane reading; fall back to the
+  // static sizing rather than cast a negative double to size_t (UB).
+  if (!(cells_per_diff > 0.0)) return cap_cells;
+  // Double arithmetic saturates instead of wrapping: a UINT64_MAX estimate
+  // (the strata extrapolation cap) times any positive multiplier compares
+  // above cap_cells and clamps there.
+  const double target =
+      std::ceil(cells_per_diff * static_cast<double>(estimate));
+  if (!(target < static_cast<double>(cap_cells))) return cap_cells;
+  const size_t cells =
+      std::max(static_cast<size_t>(target), size_t{1});
+  return std::min(std::max(cells, floor_cells), cap_cells);
+}
+
+std::vector<size_t> NegotiateLevelCells(
+    const std::vector<StrataEstimator>& local,
+    const std::vector<StrataEstimator>& remote, double cells_per_diff,
+    size_t floor_cells, size_t cap_cells, size_t num_threads) {
+  std::vector<size_t> cells(local.size(), cap_cells);
+  ParallelShards(local.size(), num_threads, [&](size_t begin, size_t end) {
+    for (size_t level = begin; level < end; ++level) {
+      if (level >= remote.size()) continue;  // fall back to the cap
+      Result<uint64_t> estimate = local[level].EstimateDiff(remote[level]);
+      if (!estimate.ok()) continue;  // incomparable estimator: static sizing
+      cells[level] = AdaptiveCellCount(*estimate, cells_per_diff, floor_cells,
+                                       cap_cells);
+    }
+  });
+  return cells;
+}
+
+Result<std::vector<size_t>> NegotiateLevelSketchCells(
+    std::span<const uint64_t> sender_keys,
+    std::span<const uint64_t> receiver_keys, size_t levels, size_t n,
+    const AdaptiveSizingParams& params, uint64_t seed, double cells_per_diff,
+    size_t cap_cells, size_t num_threads, Transcript* transcript,
+    const std::string& label) {
+  std::vector<StrataEstimator> receiver_estimators = BuildLevelEstimators(
+      receiver_keys, levels, n, params, seed, num_threads);
+  ByteWriter estimator_msg;
+  WriteEstimators(receiver_estimators, &estimator_msg);
+  transcript->Send(label, estimator_msg);
+
+  ByteReader estimator_reader(estimator_msg.buffer());
+  RSR_ASSIGN_OR_RETURN(
+      std::vector<StrataEstimator> received,
+      ReadEstimators(&estimator_reader, params, seed, levels));
+  RSR_RETURN_NOT_OK(estimator_reader.FinishAndCheckConsumed());
+  std::vector<StrataEstimator> sender_estimators = BuildLevelEstimators(
+      sender_keys, levels, n, params, seed, num_threads);
+  return NegotiateLevelCells(sender_estimators, received, cells_per_diff,
+                             params.floor_cells, cap_cells, num_threads);
+}
+
+Result<size_t> NegotiateSingleSketchCells(std::span<const uint64_t> sender_keys,
+                                          std::span<const uint64_t> receiver_keys,
+                                          const AdaptiveSizingParams& params,
+                                          uint64_t seed, size_t cap_cells,
+                                          Transcript* transcript,
+                                          const std::string& label) {
+  const StrataParams estimator_params = MakeLevelStrataParams(params, seed, 0);
+  StrataEstimator receiver_estimator(estimator_params);
+  receiver_estimator.InsertMany(receiver_keys);
+  ByteWriter estimator_msg;
+  receiver_estimator.WriteTo(&estimator_msg);
+  transcript->Send(label, estimator_msg);
+
+  ByteReader estimator_reader(estimator_msg.buffer());
+  RSR_ASSIGN_OR_RETURN(
+      StrataEstimator received,
+      StrataEstimator::ReadFrom(&estimator_reader, estimator_params));
+  RSR_RETURN_NOT_OK(estimator_reader.FinishAndCheckConsumed());
+  StrataEstimator sender_estimator(estimator_params);
+  sender_estimator.InsertMany(sender_keys);
+  Result<uint64_t> estimate = sender_estimator.EstimateDiff(received);
+  if (!estimate.ok()) return cap_cells;  // incomparable: static sizing
+  return AdaptiveCellCount(*estimate, params.cell_multiplier,
+                           params.floor_cells, cap_cells);
+}
+
+void WriteNegotiatedCells(const std::vector<size_t>& cells, ByteWriter* w) {
+  for (size_t c : cells) w->PutVarint64(c);
+}
+
+Result<std::vector<size_t>> ReadNegotiatedCells(ByteReader* r, size_t levels,
+                                                size_t cap_cells) {
+  std::vector<size_t> cells(levels, 0);
+  for (size_t level = 0; level < levels; ++level) {
+    uint64_t parsed = r->GetVarint64();
+    if (r->failed() || parsed < 1 || parsed > cap_cells) {
+      r->Invalidate();
+      return Status::Corruption("negotiated cell count out of [1, cap]");
+    }
+    cells[level] = static_cast<size_t>(parsed);
+  }
+  return cells;
+}
+
+}  // namespace rsr

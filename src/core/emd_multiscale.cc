@@ -24,9 +24,28 @@ Result<MultiscaleEmdReport> RunMultiscaleEmdProtocol(
                         metric.Diameter(params.base.dim, params.base.delta);
   if (d2 < d1) return Status::InvalidArgument("d2 must be >= d1");
 
+  // Derive the interval count up front: I = ceil(log(d2/d1)/log(ratio)).
+  // The loop below must keep the repeated-multiplication update (lo *= ratio)
+  // so each interval's [d1, d2) endpoints — and hence transcripts — are
+  // bit-identical to the historical behavior, but its trip count is now
+  // validated BEFORE running: a ratio of 1 + 1e-15 passes the > 1 guard yet
+  // implies ~10^15 iterations, which used to wedge the caller instead of
+  // failing. (!(x <= y) also rejects a NaN count.)
+  const double derived_intervals =
+      d2 > d1 ? std::ceil(std::log(d2 / d1) / std::log(params.interval_ratio))
+              : 0.0;
+  if (!(derived_intervals <= static_cast<double>(params.max_intervals))) {
+    return Status::InvalidArgument(
+        "interval_ratio too close to 1: ceil(log(d2/d1)/log(ratio)) exceeds "
+        "max_intervals");
+  }
+
   MultiscaleEmdReport report;
   size_t interval_count = 0;
-  for (double lo = d1; lo < d2;
+  // interval_count <= max_intervals is a belt-and-suspenders guard: the
+  // up-front validation bounds the trip count, and the extra slack only
+  // absorbs floating-point slop in the derived estimate.
+  for (double lo = d1; lo < d2 && interval_count <= params.max_intervals;
        lo *= params.interval_ratio) {
     double hi = std::min(lo * params.interval_ratio, d2);
     EmdProtocolParams interval = params.base;

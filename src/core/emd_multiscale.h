@@ -15,8 +15,14 @@ namespace rsr {
 
 struct MultiscaleEmdParams {
   EmdProtocolParams base;
-  /// Ratio of each interval: D2^(j) / D1^(j). Must be > 1.
+  /// Ratio of each interval: D2^(j) / D1^(j). Must be > 1, and far enough
+  /// above 1 that the interval count stays under max_intervals (a ratio of
+  /// 1 + 1e-15 would otherwise demand ~10^15 protocol instances).
   double interval_ratio = 2.0;
+  /// Upper bound on I = ceil(log(D2/D1) / log(interval_ratio)); ratios whose
+  /// derived count exceeds it are rejected up front with InvalidArgument
+  /// instead of looping for years.
+  size_t max_intervals = 1024;
 };
 
 struct MultiscaleEmdReport {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/adaptive.h"
 #include "emd/assignment.h"
 #include "emd/emd.h"
 #include "hashing/hash64.h"
@@ -77,11 +78,18 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
     prefix_lens[level - 1] = LevelPrefixLength(derived, level);
   }
 
-  // ---- Alice: build and "send" the t RIBLTs (single message). ----
+  // Both parties' level keys. Bob's are computed up front (they consume no
+  // shared randomness) because the adaptive negotiation round needs them
+  // before Alice's message exists.
   EvalMatrix alice_evals;
   EvaluateAllInto(alice, draws, params.num_threads, &alice_evals);
   std::vector<uint64_t> alice_keys = ComputeLevelKeys(
       alice_evals, level_key_hash, prefix_lens, params.num_threads);
+  EvalMatrix bob_evals;
+  EvaluateAllInto(bob, draws, params.num_threads, &bob_evals);
+  std::vector<uint64_t> bob_keys = ComputeLevelKeys(
+      bob_evals, level_key_hash, prefix_lens, params.num_threads);
+
   RibltParams riblt_params;
   riblt_params.num_cells = derived.cells;
   riblt_params.num_hashes = params.num_hashes;
@@ -89,13 +97,35 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
   riblt_params.delta = params.delta;
 
   Transcript transcript;
+
+  // ---- Adaptive size negotiation (extra B->A round; core/adaptive.h). ----
+  // Bob ships one strata estimator per level over his level keys; Alice
+  // estimates each level's difference and sizes that level's RIBLT to
+  // clamp(cell_multiplier q^2 estimate, floor, c q^2 k). Static mode keeps
+  // every level at the derived c q^2 k cells with no extra message.
+  std::vector<size_t> level_cells(derived.levels, derived.cells);
+  if (params.adaptive.enabled) {
+    const double q = static_cast<double>(params.num_hashes);
+    RSR_ASSIGN_OR_RETURN(
+        level_cells,
+        NegotiateLevelSketchCells(alice_keys, bob_keys, derived.levels, n,
+                                  params.adaptive, params.seed,
+                                  params.adaptive.cell_multiplier * q * q,
+                                  derived.cells, params.num_threads,
+                                  &transcript, "B->A level strata"));
+  }
+
+  // ---- Alice: build and "send" the t RIBLTs (single message). ----
+  report.level_cells = level_cells;
   ByteWriter message;
+  if (params.adaptive.enabled) WriteNegotiatedCells(level_cells, &message);
   report.levels.resize(derived.levels);
   std::vector<Riblt> tables;
   tables.reserve(derived.levels);
   for (size_t level = 1; level <= derived.levels; ++level) {
     report.levels[level - 1].prefix_len = prefix_lens[level - 1];
     RibltParams level_params = riblt_params;
+    level_params.num_cells = level_cells[level - 1];
     level_params.seed = HashCombine(params.seed, 0xeb1'0000ULL + level);
     tables.emplace_back(level_params);
   }
@@ -116,10 +146,12 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
 
   // ---- Bob: parse, delete his pairs, decode finest feasible level. ----
   ByteReader reader(message.buffer());
-  EvalMatrix bob_evals;
-  EvaluateAllInto(bob, draws, params.num_threads, &bob_evals);
-  std::vector<uint64_t> bob_keys = ComputeLevelKeys(
-      bob_evals, level_key_hash, prefix_lens, params.num_threads);
+  std::vector<size_t> parsed_cells(derived.levels, derived.cells);
+  if (params.adaptive.enabled) {
+    RSR_ASSIGN_OR_RETURN(
+        parsed_cells, ReadNegotiatedCells(&reader, derived.levels,
+                                          derived.cells));
+  }
   Rng bob_coins(Mix64(params.seed) ^ 0xb0b);  // decoder-local rounding coins
 
   const size_t max_pairs = 4 * params.k;
@@ -131,6 +163,7 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
   received.reserve(derived.levels);
   for (size_t level = 1; level <= derived.levels; ++level) {
     RibltParams level_params = riblt_params;
+    level_params.num_cells = parsed_cells[level - 1];
     level_params.seed = HashCombine(params.seed, 0xeb1'0000ULL + level);
     RSR_ASSIGN_OR_RETURN(Riblt table, Riblt::ReadFrom(&reader, level_params));
     received.push_back(std::move(table));

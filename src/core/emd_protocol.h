@@ -10,6 +10,12 @@
 // Guarantee (Theorem 3.4): with constant probability,
 //   EMD(S_A, S'_B) <= O(alpha^{-1} log n) * EMD_k(S_A, S_B),
 // with O(k d log(Delta n) log(D2/D1)) bits of one-way communication.
+//
+// With EmdProtocolParams::adaptive enabled, a size-negotiation round
+// precedes the sketch message: Bob first sends per-level strata estimators
+// over his level keys, and Alice sizes each level's RIBLT from the estimated
+// difference instead of the static c q^2 k (core/adaptive.h). Two messages
+// total; the static path is unchanged.
 #ifndef RSR_CORE_EMD_PROTOCOL_H_
 #define RSR_CORE_EMD_PROTOCOL_H_
 
@@ -36,6 +42,10 @@ struct EmdProtocolReport {
   /// i*, 1-based; 0 on failure.
   size_t decoded_level = 0;
   std::vector<EmdLevelOutcome> levels;
+  /// Per-level RIBLT cell counts actually provisioned: derived.cells at
+  /// every level when adaptive sizing is off, the negotiated (clamped)
+  /// counts when it is on.
+  std::vector<size_t> level_cells;
   /// Points extracted at level i* (moved straight out of the store-native
   /// decode result; row order is extraction order).
   PointStore x_a, x_b;

@@ -34,7 +34,11 @@ struct GapProtocolParams {
   /// h = ceil(h_multiplier * log2 n) key entries.
   double h_multiplier = 6.0;
   /// Reconciler configuration; sig/elem cell counts of 0 are auto-sized from
-  /// the expected difference counts.
+  /// the expected difference counts. Setting reconciler.adaptive.enabled
+  /// turns on strata-driven sizing of the signature IBLT (the single-level
+  /// variant of core/adaptive.h): the auto-sized sig_cells become the cap,
+  /// and the actual starting size is negotiated from an estimator over the
+  /// parties' key multisets (one extra message, counted in comm).
   SetsReconcilerParams reconciler;
   /// Worker threads for the batch LSH/key evaluation (<= 1 = inline).
   /// Transcripts are bit-identical for every value.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/adaptive.h"
 #include "hashing/hash64.h"
 #include "sketch/iblt.h"
 
@@ -89,42 +90,90 @@ Result<ExactReconReport> RunExactIbltReconciliation(
   }
   ExactReconReport report;
 
-  IbltParams iblt_params;
-  iblt_params.num_cells = params.num_cells;
-  iblt_params.num_hashes = params.num_hashes;
-  iblt_params.value_size = params.dim * 8;
-  iblt_params.seed = params.seed;
-
   RSR_CHECK(alice.empty() || alice.dim() == params.dim);
   RSR_CHECK(bob.empty() || bob.dim() == params.dim);
 
   PointStore alice_sorted;
   std::vector<uint64_t> alice_keys =
       SaltedStoreKeys(alice, params.seed, &alice_sorted);
-  Iblt table(iblt_params);
-  std::vector<uint8_t> packed(iblt_params.value_size);
-  for (size_t i = 0; i < alice_sorted.size(); ++i) {
-    PackRowInto(alice_sorted.row(i), params.dim, packed.data());
-    table.Update(alice_keys[i], packed.data(), +1);
-  }
-  ByteWriter message;
-  table.WriteTo(&message);
-  Transcript transcript;
-  transcript.Send("A->B exact IBLT", message);
-  report.comm = transcript.stats();
-
-  ByteReader reader(message.buffer());
-  RSR_ASSIGN_OR_RETURN(Iblt received, Iblt::ReadFrom(&reader, iblt_params));
   PointStore bob_sorted;
   std::vector<uint64_t> bob_keys =
       SaltedStoreKeys(bob, params.seed, &bob_sorted);
+
+  Transcript transcript;
+
+  // ---- Adaptive size negotiation (core/adaptive.h): Bob ships a strata
+  // estimator over his salted keys (extra B->A round); Alice sizes the IBLT
+  // from the estimated difference, capped at the static num_cells, and
+  // prepends the chosen count to her sketch message.
+  size_t negotiated_cells = params.num_cells;
+  if (params.adaptive.enabled) {
+    RSR_ASSIGN_OR_RETURN(
+        negotiated_cells,
+        NegotiateSingleSketchCells(alice_keys, bob_keys, params.adaptive,
+                                   HashCombine(params.seed, 0xe6ac'ada'7ULL),
+                                   params.num_cells, &transcript,
+                                   "B->A exact strata"));
+  }
+
+  IbltParams iblt_params;
+  iblt_params.num_hashes = params.num_hashes;
+  iblt_params.value_size = params.dim * 8;
+  iblt_params.seed = params.seed;
+
   std::unordered_map<uint64_t, size_t> bob_key_to_index;
   for (size_t i = 0; i < bob_sorted.size(); ++i) {
-    PackRowInto(bob_sorted.row(i), params.dim, packed.data());
-    received.Update(bob_keys[i], packed.data(), -1);
     bob_key_to_index[bob_keys[i]] = i;
   }
-  IbltDecodeResult decoded = received.Decode();
+
+  // Candidate sizes: the negotiated count, then — adaptive only, after a
+  // failed decode — the full static parameters. The retry reproduces the
+  // static sketch exactly (same cells, same seed), so a low estimate costs
+  // one extra exchange but never a reconciliation the static path would
+  // have completed.
+  std::vector<size_t> attempt_cells{negotiated_cells};
+  if (params.adaptive.enabled && negotiated_cells < params.num_cells) {
+    attempt_cells.push_back(params.num_cells);
+  }
+
+  std::vector<uint8_t> packed(iblt_params.value_size);
+  IbltDecodeResult decoded;
+  for (size_t attempt = 0; attempt < attempt_cells.size(); ++attempt) {
+    if (attempt > 0) {
+      // Bob's resize request: escalate to the static cap.
+      ByteWriter retry;
+      retry.PutVarint64(attempt_cells[attempt]);
+      transcript.Send("B->A exact resize", retry);
+    }
+    iblt_params.num_cells = attempt_cells[attempt];
+    Iblt table(iblt_params);
+    for (size_t i = 0; i < alice_sorted.size(); ++i) {
+      PackRowInto(alice_sorted.row(i), params.dim, packed.data());
+      table.Update(alice_keys[i], packed.data(), +1);
+    }
+    ByteWriter message;
+    if (params.adaptive.enabled) {
+      WriteNegotiatedCells({attempt_cells[attempt]}, &message);
+    }
+    table.WriteTo(&message);
+    transcript.Send("A->B exact IBLT", message);
+
+    ByteReader reader(message.buffer());
+    if (params.adaptive.enabled) {
+      RSR_ASSIGN_OR_RETURN(
+          std::vector<size_t> parsed,
+          ReadNegotiatedCells(&reader, 1, params.num_cells));
+      iblt_params.num_cells = parsed[0];
+    }
+    RSR_ASSIGN_OR_RETURN(Iblt received, Iblt::ReadFrom(&reader, iblt_params));
+    for (size_t i = 0; i < bob_sorted.size(); ++i) {
+      PackRowInto(bob_sorted.row(i), params.dim, packed.data());
+      received.Update(bob_keys[i], packed.data(), -1);
+    }
+    decoded = received.Decode();
+    if (decoded.complete) break;
+  }
+  report.comm = transcript.stats();
   if (!decoded.complete) {
     report.failure = true;
     return report;

@@ -8,6 +8,7 @@
 #ifndef RSR_CORE_NAIVE_H_
 #define RSR_CORE_NAIVE_H_
 
+#include "core/adaptive.h"
 #include "core/transcript.h"
 #include "geometry/point.h"
 #include "geometry/point_store.h"
@@ -29,8 +30,15 @@ struct ExactReconParams {
   size_t dim = 0;
   Coord delta = 0;
   /// IBLT cells; should exceed ~1.3x the expected symmetric difference.
+  /// With adaptive sizing enabled this is the CAP: the negotiated count can
+  /// shrink below it but never exceed it.
   size_t num_cells = 0;
   int num_hashes = 4;
+  /// Strata-driven sizing of the IBLT (core/adaptive.h). When enabled, Bob
+  /// first sends an estimator over his salted point keys (one extra B->A
+  /// round) and Alice prepends her negotiated cell count to the sketch
+  /// message. Default OFF: single round, byte-identical to before.
+  AdaptiveSizingParams adaptive;
   uint64_t seed = 0;
 };
 

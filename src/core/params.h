@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "core/adaptive.h"
 #include "geometry/metric.h"
 #include "lsh/lsh_family.h"
 
@@ -40,6 +41,15 @@ struct EmdProtocolParams {
   /// construction (<= 1 = inline). Transcripts are bit-identical for every
   /// value: shards depend only on the input sizes and write disjoint ranges.
   size_t num_threads = 1;
+  /// Strata-driven adaptive RIBLT sizing (core/adaptive.h). When enabled the
+  /// protocol gains a size-negotiation round: Bob first sends one
+  /// StrataEstimator per level over his level keys (one message), Alice
+  /// estimates each level's difference and sizes that level's RIBLT to
+  /// clamp(cell_multiplier * q^2 * estimate, floor_cells, c q^2 k) cells,
+  /// prepending the chosen sizes to her message. Default OFF: the static
+  /// one-round path stays byte-identical. Levels whose estimate fails or
+  /// exceeds the cap fall back to the static c q^2 k cells.
+  AdaptiveSizingParams adaptive;
   /// Shared seed (public coins).
   uint64_t seed = 0;
 };

@@ -30,7 +30,10 @@ struct TwoWayGapReport {
 };
 
 /// Runs the Gap protocol once in each direction (independent public coins
-/// derived from the seed).
+/// derived from the seed). Adaptive sizing (params.reconciler.adaptive /
+/// params.base.adaptive on the EMD wrapper) applies per direction: each
+/// direction runs its own size negotiation, and both directions' rounds are
+/// appended to the combined comm.
 Result<TwoWayGapReport> RunTwoWayGapProtocol(const PointStore& alice,
                                              const PointStore& bob,
                                              const GapProtocolParams& params);

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/adaptive.h"
 #include "hashing/hash64.h"
 #include "sketch/iblt.h"
 
@@ -134,8 +135,37 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
   std::vector<uint64_t> bob_only_sigs;    // salted sigs Alice is missing
   std::vector<uint64_t> alice_only_sigs;  // salted sigs Bob is missing
   bool sig_decoded = false;
-  size_t sig_cells = std::max<size_t>(params.sig_cells, 8);
-  for (int attempt = 0; attempt < params.max_attempts; ++attempt) {
+  const size_t static_cells = std::max<size_t>(params.sig_cells, 8);
+  size_t sig_cells = static_cells;
+
+  // ---- Adaptive size negotiation (core/adaptive.h): Alice — the sig-IBLT
+  // RECEIVER — ships a strata estimator over her salted signatures; Bob
+  // estimates the difference, picks the starting cell count clamped to the
+  // static sizing, and prepends it to his first sig-IBLT message (no
+  // separate size round). The doubling retries below run from the negotiated
+  // size and are extended until the ladder has tried at least the static
+  // ladder's largest size, so an under-estimate costs rounds, never
+  // correctness. Skipped when max_attempts <= 0: the sig phase never runs,
+  // so a negotiated size would be pure wasted wire.
+  const bool negotiate_sig = params.adaptive.enabled && params.max_attempts > 0;
+  if (negotiate_sig) {
+    RSR_ASSIGN_OR_RETURN(
+        sig_cells,
+        NegotiateSingleSketchCells(bob_salted, alice_salted, params.adaptive,
+                                   HashCombine(salt, 0x51'ada'7ULL),
+                                   static_cells, &transcript,
+                                   "A->B sig-strata"));
+  }
+  // The static path tries static_cells << 0..(max_attempts-1); the adaptive
+  // path may start lower, so its ladder keeps doubling past max_attempts
+  // until it has covered the same largest size — a low estimate must never
+  // turn a reconciliation the static path completes into a full transfer.
+  // max_attempts <= 0 preserves the historical "no sig phase at all, go
+  // straight to the full-transfer fallback" behavior (and keeps the ladder
+  // shift nonnegative).
+  const size_t last_static_cells =
+      static_cells << std::min(std::max(params.max_attempts - 1, 0), 40);
+  for (int attempt = 0; params.max_attempts > 0; ++attempt) {
     report.sig_attempts = attempt + 1;
     IbltParams sig_params;
     sig_params.num_cells = sig_cells;
@@ -146,15 +176,27 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
     Iblt bob_table(sig_params);
     bob_table.InsertMany(bob_salted);
     ByteWriter msg1;
+    // The negotiated size rides as a prefix on the first sketch only;
+    // retry sizes are already on the wire in the sig-resize messages.
+    if (negotiate_sig && attempt == 0) {
+      WriteNegotiatedCells({sig_cells}, &msg1);
+    }
     msg1.PutVarint64(bob_salted.size());
     bob_table.WriteTo(&msg1);
     transcript.Send("B->A sig-iblt", msg1);
 
     // Alice parses and deletes her signatures.
     ByteReader reader(msg1.buffer());
+    IbltParams parsed_sig_params = sig_params;
+    if (negotiate_sig && attempt == 0) {
+      RSR_ASSIGN_OR_RETURN(std::vector<size_t> parsed,
+                           ReadNegotiatedCells(&reader, 1, static_cells));
+      parsed_sig_params.num_cells = parsed[0];
+    }
     uint64_t bob_count = reader.GetVarint64();
     (void)bob_count;
-    RSR_ASSIGN_OR_RETURN(Iblt alice_view, Iblt::ReadFrom(&reader, sig_params));
+    RSR_ASSIGN_OR_RETURN(Iblt alice_view,
+                         Iblt::ReadFrom(&reader, parsed_sig_params));
     alice_view.DeleteMany(alice_salted);
     IbltDecodeResult decoded = alice_view.Decode();
     if (decoded.complete) {
@@ -169,11 +211,15 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
       sig_decoded = true;
       break;
     }
-    // Retry request: Alice asks Bob for a bigger sketch.
+    // Retry request: Alice asks Bob for a bigger sketch (sent even after the
+    // final attempt — historical behavior; the fallback decision is Bob's).
     ByteWriter retry;
     retry.PutVarint64(sig_cells * 2);
     transcript.Send("A->B sig-resize", retry);
+    const bool ladders_exhausted =
+        attempt + 1 >= params.max_attempts && sig_cells >= last_static_cells;
     sig_cells *= 2;
+    if (ladders_exhausted) break;
   }
 
   if (!sig_decoded) {

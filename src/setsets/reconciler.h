@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/adaptive.h"
 #include "core/transcript.h"
 #include "setsets/sethash.h"
 #include "util/random.h"
@@ -58,10 +59,21 @@ struct SetsReconcilerParams {
   /// 8 bits suffice: a fingerprint collision only adds a DFS branch, and the
   /// 64-bit set signature rejects wrong reconstructions.
   int fingerprint_bits = 8;
-  /// Maximum decode attempts per sketch before falling back.
+  /// Maximum decode attempts per sketch before falling back. With adaptive
+  /// sizing the signature ladder may exceed this count: it keeps doubling
+  /// until it has also tried at least the static ladder's largest size, so
+  /// a low estimate can cost extra rounds but never a reconciliation the
+  /// static path would have completed.
   int max_attempts = 4;
   /// DFS node budget per set during reconstruction.
   size_t dfs_budget = 20000;
+  /// Strata-driven sizing of the signature IBLT (core/adaptive.h). When
+  /// enabled, Alice (the sketch receiver) first sends an estimator over her
+  /// salted signatures (one A->B message) and Bob prepends the negotiated
+  /// starting cell count — clamped to the static sig_cells sizing — to his
+  /// first sig-IBLT message; the doubling retries then proceed from that
+  /// size, so correctness is unchanged. Default OFF.
+  AdaptiveSizingParams adaptive;
   /// Shared seed (public coins).
   uint64_t seed = 0;
 };

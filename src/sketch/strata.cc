@@ -6,6 +6,18 @@
 
 namespace rsr {
 
+namespace strata_internal {
+
+uint64_t ExtrapolateEstimate(uint64_t exact_from_deeper, int stratum) {
+  const int shift = stratum + 1;  // <= 63 (num_strata is capped at 63)
+  const uint64_t floor = uint64_t{1} << shift;
+  if (exact_from_deeper > (~uint64_t{0} >> shift)) return ~uint64_t{0};
+  const uint64_t scaled = exact_from_deeper << shift;
+  return scaled < floor ? floor : scaled;
+}
+
+}  // namespace strata_internal
+
 StrataEstimator::StrataEstimator(const StrataParams& params) : params_(params) {
   RSR_CHECK(params.num_strata >= 1);
   RSR_CHECK(params.num_strata <= 63);
@@ -60,12 +72,9 @@ Result<uint64_t> StrataEstimator::EstimateDiff(
       // Extrapolate: strata deeper than i sampled the difference at rate
       // 2^{-(i+1)} cumulatively. Stratum i itself failed to decode, so the
       // difference is nonzero even when no deeper stratum contributed an
-      // entry — floor the estimate at one undecoded element's worth,
-      // 1 << (i + 1), instead of reporting 0 and letting adaptive sizing
-      // under-provision the subsequent sketch.
-      uint64_t scaled = exact_from_deeper << (i + 1);
-      uint64_t floor = uint64_t{1} << (i + 1);
-      return scaled < floor ? floor : scaled;
+      // entry — the estimate is floored at one undecoded element's worth and
+      // saturated against the 63-bit shift (see ExtrapolateEstimate).
+      return strata_internal::ExtrapolateEstimate(exact_from_deeper, i);
     }
     exact_from_deeper += decoded.entries.size();
   }

@@ -26,6 +26,19 @@ struct StrataParams {
   uint64_t seed = 0;
 };
 
+namespace strata_internal {
+
+/// Extrapolates an estimate from the first undecodable stratum: the
+/// `exact_from_deeper` entries recovered below stratum `stratum` sampled the
+/// difference at cumulative rate 2^{-(stratum+1)}, so the estimate is
+/// exact_from_deeper << (stratum+1), floored at one undecoded element's worth
+/// (1 << (stratum+1)) and SATURATED at UINT64_MAX: with up to 63 strata the
+/// raw shift reaches 63 bits and used to wrap to a tiny value, turning a
+/// huge difference into a near-zero estimate.
+uint64_t ExtrapolateEstimate(uint64_t exact_from_deeper, int stratum);
+
+}  // namespace strata_internal
+
 class StrataEstimator {
  public:
   explicit StrataEstimator(const StrataParams& params);

@@ -49,7 +49,15 @@ uint64_t ByteReader::GetVarint64() {
       return 0;
     }
     uint8_t byte = data_[pos_++];
-    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    uint64_t payload = byte & 0x7f;
+    // The tenth byte lands at shift 63, where only its low bit fits in the
+    // word; the `|=` below would silently drop the rest, decoding a corrupted
+    // stream to a wrong value instead of poisoning the reader.
+    if (shift == 63 && (payload >> 1) != 0) {
+      failed_ = true;
+      return 0;
+    }
+    v |= payload << shift;
     if ((byte & 0x80) == 0) break;
     shift += 7;
   }
@@ -65,7 +73,14 @@ unsigned __int128 ByteReader::GetVarint128() {
       return 0;
     }
     uint8_t byte = data_[pos_++];
-    v |= static_cast<unsigned __int128>(byte & 0x7f) << shift;
+    uint64_t payload = byte & 0x7f;
+    // Same overlong-final-byte rejection as GetVarint64: at shift 126 only
+    // the low two payload bits survive the `|=`.
+    if (shift == 126 && (payload >> 2) != 0) {
+      failed_ = true;
+      return 0;
+    }
+    v |= static_cast<unsigned __int128>(payload) << shift;
     if ((byte & 0x80) == 0) break;
     shift += 7;
   }

@@ -220,6 +220,48 @@ TEST(MultiscaleTest, RejectsBadRatio) {
   EXPECT_FALSE(RunMultiscaleEmdProtocol(pts, pts, params).ok());
 }
 
+TEST(MultiscaleTest, NearOneRatioRejectedInsteadOfLooping) {
+  // interval_ratio = 1 + 1e-15 passes the legacy `> 1.0` guard but implies
+  // ~10^16 intervals; the derived-count validation must reject it instantly.
+  Rng rng(10);
+  PointStore pts = GenerateUniformStore(8, 2, 255, &rng);
+  MultiscaleEmdParams params;
+  params.base = BaseParams(MetricKind::kL1, 2, 255, 1, 1);
+  params.base.d1 = 1.0;
+  params.base.d2 = 1e6;
+  params.interval_ratio = 1.0 + 1e-15;
+  auto report = RunMultiscaleEmdProtocol(pts, pts, params);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MultiscaleTest, NearOneRatioWithinBoundStillRuns) {
+  // A near-1 ratio whose derived interval count fits the bound is legal and
+  // must produce exactly that many intervals.
+  Rng rng(11);
+  PointStore pts = GenerateUniformStore(8, 2, 255, &rng);
+  MultiscaleEmdParams params;
+  params.base = BaseParams(MetricKind::kL1, 2, 255, 1, 3);
+  params.base.d1 = 1.0;
+  params.base.d2 = 1.01;
+  params.interval_ratio = 1.001;  // ceil(log(1.01)/log(1.001)) = 10
+  auto report = RunMultiscaleEmdProtocol(pts, pts, params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->intervals.size(), 10u);
+}
+
+TEST(MultiscaleTest, MaxIntervalsOverrideTightensRejection) {
+  Rng rng(12);
+  PointStore pts = GenerateUniformStore(8, 2, 255, &rng);
+  MultiscaleEmdParams params;
+  params.base = BaseParams(MetricKind::kL1, 2, 255, 1, 5);
+  params.base.d1 = 1.0;
+  params.base.d2 = 1024.0;
+  params.interval_ratio = 2.0;  // 10 intervals
+  params.max_intervals = 4;
+  EXPECT_FALSE(RunMultiscaleEmdProtocol(pts, pts, params).ok());
+}
+
 TEST(MultiscaleTest, CoversWideRangeWithoutPriorBounds) {
   // No prior [D1, D2] knowledge: defaults span up to n * diameter, yet the
   // protocol still reconciles because some interval brackets the true EMD_k.

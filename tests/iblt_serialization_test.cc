@@ -120,6 +120,25 @@ TEST(IbltSerializationTest, RoundTrippedTableSubtractsAndDecodes) {
   EXPECT_EQ(minus, std::set<uint64_t>(bob_only.begin(), bob_only.end()));
 }
 
+TEST(IbltSerializationTest, OverlongVarintInCellStreamIsRejected) {
+  // A corrupted wire stream whose first cell count is a ten-byte varint with
+  // payload bits beyond bit 63 used to decode to a bogus small value and let
+  // the parse "succeed" on garbage. The reader must poison itself so
+  // ReadFrom surfaces an error.
+  IbltParams params = MakeParams(32, 3, 0, 4, 5);
+  Iblt table(params);
+  Rng rng(99);
+  for (int i = 0; i < 8; ++i) table.Insert(rng.Next());
+  std::vector<uint8_t> wire = Serialize(table);
+
+  std::vector<uint8_t> corrupted;
+  for (int i = 0; i < 9; ++i) corrupted.push_back(0x80);
+  corrupted.push_back(0x02);  // overlong final byte of the count varint
+  corrupted.insert(corrupted.end(), wire.begin() + 1, wire.end());
+  ByteReader r(corrupted.data(), corrupted.size());
+  EXPECT_FALSE(Iblt::ReadFrom(&r, params).ok());
+}
+
 TEST(IbltSerializationTest, ValueResidueRoundTripsAndBlocksCompleteness) {
   // A table whose counts/keys cancel but whose value slab differs must
   // round-trip that residue and must NOT report a complete decode.

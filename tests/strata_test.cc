@@ -140,6 +140,37 @@ TEST(StrataTest, ZeroDeepEntriesExtrapolationUsesFloor) {
   EXPECT_GE(*estimate, 16u);
 }
 
+TEST(StrataTest, ExtrapolationSaturatesInsteadOfWrapping) {
+  // With num_strata = 63 the extrapolation shift reaches 63 bits;
+  // exact_from_deeper << 63 used to wrap (e.g. 2 << 63 == 0), collapsing an
+  // astronomically large difference estimate to a tiny one.
+  using strata_internal::ExtrapolateEstimate;
+  const uint64_t kMax = ~uint64_t{0};
+  EXPECT_EQ(ExtrapolateEstimate(2, 62), kMax);    // 2 << 63 wrapped to 0
+  EXPECT_EQ(ExtrapolateEstimate(3, 62), kMax);    // 3 << 63 wrapped to 1<<63
+  EXPECT_EQ(ExtrapolateEstimate(kMax, 0), kMax);  // any shift of UINT64_MAX
+  EXPECT_EQ(ExtrapolateEstimate(uint64_t{1} << 40, 30), kMax);
+  // Non-saturating cases keep the exact scaling and the nonzero floor.
+  EXPECT_EQ(ExtrapolateEstimate(1, 62), uint64_t{1} << 63);
+  EXPECT_EQ(ExtrapolateEstimate(0, 62), uint64_t{1} << 63);  // floor
+  EXPECT_EQ(ExtrapolateEstimate(3, 3), 48u);
+  EXPECT_EQ(ExtrapolateEstimate(0, 0), 2u);
+}
+
+TEST(StrataTest, DeepStratumEstimatorStaysSane) {
+  // End-to-end with the maximum stratum depth: the estimate must neither
+  // error nor wrap to a tiny value for a large difference.
+  StrataParams params = MakeParams(23);
+  params.num_strata = 63;
+  params.cells_per_stratum = 16;
+  StrataEstimator a(params), b(params);
+  Rng rng(24);
+  for (int i = 0; i < 5000; ++i) a.Insert(rng.Next());
+  auto estimate = a.EstimateDiff(b);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_GE(*estimate, 5000u / 3);
+}
+
 TEST(StrataTest, SerializationRoundTrip) {
   StrataParams params = MakeParams(21);
   StrataEstimator a(params);

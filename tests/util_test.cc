@@ -281,5 +281,52 @@ TEST(SerializeTest, OverlongVarintFails) {
   EXPECT_TRUE(r.failed());
 }
 
+TEST(SerializeTest, MaxVarint64IsTenBytesAndDecodes) {
+  // The legitimate ten-byte encoding (final byte 0x01 at shift 63) must keep
+  // decoding after the overlong-final-byte rejection.
+  ByteWriter w;
+  w.PutVarint64(~uint64_t{0});
+  EXPECT_EQ(w.size_bytes(), 10u);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.GetVarint64(), ~uint64_t{0});
+  EXPECT_TRUE(r.FinishAndCheckConsumed().ok());
+}
+
+TEST(SerializeTest, OverlongFinalByteBitsPoisonVarint64) {
+  // Ten-byte stream whose final byte carries payload bits beyond bit 63: the
+  // legacy decoder OR-ed in only the low bit and returned a wrong value with
+  // no error. A corrupted stream must poison the reader instead.
+  ByteWriter w;
+  for (int i = 0; i < 9; ++i) w.PutU8(0x80);
+  w.PutU8(0x02);  // payload bit 64 — outside the word
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.GetVarint64(), 0u);
+  EXPECT_TRUE(r.failed());
+  EXPECT_FALSE(r.status().ok());
+}
+
+TEST(SerializeTest, Varint128RoundTripBoundaries) {
+  unsigned __int128 max128 = ~static_cast<unsigned __int128>(0);
+  std::vector<unsigned __int128> values = {
+      0, 1, 127, 128, static_cast<unsigned __int128>(~uint64_t{0}),
+      static_cast<unsigned __int128>(~uint64_t{0}) + 1, max128 - 1, max128};
+  ByteWriter w;
+  for (auto v : values) w.PutVarint128(v);
+  ByteReader r(w.buffer());
+  for (auto v : values) EXPECT_TRUE(r.GetVarint128() == v);
+  EXPECT_TRUE(r.FinishAndCheckConsumed().ok());
+}
+
+TEST(SerializeTest, OverlongFinalByteBitsPoisonVarint128) {
+  // Nineteen-byte stream: the final byte sits at shift 126 where only two
+  // payload bits fit; 0x04 sets bit 128.
+  ByteWriter w;
+  for (int i = 0; i < 18; ++i) w.PutU8(0x80);
+  w.PutU8(0x04);
+  ByteReader r(w.buffer());
+  EXPECT_TRUE(r.GetVarint128() == 0);
+  EXPECT_TRUE(r.failed());
+}
+
 }  // namespace
 }  // namespace rsr
