@@ -5,6 +5,7 @@
 
 #include "emd/emd.h"
 #include "hashing/hash64.h"
+#include "lsh/batch_kernels.h"
 #include "hashing/kindependent.h"
 #include "hashing/pairwise.h"
 #include "hashing/tabulation.h"
@@ -15,6 +16,7 @@
 #include "lsh/pstable.h"
 #include "sketch/iblt.h"
 #include "sketch/riblt.h"
+#include "util/cpu_features.h"
 #include "util/random.h"
 #include "workload/generators.h"
 
@@ -409,6 +411,47 @@ void BM_RibltDecodeStore(benchmark::State& state) {
 }
 BENCHMARK(BM_RibltDecodeStore);
 
+void BM_RibltBuildSharded(benchmark::State& state) {
+  // Building one LARGE RIBLT (2^23 cells x dim=8 values, ~830 MB of cell
+  // slabs — several times the LLC) from 2^20 keys. Arg = num_shards: 1 is
+  // the classic sequential UpdateMany; higher counts run the partitioned
+  // build (hash once, bucket the updates by cell block, apply per shard),
+  // whose cell writes stay inside one L2-sized block slice at a time
+  // instead of random-walking the whole table. Wire bytes are identical for
+  // every shard count. Shards write disjoint cell ranges with no
+  // coordination, so on a multi-core host wall-clock scales near-linearly
+  // with min(shards, cores); single-core the partitioning alone is a
+  // constant-factor win that depends on how latency-bound the host's
+  // memory system is. Each iteration inserts then deletes the full key set,
+  // returning the table to the empty state without reallocating; items/sec
+  // counts the 2n cell-update batches.
+  const size_t num_shards = static_cast<size_t>(state.range(0));
+  RibltParams params;
+  params.num_cells = size_t{1} << 23;
+  params.dim = 8;
+  params.delta = 1023;
+  params.seed = 21;
+  Riblt table(params);
+  Rng rng(22);
+  const size_t n = size_t{1} << 20;
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) k = rng.Next();
+  PointStore values = GenerateUniformStore(n, 8, 1023, &rng);
+  for (auto _ : state) {
+    table.InsertManySharded(keys, values, num_shards, /*num_threads=*/1);
+    table.DeleteManySharded(keys, values, num_shards, /*num_threads=*/1);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * n));
+}
+BENCHMARK(BM_RibltBuildSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_EmdExact(benchmark::State& state) {
   Rng rng(14);
   size_t n = static_cast<size_t>(state.range(0));
@@ -436,4 +479,18 @@ BENCHMARK(BM_EmdKAll)->Arg(32)->Arg(64);
 }  // namespace
 }  // namespace rsr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Every BENCH_micro.json records which hashing kernels actually ran: the
+  // host's CPU feature set and the dispatcher's decision ("avx2"/"scalar",
+  // including the RSR_FORCE_SCALAR override). Without this a baseline file
+  // from a different host (or a forced-scalar run) would be silently
+  // incomparable.
+  benchmark::AddCustomContext("rsr_cpu_features", rsr::CpuFeatureString());
+  benchmark::AddCustomContext("rsr_dispatch",
+                              rsr::lsh_internal::ActiveBatchKernelName());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

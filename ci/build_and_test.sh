@@ -39,6 +39,16 @@ cmake -B build -S . "${WERROR_FLAGS[@]}" "${TIMEOUT_FLAGS[@]}" \
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j --timeout "${CTEST_TIMEOUT}"
 
+# Second leg of the dual-dispatch matrix: the identical suite with the
+# runtime dispatcher pinned to the portable scalar kernels. Guarantees the
+# scalar reference path stays green on AVX2 hosts, where the default leg
+# above exercises the vector kernels (and
+# SimdDispatchTest.DispatchMatchesCpuAndOverride fails that leg if AVX2 was
+# compiled but the dispatcher never selected it).
+echo "==== Release tests, RSR_FORCE_SCALAR=1 (portable kernel leg) ===="
+RSR_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure -j \
+  --timeout "${CTEST_TIMEOUT}"
+
 if [[ "${RSR_BENCH:-0}" == "1" && ! -x build/bench_micro ]]; then
   echo "error: RSR_BENCH=1 but build/bench_micro was not produced" >&2
   echo "       (google-benchmark missing or bench build broken)" >&2
@@ -50,5 +60,9 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DRSR_SANITIZE=ON \
   "${WERROR_FLAGS[@]}" "${TIMEOUT_FLAGS[@]}"
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j --timeout "${CTEST_TIMEOUT}"
+
+echo "==== ASan/UBSan tests, RSR_FORCE_SCALAR=1 (portable kernel leg) ===="
+RSR_FORCE_SCALAR=1 ctest --test-dir build-asan --output-on-failure -j \
+  --timeout "${CTEST_TIMEOUT}"
 
 echo "==== CI OK ===="

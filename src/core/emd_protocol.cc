@@ -131,16 +131,27 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
   }
   // Each level's table is an independent function of (keys, points), so
   // levels can build on separate threads; serialization below stays in level
-  // order, keeping the wire bytes identical to the sequential build.
-  ParallelShards(derived.levels, params.num_threads,
-                 [&](size_t begin, size_t end) {
-                   for (size_t l = begin; l < end; ++l) {
-                     tables[l].InsertMany(
-                         std::span<const uint64_t>(alice_keys.data() + l * n,
-                                                   n),
-                         alice);
-                   }
-                 });
+  // order, keeping the wire bytes identical to the sequential build. With
+  // sketch_shards > 1 the parallelism (and cache blocking) moves INSIDE each
+  // table instead: levels run sequentially and every table's cell array is
+  // built shard by shard — still byte-identical on the wire.
+  if (params.sketch_shards > 1) {
+    for (size_t l = 0; l < derived.levels; ++l) {
+      tables[l].InsertManySharded(
+          std::span<const uint64_t>(alice_keys.data() + l * n, n), alice,
+          params.sketch_shards, params.num_threads);
+    }
+  } else {
+    ParallelShards(derived.levels, params.num_threads,
+                   [&](size_t begin, size_t end) {
+                     for (size_t l = begin; l < end; ++l) {
+                       tables[l].InsertMany(
+                           std::span<const uint64_t>(alice_keys.data() + l * n,
+                                                     n),
+                           alice);
+                     }
+                   });
+  }
   for (Riblt& table : tables) table.WriteTo(&message);
   transcript.Send("A->B level RIBLTs", message);
 
@@ -172,14 +183,25 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
 
   // Deletions are independent per level (threadable); decoding stays
   // sequential finest-to-coarsest because bob_coins is a single stream.
-  ParallelShards(derived.levels, params.num_threads,
-                 [&](size_t begin, size_t end) {
-                   for (size_t l = begin; l < end; ++l) {
-                     received[l].DeleteMany(
-                         std::span<const uint64_t>(bob_keys.data() + l * n, n),
-                         bob);
-                   }
-                 });
+  // sketch_shards > 1 moves the fan-out inside each table, as on Alice's
+  // side.
+  if (params.sketch_shards > 1) {
+    for (size_t l = 0; l < derived.levels; ++l) {
+      received[l].DeleteManySharded(
+          std::span<const uint64_t>(bob_keys.data() + l * n, n), bob,
+          params.sketch_shards, params.num_threads);
+    }
+  } else {
+    ParallelShards(derived.levels, params.num_threads,
+                   [&](size_t begin, size_t end) {
+                     for (size_t l = begin; l < end; ++l) {
+                       received[l].DeleteMany(
+                           std::span<const uint64_t>(bob_keys.data() + l * n,
+                                                     n),
+                           bob);
+                     }
+                   });
+  }
 
   for (size_t level = derived.levels; level >= 1; --level) {
     Riblt& table = received[level - 1];

@@ -1,0 +1,60 @@
+// Four-lane AVX2 twins of the hash64.h mixing primitives.
+//
+// Each 64-bit lane computes exactly the scalar Mix64 / HashCombine bit
+// pattern: wrapping adds and logical shifts map 1:1 onto AVX2 instructions,
+// and the two 64x64-bit multiplies inside Mix64 are emulated from
+// 32x32->64-bit partial products (AVX2 has no packed 64-bit multiply; the
+// low 64 bits of the product — all a modular mixer ever keeps — are
+// lo*lo + ((hi*lo + lo*hi) << 32), each partial via _mm256_mul_epu32).
+// lsh/batch_kernels_avx2.cc runs four independent per-point HashCombine
+// chains in these lanes, which is what keeps the vector path bit-identical
+// to the scalar reference.
+//
+// Include only from translation units compiled with AVX2 enabled; the whole
+// header is inert elsewhere.
+#ifndef RSR_HASHING_HASH64_AVX2_H_
+#define RSR_HASHING_HASH64_AVX2_H_
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace rsr {
+namespace hash_avx2 {
+
+/// Lane-wise a * b mod 2^64.
+inline __m256i Mul64x4(__m256i a, __m256i b) {
+  __m256i a_hi = _mm256_srli_epi64(a, 32);
+  __m256i b_hi = _mm256_srli_epi64(b, 32);
+  __m256i lo_lo = _mm256_mul_epu32(a, b);
+  __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(a_hi, b), _mm256_mul_epu32(a, b_hi));
+  return _mm256_add_epi64(lo_lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// Lane-wise Mix64 (SplitMix64 finalizer), bit-identical per lane.
+inline __m256i Mix64x4(__m256i z) {
+  z = Mul64x4(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)),
+              _mm256_set1_epi64x(static_cast<int64_t>(0xbf58476d1ce4e5b9ULL)));
+  z = Mul64x4(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)),
+              _mm256_set1_epi64x(static_cast<int64_t>(0x94d049bb133111ebULL)));
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+/// Lane-wise HashCombine(seed, v), bit-identical per lane.
+inline __m256i HashCombine4(__m256i seed, __m256i v) {
+  __m256i t = _mm256_add_epi64(
+      v, _mm256_set1_epi64x(static_cast<int64_t>(0x9e3779b97f4a7c15ULL)));
+  t = _mm256_add_epi64(t, _mm256_slli_epi64(seed, 6));
+  t = _mm256_add_epi64(t, _mm256_srli_epi64(seed, 2));
+  return Mix64x4(_mm256_xor_si256(seed, t));
+}
+
+}  // namespace hash_avx2
+}  // namespace rsr
+
+#endif  // defined(__AVX2__)
+
+#endif  // RSR_HASHING_HASH64_AVX2_H_

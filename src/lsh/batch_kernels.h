@@ -8,12 +8,21 @@
 // dot-product accumulation) keeps its exact scalar operation order — so
 // results are bit-identical to Eval — but independent points overlap in the
 // pipeline instead of stalling on multiply/FMA latency.
+//
+// The templates are the PORTABLE REFERENCE (and the vector kernels' tail
+// path). Contiguous-row callers — the store-native EvalFlatBatch /
+// EvalCoordBatch hot paths — go through the dispatched entry points at the
+// bottom of this header instead, which select AVX2 implementations
+// (batch_kernels_avx2.cc) at runtime when the host supports them
+// (util/cpu_features.h). Both arms are bit-identical for every input; the
+// lsh/README.md SIMD section documents why.
 #ifndef RSR_LSH_BATCH_KERNELS_H_
 #define RSR_LSH_BATCH_KERNELS_H_
 
 #include <cmath>
 #include <cstdint>
 
+#include "geometry/point.h"
 #include "hashing/hash64.h"
 
 namespace rsr {
@@ -108,6 +117,60 @@ inline void DotCellBatch(RowFn row, size_t n, const double* direction,
     out[i * out_stride] = cell(dot);
   }
 }
+
+/// Column accessor adapter: presents column-major storage
+/// (cols[j * col_stride + i] == point i's coordinate j) to the row-templated
+/// kernels above, making the scalar column reference literally the same
+/// interleaved code as the row reference.
+struct ColRowView {
+  const double* base;   // cols + i (point i's first coordinate)
+  size_t stride;        // col_stride (elements between coordinates)
+  double operator[](size_t j) const { return base[j * stride]; }
+};
+
+// ---- Dispatched contiguous-row entry points ---------------------------------
+//
+// Row i is coords + i * dim (one PointStore arena row or one double-plane
+// row). Each call forwards through a function pointer resolved once per
+// process: AVX2 when compiled in, supported by the CPU, and not overridden
+// via RSR_FORCE_SCALAR; the scalar templates above otherwise.
+
+void GridHashFlat(const double* coords, size_t n, size_t dim,
+                  const double* offsets, double w, uint64_t salt, uint64_t* out,
+                  size_t out_stride);
+void GridHashCoord(const Coord* coords, size_t n, size_t dim,
+                   const double* offsets, double w, uint64_t salt,
+                   uint64_t* out, size_t out_stride);
+void DotCellFlat(const double* coords, size_t n, size_t dim,
+                 const double* direction, double offset, double w,
+                 uint64_t* out, size_t out_stride);
+void DotCellCoord(const Coord* coords, size_t n, size_t dim,
+                  const double* direction, double offset, double w,
+                  uint64_t* out, size_t out_stride);
+
+// ---- Dispatched column-major entry points -----------------------------------
+//
+// Input is column-major: cols[j * col_stride + i] is point i's coordinate j
+// (the eval pipeline transposes each point block once, amortized over all s
+// drawn functions). This is the layout the vector units actually want — a
+// lane load of 4 consecutive points' coordinate j is one contiguous load,
+// with no per-iteration shuffles and no strided gathers — so these are the
+// fastest kernels and the pipeline's first choice. Results are bit-identical
+// to the row kernels and to Eval: same values, same per-point operation
+// order, only the storage layout differs.
+
+void GridHashCols(const double* cols, size_t col_stride, size_t n, size_t dim,
+                  const double* offsets, double w, uint64_t salt, uint64_t* out,
+                  size_t out_stride);
+void DotCellCols(const double* cols, size_t col_stride, size_t n, size_t dim,
+                 const double* direction, double offset, double w,
+                 uint64_t* out, size_t out_stride);
+
+/// The dispatch decision actually in effect: "avx2" or "scalar". Recorded in
+/// bench metadata and pinned by simd_dispatch_test (an AVX2 host without the
+/// RSR_FORCE_SCALAR override must report "avx2" whenever the AVX2 sources
+/// were compiled).
+const char* ActiveBatchKernelName();
 
 }  // namespace lsh_internal
 }  // namespace rsr

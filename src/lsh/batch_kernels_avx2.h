@@ -1,0 +1,57 @@
+// AVX2 entry points for the contiguous-row batch kernels.
+//
+// These are the vector twins of the scalar templates in batch_kernels.h,
+// specialized to the two row layouts the store-native pipeline actually
+// feeds: the cached double plane (Flat) and the raw Coord arena (Coord).
+// Callers never invoke them directly — batch_kernels.cc selects them at
+// runtime (util/cpu_features.h) — except the bit-identity tests, which pin
+// scalar == AVX2 on every family regardless of the dispatch decision.
+//
+// The definitions live in batch_kernels_avx2.cc, the one translation unit
+// CMake compiles with -mavx2 (and -ffp-contract=off, so no multiply-add is
+// ever contracted into an FMA the scalar reference does not perform). When
+// that TU is built without AVX2 (non-x86 target, unsupported compiler),
+// kAvx2KernelsCompiled is false and these symbols forward to the scalar
+// reference so the dispatch table stays linkable everywhere.
+#ifndef RSR_LSH_BATCH_KERNELS_AVX2_H_
+#define RSR_LSH_BATCH_KERNELS_AVX2_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geometry/point.h"
+
+namespace rsr {
+namespace lsh_internal {
+
+/// True iff batch_kernels_avx2.cc was compiled with AVX2 code generation
+/// enabled (the dispatcher requires this on top of the CPUID probe).
+extern const bool kAvx2KernelsCompiled;
+
+void GridHashFlatAvx2(const double* coords, size_t n, size_t dim,
+                      const double* offsets, double w, uint64_t salt,
+                      uint64_t* out, size_t out_stride);
+void GridHashCoordAvx2(const Coord* coords, size_t n, size_t dim,
+                       const double* offsets, double w, uint64_t salt,
+                       uint64_t* out, size_t out_stride);
+void DotCellFlatAvx2(const double* coords, size_t n, size_t dim,
+                     const double* direction, double offset, double w,
+                     uint64_t* out, size_t out_stride);
+void DotCellCoordAvx2(const Coord* coords, size_t n, size_t dim,
+                      const double* direction, double offset, double w,
+                      uint64_t* out, size_t out_stride);
+
+/// Column-major (cols[j * col_stride + i]) variants: the layout the eval
+/// pipeline pre-transposes each point block into, where a 4-point lane load
+/// is one contiguous vmovupd with no shuffles. Fastest kernels in the table.
+void GridHashColsAvx2(const double* cols, size_t col_stride, size_t n,
+                      size_t dim, const double* offsets, double w,
+                      uint64_t salt, uint64_t* out, size_t out_stride);
+void DotCellColsAvx2(const double* cols, size_t col_stride, size_t n,
+                     size_t dim, const double* direction, double offset,
+                     double w, uint64_t* out, size_t out_stride);
+
+}  // namespace lsh_internal
+}  // namespace rsr
+
+#endif  // RSR_LSH_BATCH_KERNELS_AVX2_H_

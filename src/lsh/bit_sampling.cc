@@ -34,7 +34,9 @@ class BitSamplingFunction : public LshFunction {
 
   // Arena path: a strided gather straight out of the PointStore rows. Bit
   // sampling consumes raw integer coordinates, so this (not the double
-  // plane) is its store-native batch.
+  // plane) is its store-native batch. The coordinate-index offset is folded
+  // into the base pointer once and both cursors step by their strides, so
+  // the per-point loop carries no index arithmetic beyond two adds.
   void EvalCoordBatch(const Coord* coords, size_t n, size_t dim, uint64_t* out,
                       size_t out_stride) const override {
     if (index_ < 0) {
@@ -42,8 +44,8 @@ class BitSamplingFunction : public LshFunction {
       return;
     }
     const Coord* at = coords + static_cast<size_t>(index_);
-    for (size_t i = 0; i < n; ++i) {
-      out[i * out_stride] = static_cast<uint64_t>(at[i * dim]);
+    for (size_t i = 0; i < n; ++i, at += dim, out += out_stride) {
+      *out = static_cast<uint64_t>(*at);
     }
   }
 

@@ -23,19 +23,45 @@ void EvaluateAllInto(const PointStore& points,
   const bool flat = functions[0]->SupportsFlatBatch();
   const double* plane = flat ? points.DoublePlane() : nullptr;
   const Coord* arena = points.coord_data();
-  // Block the point range so one block's matrix slice (block * s * 8 bytes,
-  // ~64 KiB) and coordinate rows stay cache-resident across all s strided
-  // column writes; without blocking every write of a function pass lands on
-  // a distinct line of the full n x s buffer.
-  size_t block = (size_t{1} << 13) / (s > 0 ? s : 1);
+  // Block the point range so one block's matrix slice (block * s * 8 bytes)
+  // stays L1-resident across all s strided column writes; without blocking
+  // every write of a function pass lands on a distinct line of the full
+  // n x s buffer. The column path re-touches its slice with SIMD-rate
+  // stores, so it wants the slice well inside L1 (16 KiB); the coord path's
+  // scalar kernels tolerate a larger footprint and prefer fewer virtual
+  // calls. The transpose scratch is a fixed stack buffer (this pipeline is
+  // allocation-free when warm — pinned by pointstore_test), which bounds
+  // block * dim; dims too large for it take the row-major flat path instead.
+  constexpr size_t kColsScratchDoubles = 4096;  // 32 KiB per worker
+  const bool cols_path = flat && dim > 0 && dim <= kColsScratchDoubles / 16;
+  size_t block = ((flat && cols_path) ? (size_t{1} << 11) : (size_t{1} << 13)) /
+                 (s > 0 ? s : 1);
   if (block < 16) block = 16;
+  if (cols_path && block * dim > kColsScratchDoubles) {
+    block = kColsScratchDoubles / dim;  // >= 16 by the cols_path bound
+  }
   ParallelShards(n, num_threads, [&](size_t begin, size_t end) {
+    // Column path: transpose each block of double-plane rows to column-major
+    // ONCE (cols[j * len + i]), amortized over all s function passes. The
+    // SIMD column kernels then load 4 consecutive points' coordinate j with
+    // one contiguous vector load — no per-pass gathers or shuffles.
+    alignas(32) double cols[kColsScratchDoubles];
     for (size_t b = begin; b < end; b += block) {
       const size_t len = std::min(block, end - b);
+      if (cols_path) {
+        const double* rows = plane + b * dim;
+        for (size_t j = 0; j < dim; ++j) {
+          double* col = cols + j * len;
+          for (size_t i = 0; i < len; ++i) col[i] = rows[i * dim + j];
+        }
+      }
       // Function-major within the block: one virtual call per function, with
       // its drawn parameters hoisted for the whole point range.
       for (size_t g = 0; g < s; ++g) {
-        if (flat) {
+        if (cols_path) {
+          functions[g]->EvalColsBatch(cols, len, len, dim, data + b * s + g,
+                                      s);
+        } else if (flat) {
           functions[g]->EvalFlatBatch(plane + b * dim, len, dim,
                                       data + b * s + g, s);
         } else {

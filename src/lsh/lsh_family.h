@@ -76,6 +76,19 @@ class LshFunction {
   virtual void EvalFlatBatch(const double* coords, size_t n, size_t dim,
                              uint64_t* out, size_t out_stride) const;
 
+  /// Like EvalFlatBatch, but over COLUMN-major double coordinates:
+  /// cols[j * col_stride + i] == (double)points[i][j]. This is the layout
+  /// the eval pipeline pre-transposes each point block into (once, amortized
+  /// over all s drawn functions), and the layout the SIMD kernels want — a
+  /// vector lane load of consecutive points' coordinate j is one contiguous
+  /// load. Only valid when SupportsFlatBatch(). The default gathers rows
+  /// into a temporary and defers to EvalFlatBatch (correct for any flat
+  /// family, but allocating); the built-in flat families override it with
+  /// the dispatched column kernels.
+  virtual void EvalColsBatch(const double* cols, size_t col_stride, size_t n,
+                             size_t dim, uint64_t* out,
+                             size_t out_stride) const;
+
   /// Like EvalBatch over a row-major n x dim matrix of raw integer
   /// coordinates (one PointStore arena: coords + i * dim is point i's row).
   /// Every family overrides this allocation-free (the batch kernels are

@@ -174,7 +174,8 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
     sig_params.seed = HashCombine(salt, 0x516'0000u + attempt);
 
     Iblt bob_table(sig_params);
-    bob_table.InsertMany(bob_salted);
+    bob_table.InsertManySharded(bob_salted, params.sketch_shards,
+                                params.num_threads);
     ByteWriter msg1;
     // The negotiated size rides as a prefix on the first sketch only;
     // retry sizes are already on the wire in the sig-resize messages.
@@ -197,7 +198,8 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
     (void)bob_count;
     RSR_ASSIGN_OR_RETURN(Iblt alice_view,
                          Iblt::ReadFrom(&reader, parsed_sig_params));
-    alice_view.DeleteMany(alice_salted);
+    alice_view.DeleteManySharded(alice_salted, params.sketch_shards,
+                                 params.num_threads);
     IbltDecodeResult decoded = alice_view.Decode();
     if (decoded.complete) {
       for (const IbltEntry& e : decoded.entries) {
@@ -325,7 +327,8 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
       elem_params.seed = HashCombine(salt, 0xe1e'0000u + attempt);
 
       Iblt elem_table(elem_params);
-      elem_table.InsertMany(bob_words);
+      elem_table.InsertManySharded(bob_words, params.sketch_shards,
+                                   params.num_threads);
       ByteWriter msg3;
       elem_table.WriteTo(&msg3);
       // Per-set records: unsalted signature + per-slot fingerprints.
@@ -347,7 +350,8 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
       ByteReader reader(msg3.buffer());
       RSR_ASSIGN_OR_RETURN(Iblt alice_view,
                            Iblt::ReadFrom(&reader, elem_params));
-      alice_view.DeleteMany(alice_words);
+      alice_view.DeleteManySharded(alice_words, params.sketch_shards,
+                                   params.num_threads);
       IbltDecodeResult decoded = alice_view.Decode();
 
       std::vector<SetRecord> records(bob_diff_sets.size());

@@ -74,6 +74,14 @@ struct SetsReconcilerParams {
   /// first sig-IBLT message; the doubling retries then proceed from that
   /// size, so correctness is unchanged. Default OFF.
   AdaptiveSizingParams adaptive;
+  /// Intra-table shards for the signature/element IBLT builds (<= 1 = classic
+  /// sequential insert; see Iblt::InsertManySharded). Byte-identical wire
+  /// output for every value; > 1 keeps cell writes cache-local on large
+  /// tables and enables intra-table parallelism.
+  size_t sketch_shards = 1;
+  /// Worker threads for the sharded build (<= 1 = inline). No effect on the
+  /// transcript.
+  size_t num_threads = 1;
   /// Shared seed (public coins).
   uint64_t seed = 0;
 };

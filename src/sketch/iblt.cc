@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "hashing/checksum.h"
+#include "util/parallel.h"
 
 namespace rsr {
 
@@ -53,6 +54,119 @@ Iblt::Iblt(const IbltParams& params) : params_(params) {
 void Iblt::UpdateMany(std::span<const uint64_t> keys, int direction) {
   RSR_CHECK_EQ(params_.value_size, 0u);
   for (uint64_t key : keys) UpdateUnchecked(key, nullptr, direction);
+}
+
+void Iblt::UpdateManySharded(std::span<const uint64_t> keys, int direction,
+                             size_t num_shards, size_t num_threads) {
+  RSR_CHECK_EQ(params_.value_size, 0u);
+  if (keys.empty()) return;
+  const size_t total = num_cells_;
+  if (num_shards > total) num_shards = total;
+  if (num_shards <= 1) {
+    UpdateMany(keys, direction);
+    return;
+  }
+  const size_t n = keys.size();
+  const size_t q = static_cast<size_t>(params_.num_hashes);
+
+  // Phase 1: hash every key once, sharded over keys (pooled buffers).
+  shard_scratch_.cells.resize(n * q);
+  shard_scratch_.checksums.resize(n);
+  uint32_t* const cell_idx = shard_scratch_.cells.data();
+  uint64_t* const checksums = shard_scratch_.checksums.data();
+  const uint64_t* const key_data = keys.data();
+  const uint64_t mask = checksum_mask_;
+  const uint64_t salt = checksum_salt_;
+  ParallelShards(n, num_threads, [&](size_t begin, size_t end) {
+    size_t cells[kMaxHashes];
+    for (size_t i = begin; i < end; ++i) {
+      CellsOf(key_data[i], cells);
+      for (size_t j = 0; j < q; ++j) {
+        cell_idx[i * q + j] = static_cast<uint32_t>(cells[j]);
+      }
+      checksums[i] = ChecksumWithSalt(key_data[i], salt) & mask;
+    }
+  });
+
+  // Cell blocks sized so one block's three slabs (~24 B/cell) stay
+  // L2-resident while its bucket is applied; pure function of the table
+  // geometry. See Riblt::UpdateManySharded for the full phase walkthrough.
+  constexpr size_t kCellBytes = 3 * sizeof(uint64_t);
+  size_t block_shift = 0;
+  while ((size_t{1} << (block_shift + 1)) * kCellBytes <= (size_t{1} << 19)) {
+    ++block_shift;
+  }
+  const size_t num_blocks = ((total - 1) >> block_shift) + 1;
+  if (num_shards > num_blocks) num_shards = num_blocks;
+
+  // Phase 2: stable counting sort of the n*q updates into per-block buckets
+  // as packed (cell << 32 | key index) words.
+  const size_t key_blocks = num_shards < n ? num_shards : n;
+  shard_scratch_.bucket_counts.assign(key_blocks * num_blocks, 0);
+  shard_scratch_.bucket_offsets.resize(key_blocks * num_blocks);
+  shard_scratch_.block_starts.resize(num_blocks + 1);
+  shard_scratch_.entries.resize(n * q);
+  uint32_t* const bucket_counts = shard_scratch_.bucket_counts.data();
+  size_t* const bucket_offsets = shard_scratch_.bucket_offsets.data();
+  size_t* const block_starts = shard_scratch_.block_starts.data();
+  uint64_t* const entries = shard_scratch_.entries.data();
+
+  ParallelShards(key_blocks, num_threads, [&](size_t kb_begin, size_t kb_end) {
+    for (size_t kb = kb_begin; kb < kb_end; ++kb) {
+      uint32_t* const cnt = bucket_counts + kb * num_blocks;
+      const size_t i_end = ShardBoundary(n, key_blocks, kb + 1);
+      for (size_t i = ShardBoundary(n, key_blocks, kb); i < i_end; ++i) {
+        for (size_t j = 0; j < q; ++j) {
+          ++cnt[cell_idx[i * q + j] >> block_shift];
+        }
+      }
+    }
+  });
+  size_t run = 0;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    block_starts[b] = run;
+    for (size_t kb = 0; kb < key_blocks; ++kb) {
+      bucket_offsets[kb * num_blocks + b] = run;
+      run += bucket_counts[kb * num_blocks + b];
+    }
+  }
+  block_starts[num_blocks] = run;
+  ParallelShards(key_blocks, num_threads, [&](size_t kb_begin, size_t kb_end) {
+    for (size_t kb = kb_begin; kb < kb_end; ++kb) {
+      size_t* const cursor = bucket_offsets + kb * num_blocks;
+      const size_t i_end = ShardBoundary(n, key_blocks, kb + 1);
+      for (size_t i = ShardBoundary(n, key_blocks, kb); i < i_end; ++i) {
+        for (size_t j = 0; j < q; ++j) {
+          const uint32_t cell = cell_idx[i * q + j];
+          const size_t pos = cursor[cell >> block_shift]++;
+          entries[pos] = (static_cast<uint64_t>(cell) << 32) | i;
+        }
+      }
+    }
+  });
+
+  // Phase 3: each shard applies its contiguous range of blocks' buckets
+  // (disjoint writes, global key order per cell — byte-identical to the
+  // sequential build; see header comment).
+  int64_t* const counts = Counts();
+  uint64_t* const key_xors = KeyXors();
+  uint64_t* const checksum_xors = ChecksumXors();
+  ParallelShards(num_shards, num_threads, [&](size_t s_begin, size_t s_end) {
+    for (size_t shard = s_begin; shard < s_end; ++shard) {
+      const size_t pos_begin =
+          block_starts[ShardBoundary(num_blocks, num_shards, shard)];
+      const size_t pos_end =
+          block_starts[ShardBoundary(num_blocks, num_shards, shard + 1)];
+      for (size_t pos = pos_begin; pos < pos_end; ++pos) {
+        const uint64_t e = entries[pos];
+        const size_t cell = e >> 32;
+        const size_t i = static_cast<uint32_t>(e);
+        counts[cell] += direction;
+        key_xors[cell] ^= key_data[i];
+        checksum_xors[cell] ^= checksums[i];
+      }
+    }
+  });
 }
 
 Status Iblt::CheckCompatible(const Iblt& other) const {

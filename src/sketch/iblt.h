@@ -102,6 +102,26 @@ class Iblt {
   void InsertMany(std::span<const uint64_t> keys) { UpdateMany(keys, +1); }
   void DeleteMany(std::span<const uint64_t> keys) { UpdateMany(keys, -1); }
 
+  /// Sharded intra-table batched update (value-less keys, like UpdateMany).
+  /// Mirrors Riblt::UpdateManySharded: hash every key once, stable-counting-
+  /// sort the pending updates into per-cell-block buckets as packed
+  /// (cell, key index) words, then each shard applies its contiguous range
+  /// of blocks (ShardBoundary over blocks). Each cell is written by exactly one shard
+  /// in global key order, and XOR/add cell arithmetic is order-insensitive
+  /// anyway, so the table is byte-identical to sequential UpdateMany for
+  /// every (num_shards, num_threads). All scratch is pooled on the
+  /// instance: warm repeat calls allocate nothing.
+  void UpdateManySharded(std::span<const uint64_t> keys, int direction,
+                         size_t num_shards, size_t num_threads);
+  void InsertManySharded(std::span<const uint64_t> keys, size_t num_shards,
+                         size_t num_threads) {
+    UpdateManySharded(keys, +1, num_shards, num_threads);
+  }
+  void DeleteManySharded(std::span<const uint64_t> keys, size_t num_shards,
+                         size_t num_threads) {
+    UpdateManySharded(keys, -1, num_shards, num_threads);
+  }
+
   /// Cell-wise subtraction (sketch-difference style reconciliation).
   /// Requires identical parameters and seed.
   Status SubtractInPlace(const Iblt& other);
@@ -181,6 +201,17 @@ class Iblt {
     std::vector<uint8_t> pure;  // cached purity flags, updated incrementally
   };
   mutable DecodeScratch scratch_;
+
+  /// Pooled buffers for UpdateManySharded (see Riblt::ShardScratch).
+  struct ShardScratch {
+    std::vector<uint32_t> cells;        // n * num_hashes, key-major
+    std::vector<uint64_t> checksums;    // n
+    std::vector<uint32_t> bucket_counts;  // key_blocks x num_blocks
+    std::vector<size_t> bucket_offsets;   // key_blocks x num_blocks cursors
+    std::vector<size_t> block_starts;     // num_blocks + 1
+    std::vector<uint64_t> entries;        // n * num_hashes, cell<<32 | index
+  };
+  ShardScratch shard_scratch_;
 };
 
 // ---- Hot path (inline) ------------------------------------------------------

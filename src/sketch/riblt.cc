@@ -4,6 +4,7 @@
 
 #include "hashing/checksum.h"
 #include "sketch/cell_index.h"
+#include "util/parallel.h"
 
 namespace rsr {
 
@@ -143,6 +144,148 @@ void Riblt::UpdateMany(std::span<const uint64_t> keys, const PointStore& values,
   for (size_t i = 0; i < keys.size(); ++i) {
     Update(keys[i], rows + i * dim, direction);
   }
+}
+
+void Riblt::UpdateManySharded(std::span<const uint64_t> keys,
+                              const PointStore& values, int direction,
+                              size_t num_shards, size_t num_threads) {
+  RSR_CHECK_EQ(keys.size(), values.size());
+  if (keys.empty()) return;
+  RSR_CHECK_EQ(values.dim(), params_.dim);
+  const size_t total = counts_.size();
+  if (num_shards > total) num_shards = total;
+  if (num_shards <= 1) {
+    UpdateMany(keys, values, direction);
+    return;
+  }
+  const size_t n = keys.size();
+  const size_t q = static_cast<size_t>(params_.num_hashes);
+  const size_t dim = params_.dim;
+
+  // Phase 1: hash every key once — q cell indices plus the checksum term —
+  // sharded over keys. Pooled buffers: repeat calls with the same batch
+  // shape allocate nothing.
+  shard_scratch_.cells.resize(n * q);
+  shard_scratch_.checksums.resize(n);
+  uint32_t* const cell_idx = shard_scratch_.cells.data();
+  uint64_t* const checksums = shard_scratch_.checksums.data();
+  const uint64_t* const key_data = keys.data();
+  ParallelShards(n, num_threads, [&](size_t begin, size_t end) {
+    size_t cells[kMaxHashes];
+    for (size_t i = begin; i < end; ++i) {
+      CellsOf(key_data[i], cells);
+      for (size_t j = 0; j < q; ++j) {
+        cell_idx[i * q + j] = static_cast<uint32_t>(cells[j]);
+      }
+      checksums[i] = CellChecksum(key_data[i], checksum_salt_);
+    }
+  });
+
+  // Cell blocks: fixed-size sub-ranges sized so one block's slab slice
+  // (counts + key_sums + checksum_sums + value_sums) is ~0.5 MiB, i.e.
+  // comfortably L2-resident while a bucket is applied. Pure function of the
+  // table geometry — independent of num_shards and num_threads.
+  const size_t cell_bytes =
+      sizeof(int64_t) + 2 * sizeof(U128) + dim * sizeof(int64_t);
+  size_t block_shift = 0;
+  while ((size_t{1} << (block_shift + 1)) * cell_bytes <= (size_t{1} << 19)) {
+    ++block_shift;
+  }
+  const size_t num_blocks = ((total - 1) >> block_shift) + 1;
+  if (num_shards > num_blocks) num_shards = num_blocks;
+
+  // Phase 2: stable counting sort of the n*q pending updates into per-block
+  // buckets as packed (cell << 32 | key index) words — 8 bytes per update,
+  // so the partition itself is a light streaming pass. Key blocks give the
+  // scatter deterministic parallelism: per-(key block, cell block) counts
+  // turn into exact cursors, and each worker writes its own cursor ranges.
+  // Bucket order is (key block, key) = global key order — the sort is
+  // stable.
+  const size_t key_blocks = num_shards < n ? num_shards : n;
+  shard_scratch_.bucket_counts.assign(key_blocks * num_blocks, 0);
+  shard_scratch_.bucket_offsets.resize(key_blocks * num_blocks);
+  shard_scratch_.block_starts.resize(num_blocks + 1);
+  shard_scratch_.entries.resize(n * q);
+  uint32_t* const bucket_counts = shard_scratch_.bucket_counts.data();
+  size_t* const bucket_offsets = shard_scratch_.bucket_offsets.data();
+  size_t* const block_starts = shard_scratch_.block_starts.data();
+  uint64_t* const entries = shard_scratch_.entries.data();
+  const Coord* const rows = values.coord_data();
+
+  ParallelShards(key_blocks, num_threads, [&](size_t kb_begin, size_t kb_end) {
+    for (size_t kb = kb_begin; kb < kb_end; ++kb) {
+      uint32_t* const cnt = bucket_counts + kb * num_blocks;
+      const size_t i_end = ShardBoundary(n, key_blocks, kb + 1);
+      for (size_t i = ShardBoundary(n, key_blocks, kb); i < i_end; ++i) {
+        for (size_t j = 0; j < q; ++j) {
+          ++cnt[cell_idx[i * q + j] >> block_shift];
+        }
+      }
+    }
+  });
+  size_t run = 0;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    block_starts[b] = run;
+    for (size_t kb = 0; kb < key_blocks; ++kb) {
+      bucket_offsets[kb * num_blocks + b] = run;
+      run += bucket_counts[kb * num_blocks + b];
+    }
+  }
+  block_starts[num_blocks] = run;
+  ParallelShards(key_blocks, num_threads, [&](size_t kb_begin, size_t kb_end) {
+    for (size_t kb = kb_begin; kb < kb_end; ++kb) {
+      size_t* const cursor = bucket_offsets + kb * num_blocks;
+      const size_t i_end = ShardBoundary(n, key_blocks, kb + 1);
+      for (size_t i = ShardBoundary(n, key_blocks, kb); i < i_end; ++i) {
+        for (size_t j = 0; j < q; ++j) {
+          const uint32_t cell = cell_idx[i * q + j];
+          const size_t pos = cursor[cell >> block_shift]++;
+          entries[pos] = (static_cast<uint64_t>(cell) << 32) | i;
+        }
+      }
+    }
+  });
+
+  // Phase 3: each shard owns a contiguous range of cell blocks and applies
+  // their buckets in order. Every cell is written by exactly one shard (no
+  // atomics) and sees its updates in global key order; the arithmetic
+  // (wrapping 128-bit sums, int64 adds) matches Update verbatim, so the
+  // table is byte-identical to UpdateMany's for every shard/thread count.
+  // The bucket reads stream and the cell writes stay inside one L2-sized
+  // block slice at a time — that locality is what keeps large-table builds
+  // fast even single-threaded.
+  int64_t* const counts = counts_.data();
+  U128* const key_sums = key_sums_.data();
+  U128* const checksum_sums = checksum_sums_.data();
+  int64_t* const value_sums = value_sums_.data();
+  ParallelShards(num_shards, num_threads, [&](size_t s_begin, size_t s_end) {
+    for (size_t shard = s_begin; shard < s_end; ++shard) {
+      const size_t pos_begin =
+          block_starts[ShardBoundary(num_blocks, num_shards, shard)];
+      const size_t pos_end =
+          block_starts[ShardBoundary(num_blocks, num_shards, shard + 1)];
+      for (size_t pos = pos_begin; pos < pos_end; ++pos) {
+        const uint64_t e = entries[pos];
+        const size_t cell = e >> 32;
+        const size_t i = static_cast<uint32_t>(e);
+        counts[cell] += direction;
+        const U128 key_term = key_data[i];
+        const U128 checksum_term = checksums[i];
+        if (direction > 0) {
+          key_sums[cell] += key_term;
+          checksum_sums[cell] += checksum_term;
+        } else {
+          key_sums[cell] -= key_term;
+          checksum_sums[cell] -= checksum_term;
+        }
+        const Coord* const value = rows + i * dim;
+        int64_t* const vs = value_sums + cell * dim;
+        for (size_t d = 0; d < dim; ++d) {
+          vs[d] += direction > 0 ? value[d] : -value[d];
+        }
+      }
+    }
+  });
 }
 
 Status Riblt::AddScaled(const Riblt& other, int64_t factor) {

@@ -1,0 +1,61 @@
+#include "util/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rsr {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+bool ProbeBuiltin(const char* feature) {
+  // __builtin_cpu_supports executes CPUID on first use; GCC and Clang both
+  // provide it on x86. The probe itself uses no extended instructions.
+  __builtin_cpu_init();
+  if (std::strcmp(feature, "sse2") == 0) return __builtin_cpu_supports("sse2");
+  if (std::strcmp(feature, "sse4.2") == 0) {
+    return __builtin_cpu_supports("sse4.2");
+  }
+  if (std::strcmp(feature, "avx") == 0) return __builtin_cpu_supports("avx");
+  if (std::strcmp(feature, "avx2") == 0) return __builtin_cpu_supports("avx2");
+  if (std::strcmp(feature, "fma") == 0) return __builtin_cpu_supports("fma");
+  if (std::strcmp(feature, "avx512f") == 0) {
+    return __builtin_cpu_supports("avx512f");
+  }
+  return false;
+}
+#else
+bool ProbeBuiltin(const char*) { return false; }
+#endif
+
+}  // namespace
+
+bool CpuSupportsAvx2() {
+  static const bool supported = ProbeBuiltin("avx2");
+  return supported;
+}
+
+bool ForceScalarKernels() {
+  // Read once: the dispatch decision is made a single time per process, so a
+  // mid-run setenv must not flip kernels under a running pipeline.
+  static const bool forced = [] {
+    const char* env = std::getenv("RSR_FORCE_SCALAR");
+    return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+  }();
+  return forced;
+}
+
+std::string CpuFeatureString() {
+  static const char* const kProbed[] = {"sse2", "sse4.2", "avx",
+                                        "avx2", "fma",    "avx512f"};
+  std::string features;
+  for (const char* name : kProbed) {
+    if (!ProbeBuiltin(name)) continue;
+    if (!features.empty()) features += ' ';
+    features += name;
+  }
+  if (features.empty()) features = "none-probed";
+  return features;
+}
+
+}  // namespace rsr
