@@ -1,8 +1,13 @@
 // Experiment E11: microbenchmarks (google-benchmark) for the hashing, LSH,
 // sketch, and matching primitives — the engineering baseline behind the
 // protocol-level time bounds of Theorems 3.4 and 4.2.
+#include <map>
+#include <memory>
+
 #include <benchmark/benchmark.h>
 
+#include "core/sync_dataset.h"
+#include "core/sync_server.h"
 #include "emd/emd.h"
 #include "hashing/hash64.h"
 #include "lsh/batch_kernels.h"
@@ -475,6 +480,130 @@ void BM_EmdKAll(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EmdKAll)->Arg(32)->Arg(64);
+
+// ---- Maintained sketches (core/sync_dataset.h, core/sync_server.h) ------
+
+EmdProtocolParams SyncBenchParams() {
+  EmdProtocolParams params;
+  params.metric = MetricKind::kL1;
+  params.dim = 4;
+  params.delta = 1023;
+  params.k = 8;
+  // d1/d2 pinned: with d2 == 0 the level ladder is derived from n, and the
+  // per-mutation cost would scale with levels(n) by design. An explicit
+  // ladder makes BM_SyncDatasetInsert's n-independence claim directly
+  // readable off the three Arg timings.
+  params.d1 = 1;
+  params.d2 = 1024;
+  params.seed = 42;
+  return params;
+}
+
+PointStore DistinctBenchRows(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  PointSet points = GenerateUniform(count * 2, 4, 1023, &rng);
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  RSR_CHECK(points.size() >= count);  // dim 4, delta 1023: ~2^40 row space
+  points.resize(count);
+  return PointStore::FromPointSet(4, points);
+}
+
+struct SyncBenchState {
+  std::unique_ptr<SyncDataset> dataset;
+  Point spare;  // a row NOT in the dataset: inserted + deleted per cycle
+};
+
+/// One maintained dataset per n, built once per process: the benchmarks time
+/// steady-state mutations, never the cold build.
+SyncBenchState* CachedSyncState(size_t n) {
+  static auto* cache = new std::map<size_t, SyncBenchState>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    PointStore rows = DistinctBenchRows(n + 1, 0xabc0 + n);
+    PointStore initial(4);
+    for (size_t i = 0; i < n; ++i) initial.Append(rows[i]);
+    auto ds = SyncDataset::Create(initial, SyncBenchParams());
+    RSR_CHECK(ds.ok());
+    SyncBenchState state{std::make_unique<SyncDataset>(std::move(*ds)),
+                         rows.MakePoint(n)};
+    state.dataset->Reserve(n + 2);
+    it = cache->emplace(n, std::move(state)).first;
+  }
+  return &it->second;
+}
+
+/// One insert + one delete against a maintained dataset. The acceptance
+/// claim is O(levels * k) per mutation, INDEPENDENT of n: the three Arg
+/// timings (2^10, 2^14, 2^18 rows) should be flat.
+void BM_SyncDatasetInsert(benchmark::State& state) {
+  SyncBenchState* s = CachedSyncState(static_cast<size_t>(state.range(0)));
+  SyncDataset* ds = s->dataset.get();
+  PointRef spare(s->spare.coords().data(), s->spare.dim());
+  {  // warm the pooled scratch outside the timed loop
+    auto key = ds->Insert(spare);
+    RSR_CHECK(key.ok() && ds->Delete(*key).ok());
+  }
+  for (auto _ : state) {
+    auto key = ds->Insert(spare);
+    Status st = ds->Delete(*key);
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_SyncDatasetInsert)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Server-side message production per sync over a maintained dataset under
+/// churn: one insert + one delete between syncs, then snapshot + serialize.
+/// Acceptance target: >= 10x faster than BM_SessionSyncRebuild.
+void BM_SessionSyncWarm(benchmark::State& state) {
+  constexpr size_t kN = 4096;
+  static SyncServer* server = nullptr;
+  static Point* spare = nullptr;
+  if (server == nullptr) {
+    PointStore rows = DistinctBenchRows(kN + 1, 0x5e55);
+    PointStore initial(4);
+    for (size_t i = 0; i < kN; ++i) initial.Append(rows[i]);
+    auto ds = SyncDataset::Create(initial, SyncBenchParams());
+    RSR_CHECK(ds.ok());
+    ds->Reserve(kN + 2);
+    server = new SyncServer(std::move(*ds));
+    spare = new Point(rows.MakePoint(kN));
+  }
+  PointRef spare_ref(spare->coords().data(), spare->dim());
+  for (auto _ : state) {
+    auto key = server->Insert(spare_ref);
+    Status st = server->Delete(*key);
+    benchmark::DoNotOptimize(st);
+    auto snap = server->AcquireSnapshot();
+    ByteWriter message;
+    snap->WriteSketchMessage(&message);
+    benchmark::DoNotOptimize(message.buffer().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SessionSyncWarm)->Unit(benchmark::kMicrosecond);
+
+/// The pre-SyncDataset serving cost: rebuild every level sketch from scratch
+/// and serialize, once per sync.
+void BM_SessionSyncRebuild(benchmark::State& state) {
+  constexpr size_t kN = 4096;
+  static auto* rows = new PointStore(DistinctBenchRows(kN, 0x5e55));
+  const EmdProtocolParams params = SyncBenchParams();
+  for (auto _ : state) {
+    auto sketches = BuildEmdSketches(*rows, params, /*build_estimators=*/false);
+    RSR_CHECK(sketches.ok());
+    ByteWriter message;
+    for (const Riblt& table : sketches->tables) table.WriteTo(&message);
+    benchmark::DoNotOptimize(message.buffer().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SessionSyncRebuild)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace rsr

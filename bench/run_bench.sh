@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
 # Runs the google-benchmark microbenchmark suite (bench_micro) in JSON mode
 # and writes BENCH_micro.json at the repo root: the perf trajectory record
-# that future PRs compare against (see bench/baselines/ for the pre-refactor
-# snapshot).
+# that future PRs compare against (see bench/baselines/ for pre-refactor
+# snapshots, e.g. BENCH_micro_pre_sync_server.json from before the
+# maintained-sketch serving path landed).
+#
+# bench_micro now includes the maintained-sketch group (BM_SyncDatasetInsert,
+# BM_SessionSyncWarm, BM_SessionSyncRebuild); the standalone bench_server
+# binary sweeps maintained-vs-rebuilt serving across churn rates and is run
+# directly (./build/bench_server), not through this script.
 #
 # Usage:
 #   bench/run_bench.sh [output.json]

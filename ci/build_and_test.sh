@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify (Release build + full CTest run; -Wall
 # -Wextra are enabled unconditionally by CMakeLists.txt), followed by a
-# Debug + Address/UB-sanitizer configuration of the same test suite.
+# Debug + Address/UB-sanitizer configuration of the same test suite, and a
+# RelWithDebInfo + ThreadSanitizer leg over the concurrency tests (the
+# SyncServer mutate-while-sync interleaving).
 #
 # Usage: ci/build_and_test.sh
 # Environment:
@@ -64,5 +66,19 @@ ctest --test-dir build-asan --output-on-failure -j --timeout "${CTEST_TIMEOUT}"
 echo "==== ASan/UBSan tests, RSR_FORCE_SCALAR=1 (portable kernel leg) ===="
 RSR_FORCE_SCALAR=1 ctest --test-dir build-asan --output-on-failure -j \
   --timeout "${CTEST_TIMEOUT}"
+
+# TSan gates the concurrent mutate-while-sync serving path (snapshots handed
+# out under churn — SyncServerTest.ConcurrentChurnAndSync and the rest of the
+# Sync suite). Scoped to -R 'Sync': that is where the library spawns
+# concurrent readers against a mutating writer; the full suite under TSan
+# would triple CI time re-checking single-threaded code ASan already covers.
+# RelWithDebInfo, not Debug: TSan's own slowdown on the protocol loops is
+# ~10x and needs -O2 to keep the leg fast.
+echo "==== RelWithDebInfo + TSan build + concurrency tests ===="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRSR_SANITIZE=thread "${WERROR_FLAGS[@]}" "${TIMEOUT_FLAGS[@]}"
+cmake --build build-tsan -j
+ctest --test-dir build-tsan --output-on-failure -j \
+  --timeout "${CTEST_TIMEOUT}" -R 'Sync'
 
 echo "==== CI OK ===="

@@ -1,0 +1,144 @@
+// A long-running sync server under churn: maintained sketches vs rebuilds.
+//
+// A replica holds 2048 sensor records and keeps syncing clients while
+// records arrive and expire. The historical architecture rebuilt every
+// per-level RIBLT from scratch for each sync — O(n * levels) hashing no
+// matter how little changed. A SyncDataset instead folds each insert/delete
+// into the standing sketches as signed cell updates (O(levels * k) per
+// mutation, independent of n), and a SyncServer hands concurrent sessions
+// immutable generation-stamped snapshots, so serving a sync is just
+// "serialize the maintained cells".
+//
+// The demo runs the same churn-and-serve loop both ways and prints the
+// wall-clock totals side by side, then runs one full client sync off a
+// maintained snapshot to show the exchange itself is unchanged.
+//
+// Build & run:  cmake -B build -DRSR_BUILD_EXAMPLES=ON && cmake --build build
+//               && ./build/example_sync_server
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/emd_sketch.h"
+#include "core/sync_server.h"
+#include "util/random.h"
+#include "util/serialize.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace rsr;
+  using Clock = std::chrono::steady_clock;
+
+  constexpr size_t kRecords = 2048;
+  constexpr int kRounds = 200;  // churn cycles, one sync each
+
+  EmdProtocolParams params;
+  params.metric = MetricKind::kL1;
+  params.dim = 3;
+  params.delta = 1023;
+  params.k = 8;
+  params.d1 = 1;
+  params.d2 = 1024;  // explicit ladder: levels must not drift with n
+  params.seed = 7;
+
+  // kRecords resident rows plus kRounds future arrivals, all distinct.
+  Rng rng(99);
+  PointSet points = GenerateUniform(2 * (kRecords + kRounds), 3, 1023, &rng);
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  if (points.size() < kRecords + kRounds) {
+    std::printf("not enough distinct rows generated\n");
+    return 1;
+  }
+  points.resize(kRecords + kRounds);
+  PointStore pool = PointStore::FromPointSet(3, points);
+  PointStore initial(3);
+  for (size_t i = 0; i < kRecords; ++i) initial.Append(pool[i]);
+
+  std::printf("sync server demo: n = %zu records, %d churn+sync rounds\n",
+              kRecords, kRounds);
+
+  // ---- Maintained: SyncDataset + SyncServer --------------------------------
+  auto dataset = SyncDataset::Create(initial, params);
+  if (!dataset.ok()) {
+    std::printf("dataset build failed: %s\n",
+                dataset.status().ToString().c_str());
+    return 1;
+  }
+  dataset->Reserve(kRecords + 2);
+  SyncServer server(std::move(*dataset));
+
+  size_t maintained_bytes = 0;
+  const auto maintained_start = Clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    // One record arrives, the oldest resident one expires (n stays fixed)...
+    PointStore arrival(3);
+    arrival.Append(pool[kRecords + round]);
+    std::vector<uint64_t> expired = {server.KeyOf(pool[round])};
+    if (!server.ApplyBatch(arrival, expired).ok()) {
+      std::printf("churn failed at round %d\n", round);
+      return 1;
+    }
+    // ...and a client sync is served from the maintained cells.
+    auto snapshot = server.AcquireSnapshot();
+    ByteWriter message;
+    snapshot->WriteSketchMessage(&message);
+    maintained_bytes = message.buffer().size();
+  }
+  const double maintained_sec =
+      std::chrono::duration<double>(Clock::now() - maintained_start).count();
+
+  // ---- Rebuilt: the historical per-sync cold build -------------------------
+  PointStore rebuilt_rows(3);
+  for (size_t i = 0; i < kRecords; ++i) rebuilt_rows.Append(pool[i]);
+  size_t rebuilt_bytes = 0;
+  const auto rebuilt_start = Clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    // Same churn volume, raw row edits only (which resident row expires is
+    // irrelevant to the timing — every sync rebuilds everything anyway)...
+    rebuilt_rows.RemoveRowSwap(0);
+    rebuilt_rows.Append(pool[kRecords + round]);
+    // ...then the sync pays the full rebuild.
+    auto sketches = BuildEmdSketches(rebuilt_rows, params, false);
+    if (!sketches.ok()) {
+      std::printf("rebuild failed at round %d\n", round);
+      return 1;
+    }
+    ByteWriter message;
+    for (const Riblt& table : sketches->tables) table.WriteTo(&message);
+    rebuilt_bytes = message.buffer().size();
+  }
+  const double rebuilt_sec =
+      std::chrono::duration<double>(Clock::now() - rebuilt_start).count();
+
+  std::printf("\n  maintained (SyncServer): %8.1f ms total, %6.3f ms/round\n",
+              maintained_sec * 1e3, maintained_sec * 1e3 / kRounds);
+  std::printf("  rebuilt per sync:        %8.1f ms total, %6.3f ms/round\n",
+              rebuilt_sec * 1e3, rebuilt_sec * 1e3 / kRounds);
+  std::printf("  speedup: %.1fx  (sketch message: %zu vs %zu bytes)\n",
+              rebuilt_sec / maintained_sec, maintained_bytes, rebuilt_bytes);
+
+  // ---- One real exchange off a maintained snapshot -------------------------
+  // The server now holds pool rows [kRounds, kRecords + kRounds). A client
+  // that missed the last 5 arrivals (and still holds 5 expired records)
+  // syncs against it: same size, symmetric difference 10.
+  PointStore client(3);
+  for (size_t i = kRounds - 5; i < kRecords + kRounds - 5; ++i) {
+    client.Append(pool[i]);
+  }
+  SyncSession session = server.OpenSession();
+  auto report = session.Run(client);
+  if (!report.ok()) {
+    std::printf("sync failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\n  client sync via snapshot generation %llu: %s (level %zu, "
+      "|X_A| = %zu, %llu bits)\n",
+      static_cast<unsigned long long>(session.generation()),
+      report->failure ? "FAILED" : "reconciled", report->decoded_level,
+      static_cast<size_t>(report->x_a.size()),
+      static_cast<unsigned long long>(report->comm.total_bits()));
+  return report->failure ? 1 : 0;
+}

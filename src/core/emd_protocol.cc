@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "core/adaptive.h"
+#include "core/emd_sketch.h"
 #include "emd/assignment.h"
 #include "emd/emd.h"
 #include "hashing/hash64.h"
@@ -17,143 +19,31 @@ namespace rsr {
 
 namespace {
 
-// Level keys are Theta(log n) bits in the paper; 40 bits keeps the birthday
-// collision probability below n^2/2^40 (~1e-5 at n = 4096) while letting
-// RIBLT key sums serialize as short varints.
-constexpr uint64_t kLevelKeyMask = (uint64_t{1} << 40) - 1;
-
-/// All masked level keys of every point, level-major: out[level * n + i] is
-/// point i's key at 1-based level `level + 1`. One EvalPrefixes pass per
-/// point covers every level (the per-level prefix lengths are nondecreasing),
-/// sharded over points.
-std::vector<uint64_t> ComputeLevelKeys(const EvalMatrix& evals,
-                                       const PairwiseVectorHash& level_key_hash,
-                                       const std::vector<size_t>& prefix_lens,
-                                       size_t num_threads) {
-  const size_t n = evals.rows();
-  const size_t t = prefix_lens.size();
-  std::vector<uint64_t> keys(t * n);
-  if (t > 0) level_key_hash.Reserve(prefix_lens.back());  // thread safety
-  ParallelShards(n, num_threads, [&](size_t begin, size_t end) {
-    std::vector<uint64_t> row_keys(t);
-    for (size_t i = begin; i < end; ++i) {
-      level_key_hash.EvalPrefixes(evals.row(i), prefix_lens.data(), t,
-                                  row_keys.data());
-      for (size_t level = 0; level < t; ++level) {
-        keys[level * n + i] = row_keys[level] & kLevelKeyMask;
-      }
-    }
-  });
-  return keys;
-}
-
-}  // namespace
-
-Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
-                                         const PointStore& bob,
-                                         const EmdProtocolParams& params) {
-  if (alice.size() != bob.size() || alice.empty()) {
-    return Status::InvalidArgument("|S_A| must equal |S_B| and be positive");
-  }
-  const size_t n = alice.size();
-  ValidatePointStore(alice, params.dim, params.delta);
-  ValidatePointStore(bob, params.dim, params.delta);
-
-  EmdProtocolReport report;
-  RSR_ASSIGN_OR_RETURN(report.derived, DeriveEmdParameters(params, n));
+/// The protocol tail shared by the one-shot and prebuilt entry points:
+/// Alice serializes her (already built) level tables into one message, Bob
+/// parses, deletes his pairs, decodes the finest feasible level, and repairs
+/// S_B. `report` arrives pre-filled with .derived; `transcript` may already
+/// carry an adaptive negotiation round. The emitted bytes depend only on the
+/// table cells and level_cells — not on how the tables were produced — which
+/// is what makes maintained sketch sets wire-compatible with cold rebuilds.
+Result<EmdProtocolReport> FinishEmdProtocol(
+    const std::vector<Riblt>& tables, const std::vector<size_t>& level_cells,
+    const std::vector<size_t>& prefix_lens, const PointStore& bob,
+    const std::vector<uint64_t>& bob_keys, const EmdProtocolParams& params,
+    Transcript* transcript, EmdProtocolReport report) {
   const EmdDerived& derived = report.derived;
+  const size_t n = bob.size();
 
-  // Public coins: both parties derive identical hash functions from the seed.
-  Rng shared(params.seed);
-  std::unique_ptr<MlshFamily> family =
-      MakeMlshFamily(params.metric, params.dim, derived.w);
-  std::vector<std::unique_ptr<LshFunction>> draws =
-      DrawMany(*family, derived.s, &shared);
-  PairwiseVectorHash level_key_hash = PairwiseVectorHash::Draw(&shared);
-
-  // Per-level MLSH prefix lengths (nondecreasing in the level index, which
-  // is what lets EvalPrefixes emit every level key in one pass).
-  std::vector<size_t> prefix_lens(derived.levels);
-  for (size_t level = 1; level <= derived.levels; ++level) {
-    prefix_lens[level - 1] = LevelPrefixLength(derived, level);
-  }
-
-  // Both parties' level keys. Bob's are computed up front (they consume no
-  // shared randomness) because the adaptive negotiation round needs them
-  // before Alice's message exists.
-  EvalMatrix alice_evals;
-  EvaluateAllInto(alice, draws, params.num_threads, &alice_evals);
-  std::vector<uint64_t> alice_keys = ComputeLevelKeys(
-      alice_evals, level_key_hash, prefix_lens, params.num_threads);
-  EvalMatrix bob_evals;
-  EvaluateAllInto(bob, draws, params.num_threads, &bob_evals);
-  std::vector<uint64_t> bob_keys = ComputeLevelKeys(
-      bob_evals, level_key_hash, prefix_lens, params.num_threads);
-
-  RibltParams riblt_params;
-  riblt_params.num_cells = derived.cells;
-  riblt_params.num_hashes = params.num_hashes;
-  riblt_params.dim = params.dim;
-  riblt_params.delta = params.delta;
-
-  Transcript transcript;
-
-  // ---- Adaptive size negotiation (extra B->A round; core/adaptive.h). ----
-  // Bob ships one strata estimator per level over his level keys; Alice
-  // estimates each level's difference and sizes that level's RIBLT to
-  // clamp(cell_multiplier q^2 estimate, floor, c q^2 k). Static mode keeps
-  // every level at the derived c q^2 k cells with no extra message.
-  std::vector<size_t> level_cells(derived.levels, derived.cells);
-  if (params.adaptive.enabled) {
-    const double q = static_cast<double>(params.num_hashes);
-    RSR_ASSIGN_OR_RETURN(
-        level_cells,
-        NegotiateLevelSketchCells(alice_keys, bob_keys, derived.levels, n,
-                                  params.adaptive, params.seed,
-                                  params.adaptive.cell_multiplier * q * q,
-                                  derived.cells, params.num_threads,
-                                  &transcript, "B->A level strata"));
-  }
-
-  // ---- Alice: build and "send" the t RIBLTs (single message). ----
+  // ---- Alice: "send" the t RIBLTs (single message). ----
   report.level_cells = level_cells;
-  ByteWriter message;
-  if (params.adaptive.enabled) WriteNegotiatedCells(level_cells, &message);
   report.levels.resize(derived.levels);
-  std::vector<Riblt> tables;
-  tables.reserve(derived.levels);
   for (size_t level = 1; level <= derived.levels; ++level) {
     report.levels[level - 1].prefix_len = prefix_lens[level - 1];
-    RibltParams level_params = riblt_params;
-    level_params.num_cells = level_cells[level - 1];
-    level_params.seed = HashCombine(params.seed, 0xeb1'0000ULL + level);
-    tables.emplace_back(level_params);
   }
-  // Each level's table is an independent function of (keys, points), so
-  // levels can build on separate threads; serialization below stays in level
-  // order, keeping the wire bytes identical to the sequential build. With
-  // sketch_shards > 1 the parallelism (and cache blocking) moves INSIDE each
-  // table instead: levels run sequentially and every table's cell array is
-  // built shard by shard — still byte-identical on the wire.
-  if (params.sketch_shards > 1) {
-    for (size_t l = 0; l < derived.levels; ++l) {
-      tables[l].InsertManySharded(
-          std::span<const uint64_t>(alice_keys.data() + l * n, n), alice,
-          params.sketch_shards, params.num_threads);
-    }
-  } else {
-    ParallelShards(derived.levels, params.num_threads,
-                   [&](size_t begin, size_t end) {
-                     for (size_t l = begin; l < end; ++l) {
-                       tables[l].InsertMany(
-                           std::span<const uint64_t>(alice_keys.data() + l * n,
-                                                     n),
-                           alice);
-                     }
-                   });
-  }
-  for (Riblt& table : tables) table.WriteTo(&message);
-  transcript.Send("A->B level RIBLTs", message);
+  ByteWriter message;
+  if (params.adaptive.enabled) WriteNegotiatedCells(level_cells, &message);
+  for (const Riblt& table : tables) table.WriteTo(&message);
+  transcript->Send("A->B level RIBLTs", message);
 
   // ---- Bob: parse, delete his pairs, decode finest feasible level. ----
   ByteReader reader(message.buffer());
@@ -173,10 +63,10 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
   std::vector<Riblt> received;
   received.reserve(derived.levels);
   for (size_t level = 1; level <= derived.levels; ++level) {
-    RibltParams level_params = riblt_params;
-    level_params.num_cells = parsed_cells[level - 1];
-    level_params.seed = HashCombine(params.seed, 0xeb1'0000ULL + level);
-    RSR_ASSIGN_OR_RETURN(Riblt table, Riblt::ReadFrom(&reader, level_params));
+    RSR_ASSIGN_OR_RETURN(
+        Riblt table,
+        Riblt::ReadFrom(&reader, EmdLevelRibltParams(
+                                     params, parsed_cells[level - 1], level)));
     received.push_back(std::move(table));
   }
   RSR_RETURN_NOT_OK(reader.FinishAndCheckConsumed());
@@ -224,7 +114,7 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
     if (level == 1) break;  // size_t guard
   }
 
-  report.comm = transcript.stats();
+  report.comm = transcript->stats();
   if (decoded_level == 0) {
     report.failure = true;
     return report;
@@ -284,6 +174,130 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
   }
   RSR_CHECK_EQ(report.s_b_prime.size(), n);
   return report;
+}
+
+}  // namespace
+
+Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
+                                         const PointStore& bob,
+                                         const EmdProtocolParams& params) {
+  if (alice.size() != bob.size() || alice.empty()) {
+    return Status::InvalidArgument("|S_A| must equal |S_B| and be positive");
+  }
+  const size_t n = alice.size();
+  ValidatePointStore(alice, params.dim, params.delta);
+  ValidatePointStore(bob, params.dim, params.delta);
+
+  EmdProtocolReport report;
+  RSR_ASSIGN_OR_RETURN(report.derived, DeriveEmdParameters(params, n));
+  const EmdDerived& derived = report.derived;
+
+  EmdHashes hashes = MakeEmdHashes(params, derived);
+  std::vector<size_t> prefix_lens = EmdPrefixLens(derived);
+
+  // Both parties' level keys. Bob's are computed up front (they consume no
+  // shared randomness) because the adaptive negotiation round needs them
+  // before Alice's message exists.
+  EvalMatrix alice_evals;
+  EvaluateAllInto(alice, hashes.draws, params.num_threads, &alice_evals);
+  std::vector<uint64_t> alice_keys = ComputeEmdLevelKeys(
+      alice_evals, hashes.level_key_hash, prefix_lens, params.num_threads);
+  EvalMatrix bob_evals;
+  EvaluateAllInto(bob, hashes.draws, params.num_threads, &bob_evals);
+  std::vector<uint64_t> bob_keys = ComputeEmdLevelKeys(
+      bob_evals, hashes.level_key_hash, prefix_lens, params.num_threads);
+
+  Transcript transcript;
+
+  // ---- Adaptive size negotiation (extra B->A round; core/adaptive.h). ----
+  // Bob ships one strata estimator per level over his level keys; Alice
+  // estimates each level's difference and sizes that level's RIBLT to
+  // clamp(cell_multiplier q^2 estimate, floor, c q^2 k). Static mode keeps
+  // every level at the derived c q^2 k cells with no extra message.
+  std::vector<size_t> level_cells(derived.levels, derived.cells);
+  if (params.adaptive.enabled) {
+    const double q = static_cast<double>(params.num_hashes);
+    RSR_ASSIGN_OR_RETURN(
+        level_cells,
+        NegotiateLevelSketchCells(alice_keys, bob_keys, derived.levels, n,
+                                  params.adaptive, params.seed,
+                                  params.adaptive.cell_multiplier * q * q,
+                                  derived.cells, params.num_threads,
+                                  &transcript, "B->A level strata"));
+  }
+
+  // ---- Alice: build the t RIBLTs at the provisioned sizes. ----
+  std::vector<Riblt> tables;
+  tables.reserve(derived.levels);
+  for (size_t level = 1; level <= derived.levels; ++level) {
+    tables.emplace_back(
+        EmdLevelRibltParams(params, level_cells[level - 1], level));
+  }
+  // Each level's table is an independent function of (keys, points), so
+  // levels can build on separate threads; serialization stays in level
+  // order, keeping the wire bytes identical to the sequential build. With
+  // sketch_shards > 1 the parallelism (and cache blocking) moves INSIDE each
+  // table instead: levels run sequentially and every table's cell array is
+  // built shard by shard — still byte-identical on the wire.
+  if (params.sketch_shards > 1) {
+    for (size_t l = 0; l < derived.levels; ++l) {
+      tables[l].InsertManySharded(
+          std::span<const uint64_t>(alice_keys.data() + l * n, n), alice,
+          params.sketch_shards, params.num_threads);
+    }
+  } else {
+    ParallelShards(derived.levels, params.num_threads,
+                   [&](size_t begin, size_t end) {
+                     for (size_t l = begin; l < end; ++l) {
+                       tables[l].InsertMany(
+                           std::span<const uint64_t>(alice_keys.data() + l * n,
+                                                     n),
+                           alice);
+                     }
+                   });
+  }
+
+  return FinishEmdProtocol(tables, level_cells, prefix_lens, bob, bob_keys,
+                           params, &transcript, std::move(report));
+}
+
+Result<EmdProtocolReport> RunEmdProtocolPrebuilt(
+    const EmdSketchSet& alice, const PointStore& bob,
+    const EmdProtocolParams& params) {
+  if (params.adaptive.enabled) {
+    return Status::InvalidArgument(
+        "prebuilt sketch sets are statically sized; adaptive negotiation "
+        "re-sizes tables per exchange and requires the one-shot protocol");
+  }
+  if (bob.size() != alice.n || bob.empty()) {
+    return Status::InvalidArgument("|S_B| must equal the sketch set's n");
+  }
+  const size_t n = bob.size();
+  ValidatePointStore(bob, params.dim, params.delta);
+
+  EmdProtocolReport report;
+  RSR_ASSIGN_OR_RETURN(report.derived, DeriveEmdParameters(params, n));
+  const EmdDerived& derived = report.derived;
+  // The sketch set must have been built with these params (same derivation,
+  // same wire layout); a drifted caller would emit undecodable bytes.
+  if (derived.levels != alice.derived.levels ||
+      derived.cells != alice.derived.cells || derived.s != alice.derived.s ||
+      alice.tables.size() != derived.levels) {
+    return Status::InvalidArgument(
+        "sketch set was built under different derived parameters");
+  }
+
+  EmdHashes hashes = MakeEmdHashes(params, derived);
+  EvalMatrix bob_evals;
+  EvaluateAllInto(bob, hashes.draws, params.num_threads, &bob_evals);
+  std::vector<uint64_t> bob_keys =
+      ComputeEmdLevelKeys(bob_evals, hashes.level_key_hash, alice.prefix_lens,
+                          params.num_threads);
+
+  Transcript transcript;
+  std::vector<size_t> level_cells(derived.levels, derived.cells);
+  return FinishEmdProtocol(alice.tables, level_cells, alice.prefix_lens, bob,
+                           bob_keys, params, &transcript, std::move(report));
 }
 
 }  // namespace rsr

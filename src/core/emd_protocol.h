@@ -19,6 +19,7 @@
 #ifndef RSR_CORE_EMD_PROTOCOL_H_
 #define RSR_CORE_EMD_PROTOCOL_H_
 
+#include "core/emd_sketch.h"
 #include "core/params.h"
 #include "core/transcript.h"
 #include "geometry/point.h"
@@ -64,6 +65,17 @@ struct EmdProtocolReport {
 Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
                                          const PointStore& bob,
                                          const EmdProtocolParams& params);
+
+/// Runs the protocol against a prebuilt (or incrementally maintained)
+/// Alice-side sketch set instead of hashing Alice's points: the per-sync
+/// sketch cost drops to serializing the maintained cells. Requires static
+/// sizing (adaptive negotiation re-sizes tables per exchange), |bob| ==
+/// alice.n, and `params` matching the build-time configuration. The
+/// transcript and report are byte-identical to RunEmdProtocol over the same
+/// point sets (emd_protocol.cc builds both from the same tail).
+Result<EmdProtocolReport> RunEmdProtocolPrebuilt(
+    const EmdSketchSet& alice, const PointStore& bob,
+    const EmdProtocolParams& params);
 
 }  // namespace rsr
 

@@ -1,0 +1,140 @@
+#include "core/emd_sketch.h"
+
+#include <span>
+
+#include "core/adaptive.h"
+#include "hashing/hash64.h"
+#include "util/parallel.h"
+#include "util/random.h"
+
+namespace rsr {
+
+EmdHashes MakeEmdHashes(const EmdProtocolParams& params,
+                        const EmdDerived& derived) {
+  // Public coins: both parties derive identical hash functions from the
+  // seed. The stream order (s family draws, then the level-key hash) is load
+  // bearing — changing it would re-key every sketch on the wire.
+  Rng shared(params.seed);
+  std::unique_ptr<MlshFamily> family =
+      MakeMlshFamily(params.metric, params.dim, derived.w);
+  std::vector<std::unique_ptr<LshFunction>> draws =
+      DrawMany(*family, derived.s, &shared);
+  PairwiseVectorHash level_key_hash = PairwiseVectorHash::Draw(&shared);
+  return EmdHashes{std::move(family), std::move(draws),
+                   std::move(level_key_hash)};
+}
+
+std::vector<size_t> EmdPrefixLens(const EmdDerived& derived) {
+  std::vector<size_t> prefix_lens(derived.levels);
+  for (size_t level = 1; level <= derived.levels; ++level) {
+    prefix_lens[level - 1] = LevelPrefixLength(derived, level);
+  }
+  return prefix_lens;
+}
+
+RibltParams EmdLevelRibltParams(const EmdProtocolParams& params,
+                                size_t num_cells, size_t level) {
+  RibltParams level_params;
+  level_params.num_cells = num_cells;
+  level_params.num_hashes = params.num_hashes;
+  level_params.dim = params.dim;
+  level_params.delta = params.delta;
+  level_params.seed = HashCombine(params.seed, 0xeb1'0000ULL + level);
+  return level_params;
+}
+
+void ComputeEmdLevelKeysInto(const EvalMatrix& evals,
+                             const PairwiseVectorHash& level_key_hash,
+                             const std::vector<size_t>& prefix_lens,
+                             size_t num_threads, uint64_t* out) {
+  const size_t n = evals.rows();
+  const size_t t = prefix_lens.size();
+  if (t == 0 || n == 0) return;
+  level_key_hash.Reserve(prefix_lens.back());  // thread safety
+  ParallelShards(n, num_threads, [&](size_t begin, size_t end) {
+    // Per-row scratch stays on the stack for any realistic level count
+    // (t = ceil(log2(D2/D1)) + 1), keeping the warm incremental path
+    // allocation-free; deeper ladders spill to the heap.
+    constexpr size_t kInlineLevels = 64;
+    uint64_t inline_keys[kInlineLevels];
+    std::vector<uint64_t> heap_keys;
+    uint64_t* row_keys = inline_keys;
+    if (t > kInlineLevels) {
+      heap_keys.resize(t);
+      row_keys = heap_keys.data();
+    }
+    for (size_t i = begin; i < end; ++i) {
+      level_key_hash.EvalPrefixes(evals.row(i), prefix_lens.data(), t,
+                                  row_keys);
+      for (size_t level = 0; level < t; ++level) {
+        out[level * n + i] = row_keys[level] & kEmdLevelKeyMask;
+      }
+    }
+  });
+}
+
+std::vector<uint64_t> ComputeEmdLevelKeys(
+    const EvalMatrix& evals, const PairwiseVectorHash& level_key_hash,
+    const std::vector<size_t>& prefix_lens, size_t num_threads) {
+  std::vector<uint64_t> keys(prefix_lens.size() * evals.rows());
+  ComputeEmdLevelKeysInto(evals, level_key_hash, prefix_lens, num_threads,
+                          keys.data());
+  return keys;
+}
+
+Result<EmdSketchSet> BuildEmdSketches(const PointStore& alice,
+                                      const EmdProtocolParams& params,
+                                      bool build_estimators) {
+  if (alice.empty()) {
+    return Status::InvalidArgument("sketch set requires a nonempty store");
+  }
+  ValidatePointStore(alice, params.dim, params.delta);
+  const size_t n = alice.size();
+
+  EmdSketchSet set;
+  set.n = n;
+  RSR_ASSIGN_OR_RETURN(set.derived, DeriveEmdParameters(params, n));
+  const EmdDerived& derived = set.derived;
+  set.prefix_lens = EmdPrefixLens(derived);
+
+  EmdHashes hashes = MakeEmdHashes(params, derived);
+  EvalMatrix evals;
+  EvaluateAllInto(alice, hashes.draws, params.num_threads, &evals);
+  std::vector<uint64_t> keys = ComputeEmdLevelKeys(
+      evals, hashes.level_key_hash, set.prefix_lens, params.num_threads);
+
+  set.tables.reserve(derived.levels);
+  for (size_t level = 1; level <= derived.levels; ++level) {
+    set.tables.emplace_back(
+        EmdLevelRibltParams(params, derived.cells, level));
+  }
+  // Each level's table is an independent function of (keys, points), so
+  // levels can build on separate threads; with sketch_shards > 1 the
+  // parallelism (and cache blocking) moves INSIDE each table instead. Both
+  // paths produce byte-identical cells (riblt_sharded_test).
+  if (params.sketch_shards > 1) {
+    for (size_t l = 0; l < derived.levels; ++l) {
+      set.tables[l].InsertManySharded(
+          std::span<const uint64_t>(keys.data() + l * n, n), alice,
+          params.sketch_shards, params.num_threads);
+    }
+  } else {
+    ParallelShards(derived.levels, params.num_threads,
+                   [&](size_t begin, size_t end) {
+                     for (size_t l = begin; l < end; ++l) {
+                       set.tables[l].InsertMany(
+                           std::span<const uint64_t>(keys.data() + l * n, n),
+                           alice);
+                     }
+                   });
+  }
+
+  if (build_estimators) {
+    set.estimators =
+        BuildLevelEstimators(keys, derived.levels, n, params.adaptive,
+                             params.seed, params.num_threads);
+  }
+  return set;
+}
+
+}  // namespace rsr

@@ -5,71 +5,64 @@
 
 #include "hashing/hash64.h"
 #include "sketch/riblt.h"
+#include "sketch/strata.h"
 #include "util/parallel.h"
 #include "util/random.h"
 
 namespace rsr {
 
-Result<MultiPartyReport> RunMultiPartyUnion(
-    const std::vector<PointStore>& parties, const MultiPartyParams& params) {
-  const size_t s = parties.size();
-  if (s < 2) return Status::InvalidArgument("need at least two parties");
-  if (params.dim == 0 || params.delta < 1 || params.sketch_cells == 0) {
-    return Status::InvalidArgument("dim, delta, sketch_cells required");
-  }
-  for (const PointStore& set : parties) {
-    ValidatePointStore(set, params.dim, params.delta);
-  }
+namespace {
 
+/// One full broadcast round at `num_cells` cells per sketch: every party
+/// builds its sketch over its (pre-deduped, pre-hashed) keys, the broadcasts
+/// land on `transcript` in party order, then each party combines and decodes
+/// sum_j T_j - s * T_i. ok[i] reports decode success; additions[i] holds the
+/// decoded missing elements (one representative per distinct key), kept
+/// separate from the base sets so a retry round can overwrite cleanly.
+void RunBroadcastRound(const std::vector<PointStore>& deduped,
+                       const std::vector<std::vector<uint64_t>>& party_keys,
+                       const MultiPartyParams& params, size_t num_cells,
+                       uint64_t decode_salt, Transcript* transcript,
+                       std::vector<char>* ok, std::vector<Status>* hard_error,
+                       std::vector<PointSet>* additions) {
+  const size_t s = deduped.size();
   RibltParams sketch_params;
-  sketch_params.num_cells = params.sketch_cells;
+  sketch_params.num_cells = num_cells;
   sketch_params.num_hashes = params.num_hashes;
   sketch_params.dim = params.dim;
   sketch_params.delta = params.delta;
   sketch_params.seed = params.seed;
 
-  // Deduplicate within each party (set semantics) and build the sketches.
   // Parties are independent, so construction shards across threads; the
   // broadcasts are serialized afterwards in party order, keeping the
   // transcript identical to the sequential build.
-  std::vector<PointStore> deduped(s);
   std::vector<Riblt> sketches;
   sketches.reserve(s);
   for (size_t i = 0; i < s; ++i) sketches.emplace_back(sketch_params);
-  Transcript transcript;
   std::vector<std::vector<uint8_t>> wire(s);
   ParallelShards(s, params.num_threads, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      deduped[i] = parties[i];
-      deduped[i].SortLexAndDedup();
-      std::vector<uint64_t> party_keys(deduped[i].size());
-      deduped[i].ContentHashMany(params.seed, party_keys.data());
-      sketches[i].InsertMany(party_keys, deduped[i]);
+      sketches[i].InsertMany(party_keys[i], deduped[i]);
       ByteWriter writer;
       sketches[i].WriteTo(&writer);
       wire[i] = writer.buffer();
     }
   });
   for (size_t i = 0; i < s; ++i) {
-    transcript.SendBytes("party " + std::to_string(i) + " broadcast",
-                         wire[i].size());
+    transcript->SendBytes("party " + std::to_string(i) + " broadcast",
+                          wire[i].size());
   }
 
-  MultiPartyReport report;
-  report.comm = transcript.stats();
-  report.final_sets.resize(s);
-  report.party_ok.assign(s, false);
-  report.all_ok = true;
-
   const size_t max_decode =
-      params.max_decode > 0 ? params.max_decode : params.sketch_cells;
+      params.max_decode > 0 ? params.max_decode : num_cells;
+  ok->assign(s, 0);
+  hard_error->assign(s, Status());
+  additions->assign(s, PointSet());
   // Each party's combine + decode is independent of every other party's, so
   // the loop shards across threads; per-party outcomes land in disjoint
-  // slots (party_ok is staged in a char array — vector<bool> is a bitfield
-  // and not safe for concurrent writes) and hard errors are surfaced after
-  // the join.
-  std::vector<char> ok(s, 0);
-  std::vector<Status> hard_error(s);
+  // slots (ok is a char array — vector<bool> is a bitfield and not safe for
+  // concurrent writes) and hard errors are surfaced by the caller after the
+  // join.
   ParallelShards(s, params.num_threads, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       // Party i parses every broadcast (including its own echo) from the
@@ -85,24 +78,23 @@ Result<MultiPartyReport> RunMultiPartyUnion(
         }
         Status added = combined.AddScaled(*parsed, 1);
         if (!added.ok()) {
-          hard_error[i] = added;
+          (*hard_error)[i] = added;
           parse_ok = false;
           break;
         }
       }
-      report.final_sets[i] = deduped[i].ToPointSet();
       if (!parse_ok) continue;
       Status scaled =
           combined.AddScaled(sketches[i], -static_cast<int64_t>(s));
       if (!scaled.ok()) {
-        hard_error[i] = scaled;
+        (*hard_error)[i] = scaled;
         continue;
       }
 
-      Rng decode_rng(Mix64(params.seed) ^ (0xdeca + i));
+      Rng decode_rng(Mix64(params.seed) ^ (decode_salt + i));
       auto decoded = combined.Decode(max_decode, max_decode, &decode_rng);
       if (!decoded.ok()) continue;
-      ok[i] = 1;
+      (*ok)[i] = 1;
       // Positive counts = elements party i is missing (multiplicity m > 0
       // among the other parties); each distinct key yields m identical
       // copies, add one. The extracted rows stay in the result's arena; a
@@ -118,14 +110,148 @@ Result<MultiPartyReport> RunMultiPartyUnion(
         if (have_last && keys[p] == last_key) continue;
         last_key = keys[p];
         have_last = true;
-        report.final_sets[i].push_back(decoded->inserted.MakePoint(p));
+        (*additions)[i].push_back(decoded->inserted.MakePoint(p));
       }
     }
   });
+}
+
+/// The star-topology estimator round: parties 1..s-1 ship one strata
+/// estimator each to the hub (party 0), which sums its estimated pairwise
+/// differences and clamps the sketch size. Estimator failures (corrupt
+/// wire, estimate error) fall back to the static cap, per the adaptive.h
+/// convention that sizing never gates correctness.
+size_t NegotiateMultiPartyCells(
+    const std::vector<std::vector<uint64_t>>& party_keys,
+    const MultiPartyParams& params, Transcript* transcript) {
+  const size_t s = party_keys.size();
+  const size_t cap = params.sketch_cells;
+  const StrataParams est_params =
+      MakeLevelStrataParams(params.adaptive, params.seed, 0);
+  std::vector<StrataEstimator> estimators;
+  estimators.reserve(s);
+  for (size_t i = 0; i < s; ++i) estimators.emplace_back(est_params);
+  ParallelShards(s, params.num_threads, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      estimators[i].InsertMany(party_keys[i]);
+    }
+  });
+
+  // The hub consumes each spoke's estimator off the wire (parse fidelity),
+  // summing est(|S_0 Δ S_j|). EstimateDiff peels on the hub estimator's
+  // scratch pool, so the hub loop stays sequential.
+  uint64_t total = 0;
+  bool fallback = false;
+  for (size_t j = 1; j < s; ++j) {
+    ByteWriter writer;
+    estimators[j].WriteTo(&writer);
+    transcript->Send("party " + std::to_string(j) + " -> hub estimator",
+                     writer);
+    ByteReader reader(writer.buffer());
+    auto parsed = StrataEstimator::ReadFrom(&reader, est_params);
+    if (!parsed.ok() || !reader.FinishAndCheckConsumed().ok()) {
+      fallback = true;
+      break;
+    }
+    auto estimate = estimators[0].EstimateDiff(*parsed);
+    if (!estimate.ok()) {
+      fallback = true;
+      break;
+    }
+    // Saturating sum: one UINT64_MAX extrapolation must not wrap back to a
+    // tiny sketch.
+    total = (*estimate > ~uint64_t{0} - total) ? ~uint64_t{0}
+                                               : total + *estimate;
+  }
+
+  const double q = static_cast<double>(params.num_hashes);
+  const size_t cells =
+      fallback ? cap
+               : AdaptiveCellCount(total,
+                                   params.adaptive.cell_multiplier * q * q,
+                                   params.adaptive.floor_cells, cap);
+
+  // The hub tells every spoke the chosen size (one short broadcast); parse
+  // it back off the wire like any negotiated prefix.
+  ByteWriter size_msg;
+  WriteNegotiatedCells({cells}, &size_msg);
+  transcript->Send("hub size broadcast", size_msg);
+  ByteReader size_reader(size_msg.buffer());
+  auto parsed_cells = ReadNegotiatedCells(&size_reader, 1, cap);
+  if (!parsed_cells.ok()) return cap;
+  return (*parsed_cells)[0];
+}
+
+}  // namespace
+
+Result<MultiPartyReport> RunMultiPartyUnion(
+    const std::vector<PointStore>& parties, const MultiPartyParams& params) {
+  const size_t s = parties.size();
+  if (s < 2) return Status::InvalidArgument("need at least two parties");
+  if (params.dim == 0 || params.delta < 1 || params.sketch_cells == 0) {
+    return Status::InvalidArgument("dim, delta, sketch_cells required");
+  }
+  for (const PointStore& set : parties) {
+    ValidatePointStore(set, params.dim, params.delta);
+  }
+
+  // Deduplicate within each party (set semantics) and hash once; both the
+  // estimator round and every broadcast round reuse these keys.
+  std::vector<PointStore> deduped(s);
+  std::vector<std::vector<uint64_t>> party_keys(s);
+  ParallelShards(s, params.num_threads, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      deduped[i] = parties[i];
+      deduped[i].SortLexAndDedup();
+      party_keys[i].resize(deduped[i].size());
+      deduped[i].ContentHashMany(params.seed, party_keys[i].data());
+    }
+  });
+
+  Transcript transcript;
+  size_t cells = params.sketch_cells;
+  if (params.adaptive.enabled) {
+    cells = NegotiateMultiPartyCells(party_keys, params, &transcript);
+  }
+
+  std::vector<char> ok;
+  std::vector<Status> hard_error;
+  std::vector<PointSet> additions;
+  RunBroadcastRound(deduped, party_keys, params, cells, 0xdeca, &transcript,
+                    &ok, &hard_error, &additions);
+
+  MultiPartyReport report;
+  report.used_cells = cells;
+  for (const Status& e : hard_error) RSR_RETURN_NOT_OK(e);
+  const bool any_failed =
+      std::find(ok.begin(), ok.end(), char{0}) != ok.end();
+  if (params.adaptive.enabled && any_failed && cells < params.sketch_cells) {
+    // The estimate undersized the sketches. One retry byte, then a full
+    // re-broadcast at the static cap — identical sketches to static mode,
+    // so adaptive succeeds whenever static would. The retry decodes under a
+    // fresh rng salt (decoder-local coins, not public randomness).
+    transcript.SendBytes("hub retry signal", 1);
+    report.retried = true;
+    report.used_cells = params.sketch_cells;
+    RunBroadcastRound(deduped, party_keys, params, params.sketch_cells,
+                      0x8e712, &transcript, &ok, &hard_error, &additions);
+    for (const Status& e : hard_error) RSR_RETURN_NOT_OK(e);
+  }
+
+  report.comm = transcript.stats();
+  report.final_sets.resize(s);
+  report.party_ok.assign(s, false);
+  report.all_ok = true;
   for (size_t i = 0; i < s; ++i) {
-    RSR_RETURN_NOT_OK(hard_error[i]);
+    report.final_sets[i] = deduped[i].ToPointSet();
     report.party_ok[i] = ok[i] != 0;
-    if (!ok[i]) report.all_ok = false;
+    if (!ok[i]) {
+      report.all_ok = false;
+      continue;
+    }
+    for (Point& p : additions[i]) {
+      report.final_sets[i].push_back(std::move(p));
+    }
   }
   return report;
 }

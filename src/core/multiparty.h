@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "core/adaptive.h"
 #include "core/transcript.h"
 #include "geometry/point.h"
 #include "geometry/point_store.h"
@@ -35,6 +36,21 @@ struct MultiPartyParams {
   /// inline). Parties are independent, so results are bit-identical for
   /// every value.
   size_t num_threads = 1;
+  /// Strata-driven adaptive sketch sizing (core/adaptive.h), star topology:
+  /// parties 1..s-1 each send one estimator over their content keys to the
+  /// hub (party 0); the hub sums its estimated pairwise differences
+  /// sum_j est(|S_0 Δ S_j|) — a proxy for the decode load, which is bounded
+  /// by the non-universal element mass — sizes the shared sketch to
+  /// clamp(cell_multiplier q^2 sum, floor_cells, sketch_cells), and
+  /// broadcasts the chosen size. The proxy can under-estimate (an element
+  /// the hub shares with SOME parties is counted fewer times than its
+  /// decode multiplicity), so correctness does not rest on it: if any party
+  /// fails to decode at a negotiated size below the cap, a one-byte retry
+  /// signal triggers a full re-broadcast at the static sketch_cells —
+  /// adaptive mode therefore succeeds whenever static mode would, at the
+  /// price of one extra round on a bad estimate. Default OFF: the one-round
+  /// static path is byte-identical to before.
+  AdaptiveSizingParams adaptive;
   /// Shared seed (public coins).
   uint64_t seed = 0;
 };
@@ -46,7 +62,14 @@ struct MultiPartyReport {
   /// party with its input set).
   std::vector<bool> party_ok;
   bool all_ok = false;
-  /// One broadcast message per party.
+  /// Cells per sketch in the round the results came from: sketch_cells in
+  /// static mode (and on an adaptive retry), the negotiated count otherwise.
+  size_t used_cells = 0;
+  /// True iff the negotiated round failed for some party and the broadcast
+  /// was re-run at the static sketch_cells.
+  bool retried = false;
+  /// One broadcast message per party (plus, with adaptive enabled, the
+  /// estimator round, the size broadcast, and any retry traffic).
   CommStats comm;
 };
 

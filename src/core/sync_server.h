@@ -1,0 +1,133 @@
+// Multi-session sync serving over a maintained SyncDataset.
+//
+// The server owns one SyncDataset and hands out immutable snapshots of its
+// maintained sketch set so many concurrent sessions can serve syncs while
+// mutations continue:
+//
+//   - Mutations (Insert/Delete/ApplyBatch) run under the server mutex, one
+//     writer at a time, delegating to the dataset's incremental updates.
+//   - AcquireSnapshot() returns a shared_ptr<const SyncSnapshot>: a deep
+//     copy of the level tables' cell arrays (Riblt's copy constructor skips
+//     the pooled decode scratch, so the copy is exactly the cells — ~levels
+//     x cells x cell bytes, no rebuild, no hashing). The copy is cached and
+//     tagged with the dataset's generation counter: repeat acquisitions
+//     between mutations share one snapshot, so the steady-state cost of a
+//     sync under low churn is zero copies.
+//   - A SyncSession pins one snapshot for its whole exchange. Sessions never
+//     touch the live dataset, so a mutation between a session's messages
+//     cannot tear its view — the generation stamps exactly which state the
+//     session serves. Snapshot reads are const and scratch-free
+//     (serialization + protocol runs decode RECEIVED copies, never the
+//     snapshot's own tables), so any number of sessions share one snapshot
+//     across threads without locks. The mutate-while-sync interleaving is
+//     gated under TSan in CI (SyncServerTest.ConcurrentChurnAndSync).
+//
+// Per-sync cost: the dataset absorbed the hashing at mutation time, so a
+// warm session's server-side work is O(1) serialization of maintained cells
+// (BM_SessionSyncWarm vs BM_SessionSyncRebuild in bench_micro).
+#ifndef RSR_CORE_SYNC_SERVER_H_
+#define RSR_CORE_SYNC_SERVER_H_
+
+#include <memory>
+#include <mutex>
+
+#include "core/emd_protocol.h"
+#include "core/sync_dataset.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace rsr {
+
+/// An immutable, shareable view of the maintained sketch set at one
+/// generation. Safe for concurrent use from any number of threads.
+struct SyncSnapshot {
+  /// Dataset generation this snapshot reflects.
+  uint64_t generation = 0;
+  /// Build-time protocol parameters (what RunEmdProtocolPrebuilt consumes).
+  EmdProtocolParams params;
+  /// Deep copy of the maintained tables (estimators are NOT copied: their
+  /// diff estimation uses per-instance scratch and belongs on the live
+  /// dataset, not on lock-free snapshots).
+  EmdSketchSet sketches;
+
+  /// Serializes the level tables exactly as the protocol's "A->B level
+  /// RIBLTs" message body — the per-sync server-side work.
+  void WriteSketchMessage(ByteWriter* w) const {
+    for (const Riblt& table : sketches.tables) table.WriteTo(w);
+  }
+};
+
+/// One client exchange pinned to one snapshot. Copyable (shares the
+/// snapshot); cheap to create per request.
+class SyncSession {
+ public:
+  explicit SyncSession(std::shared_ptr<const SyncSnapshot> snapshot)
+      : snapshot_(std::move(snapshot)) {}
+
+  const SyncSnapshot& snapshot() const { return *snapshot_; }
+  uint64_t generation() const { return snapshot_->generation; }
+
+  /// Runs the full EMD exchange against `client` (Bob's side) from the
+  /// pinned sketch set. Requires |client| == snapshot size. Transcript and
+  /// report are byte-identical to RunEmdProtocol over (server rows, client).
+  /// The snapshot side is safe to share across threads; `client` is the
+  /// caller's store and must not be shared between concurrent Run calls —
+  /// evaluation lazily builds its cached double plane (mutable, unsynced).
+  Result<EmdProtocolReport> Run(const PointStore& client) const {
+    return RunEmdProtocolPrebuilt(snapshot_->sketches, client,
+                                  snapshot_->params);
+  }
+
+ private:
+  std::shared_ptr<const SyncSnapshot> snapshot_;
+};
+
+/// Thread-safe owner: serialized mutations, shared snapshots.
+class SyncServer {
+ public:
+  explicit SyncServer(SyncDataset dataset) : dataset_(std::move(dataset)) {}
+
+  /// Mutations — the dataset's entry points under the server mutex.
+  Result<uint64_t> Insert(PointRef row) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dataset_.Insert(row);
+  }
+  Status Delete(uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dataset_.Delete(key);
+  }
+  Status ApplyBatch(const PointStore& inserts,
+                    std::span<const uint64_t> delete_keys) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dataset_.ApplyBatch(inserts, delete_keys);
+  }
+  uint64_t KeyOf(PointRef row) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dataset_.KeyOf(row);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dataset_.size();
+  }
+  uint64_t generation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dataset_.generation();
+  }
+
+  /// The current snapshot — cached: a copy of the cell arrays is made only
+  /// when the generation moved since the last acquisition.
+  std::shared_ptr<const SyncSnapshot> AcquireSnapshot();
+
+  /// Convenience: a session pinned to the current snapshot.
+  SyncSession OpenSession() { return SyncSession(AcquireSnapshot()); }
+
+ private:
+  mutable std::mutex mu_;
+  SyncDataset dataset_;
+  std::shared_ptr<const SyncSnapshot> cached_;
+};
+
+}  // namespace rsr
+
+#endif  // RSR_CORE_SYNC_SERVER_H_

@@ -8,8 +8,12 @@
 // arenas:
 //
 //   coords : one contiguous Coord buffer, row-major (size() x dim())
-//   doubles: the same rows pre-converted to double, built lazily ONCE per
-//            store and cached (the exact matrix EvalFlatBatch consumes)
+//   doubles: the same rows pre-converted to double, built lazily and cached
+//            (the exact matrix EvalFlatBatch consumes). The cache tracks a
+//            clean-row watermark, so appends do NOT discard it: the next
+//            DoublePlane() call converts only the appended tail (the
+//            incremental-dataset fast path). Only mutations that rewrite
+//            existing rows (sort, dedup, assignment) rebuild from scratch.
 //
 // Views (PointRef) are non-owning and cheap: a pointer into the arena plus
 // the shared dimension. They are invalidated by any mutation of the store
@@ -92,6 +96,7 @@ class PointStore {
       size_ = other.size_;
       coords_ = other.coords_;
       doubles_.clear();
+      double_rows_ = 0;
     }
     return *this;
   }
@@ -118,6 +123,7 @@ class PointStore {
     size_ = 0;
     coords_.clear();
     doubles_.clear();
+    double_rows_ = 0;
   }
 
   /// Row views. The returned pointers/refs are invalidated by mutation.
@@ -130,10 +136,11 @@ class PointStore {
   const Coord* coord_data() const { return coords_.data(); }
 
   /// Appends one point and returns its writable row (the caller fills the
-  /// dim() slots). With capacity Reserved, appends never allocate.
+  /// dim() slots). With capacity Reserved, appends never allocate. A cached
+  /// double plane is NOT discarded: it keeps covering the pre-append rows,
+  /// and the next DoublePlane() call converts just the appended tail.
   Coord* AppendRow() {
     RSR_DCHECK(dim_ > 0);  // a default-constructed store has no row width
-    doubles_.clear();  // invalidate the cached double plane
     coords_.resize(coords_.size() + dim_);
     ++size_;
     return coords_.data() + (size_ - 1) * dim_;
@@ -156,12 +163,23 @@ class PointStore {
   /// while growing it).
   void AppendStore(const PointStore& other);
 
+  /// Removes row i by moving the last row into its slot (order-changing,
+  /// O(dim)). A cached double plane stays valid: the overwritten row's plane
+  /// entries are patched and the watermark clamped, so no full rebuild.
+  /// Invalidates views of row i and of the last row.
+  void RemoveRowSwap(size_t i);
+
   /// Row-major size() x dim() matrix of the coordinates converted to double
   /// (the layout LshFunction::EvalFlatBatch consumes). Built lazily on first
   /// use and cached until the store mutates. NOT thread-safe on the building
   /// call: pipelines must touch it once before fanning out workers
   /// (EvaluateAllInto does).
   const double* DoublePlane() const;
+
+  /// Rows currently covered by the cached double plane (the clean-prefix
+  /// watermark). 0 means "not built"; size() means fully cached. Exposed for
+  /// tests pinning the dirty-tail fast path.
+  size_t cached_plane_rows() const { return double_rows_; }
 
   /// out[i] = (*this)[i].ContentHash(salt); bit-identical to the per-Point
   /// ContentHashMany.
@@ -176,7 +194,10 @@ class PointStore {
     if (n >= size_) return;
     size_ = n;
     coords_.resize(n * dim_);
-    if (!doubles_.empty()) doubles_.resize(n * dim_);
+    if (double_rows_ > n) {
+      double_rows_ = n;
+      doubles_.resize(n * dim_);
+    }
   }
 
   /// Sorts rows lexicographically — the multiset ordering is identical to
@@ -206,9 +227,12 @@ class PointStore {
   size_t dim_ = 0;
   size_t size_ = 0;
   std::vector<Coord> coords_;
-  /// Cached double plane; empty() means "not built" (a nonempty store's
-  /// plane always has size() * dim() > 0 entries).
+  /// Cached double plane covering the first double_rows_ rows (invariant:
+  /// doubles_.size() == double_rows_ * dim_). double_rows_ == 0 means "not
+  /// built"; appends leave the clean prefix in place and DoublePlane()
+  /// converts only the tail beyond the watermark.
   mutable std::vector<double> doubles_;
+  mutable size_t double_rows_ = 0;
 };
 
 /// CHECK-fails unless the store has dimension `dim` and all coordinates lie

@@ -6,10 +6,12 @@
 
 namespace rsr {
 
-void EvaluateAllInto(const PointStore& points,
-                     const std::vector<std::unique_ptr<LshFunction>>& functions,
-                     size_t num_threads, EvalMatrix* out) {
-  const size_t n = points.size();
+void EvaluateRowsInto(
+    const PointStore& points, size_t row_begin, size_t row_count,
+    const std::vector<std::unique_ptr<LshFunction>>& functions,
+    size_t num_threads, EvalMatrix* out) {
+  RSR_CHECK(row_begin + row_count <= points.size());
+  const size_t n = row_count;
   const size_t s = functions.size();
   out->Reset(n, s);
   if (n == 0 || s == 0) return;
@@ -21,8 +23,13 @@ void EvaluateAllInto(const PointStore& points,
   // asks); integer-coordinate families stream the arena directly. Both are
   // touched here, before the fan-out, so workers only ever read.
   const bool flat = functions[0]->SupportsFlatBatch();
-  const double* plane = flat ? points.DoublePlane() : nullptr;
-  const Coord* arena = points.coord_data();
+  // Base pointers are offset to row_begin so the block loop below can index
+  // rows [0, row_count) uniformly. DoublePlane() converts at most the dirty
+  // tail (see PointStore), so a tail evaluation right after appends costs
+  // O(row_count · dim) conversion, not O(n · dim).
+  const double* plane =
+      flat ? points.DoublePlane() + row_begin * dim : nullptr;
+  const Coord* arena = points.coord_data() + row_begin * dim;
   // Block the point range so one block's matrix slice (block * s * 8 bytes)
   // stays L1-resident across all s strided column writes; without blocking
   // every write of a function pass lands on a distinct line of the full
@@ -71,6 +78,12 @@ void EvaluateAllInto(const PointStore& points,
       }
     }
   });
+}
+
+void EvaluateAllInto(const PointStore& points,
+                     const std::vector<std::unique_ptr<LshFunction>>& functions,
+                     size_t num_threads, EvalMatrix* out) {
+  EvaluateRowsInto(points, 0, points.size(), functions, num_threads, out);
 }
 
 }  // namespace rsr

@@ -68,6 +68,16 @@ void EvaluateAllInto(const PointStore& points,
                      const std::vector<std::unique_ptr<LshFunction>>& functions,
                      size_t num_threads, EvalMatrix* out);
 
+/// Range variant: fills *out (row_count x functions.size()) with the
+/// evaluations of rows [row_begin, row_begin + row_count) — the incremental
+/// entry SyncDataset uses to hash only freshly appended rows through the same
+/// dispatched batch kernels. Requires row_begin + row_count <= points.size().
+/// Results are bit-identical to the matching slice of EvaluateAllInto.
+void EvaluateRowsInto(
+    const PointStore& points, size_t row_begin, size_t row_count,
+    const std::vector<std::unique_ptr<LshFunction>>& functions,
+    size_t num_threads, EvalMatrix* out);
+
 }  // namespace rsr
 
 #endif  // RSR_LSH_EVAL_PIPELINE_H_

@@ -78,6 +78,35 @@ class Iblt {
 
   explicit Iblt(const IbltParams& params);
 
+  /// Copies transfer the cell arena and hash configuration but NOT the
+  /// pooled decode/shard scratch (snapshot copies are made to be read or
+  /// subtracted, and scratch regrows lazily on first use). Moves keep
+  /// everything.
+  Iblt(const Iblt& other)
+      : params_(other.params_),
+        num_cells_(other.num_cells_),
+        cells_per_subtable_(other.cells_per_subtable_),
+        subtable_mod_(other.subtable_mod_),
+        checksum_mask_(other.checksum_mask_),
+        checksum_salt_(other.checksum_salt_),
+        index_coeffs_(other.index_coeffs_),
+        arena_(other.arena_) {}
+  Iblt& operator=(const Iblt& other) {
+    if (this != &other) {
+      params_ = other.params_;
+      num_cells_ = other.num_cells_;
+      cells_per_subtable_ = other.cells_per_subtable_;
+      subtable_mod_ = other.subtable_mod_;
+      checksum_mask_ = other.checksum_mask_;
+      checksum_salt_ = other.checksum_salt_;
+      index_coeffs_ = other.index_coeffs_;
+      arena_ = other.arena_;
+    }
+    return *this;
+  }
+  Iblt(Iblt&&) = default;
+  Iblt& operator=(Iblt&&) = default;
+
   void Insert(uint64_t key) { Update(key, nullptr, +1); }
   void Delete(uint64_t key) { Update(key, nullptr, -1); }
   void InsertKv(uint64_t key, const std::vector<uint8_t>& value) {

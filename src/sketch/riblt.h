@@ -82,6 +82,36 @@ class Riblt {
 
   explicit Riblt(const RibltParams& params);
 
+  /// Copies transfer the cell arrays and hash configuration but NOT the
+  /// pooled decode/shard scratch (snapshot copies serve reads; scratch
+  /// regrows lazily on the copy's first Decode). Moves keep everything.
+  Riblt(const Riblt& other)
+      : params_(other.params_),
+        cells_per_subtable_(other.cells_per_subtable_),
+        subtable_mod_(other.subtable_mod_),
+        checksum_salt_(other.checksum_salt_),
+        index_coeffs_(other.index_coeffs_),
+        counts_(other.counts_),
+        key_sums_(other.key_sums_),
+        checksum_sums_(other.checksum_sums_),
+        value_sums_(other.value_sums_) {}
+  Riblt& operator=(const Riblt& other) {
+    if (this != &other) {
+      params_ = other.params_;
+      cells_per_subtable_ = other.cells_per_subtable_;
+      subtable_mod_ = other.subtable_mod_;
+      checksum_salt_ = other.checksum_salt_;
+      index_coeffs_ = other.index_coeffs_;
+      counts_ = other.counts_;
+      key_sums_ = other.key_sums_;
+      checksum_sums_ = other.checksum_sums_;
+      value_sums_ = other.value_sums_;
+    }
+    return *this;
+  }
+  Riblt(Riblt&&) = default;
+  Riblt& operator=(Riblt&&) = default;
+
   /// Adds (key, value). Requires value.dim() == params.dim and coordinates in
   /// [0, delta].
   void Insert(uint64_t key, const Point& value) {

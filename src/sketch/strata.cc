@@ -44,8 +44,16 @@ void StrataEstimator::Insert(uint64_t key) {
   strata_[static_cast<size_t>(StratumOf(key))].Insert(key);
 }
 
+void StrataEstimator::Delete(uint64_t key) {
+  strata_[static_cast<size_t>(StratumOf(key))].Delete(key);
+}
+
 void StrataEstimator::InsertMany(std::span<const uint64_t> keys) {
   for (uint64_t key : keys) Insert(key);
+}
+
+void StrataEstimator::DeleteMany(std::span<const uint64_t> keys) {
+  for (uint64_t key : keys) Delete(key);
 }
 
 Result<uint64_t> StrataEstimator::EstimateDiff(

@@ -44,10 +44,15 @@ class StrataEstimator {
   explicit StrataEstimator(const StrataParams& params);
 
   void Insert(uint64_t key);
+  /// Removes a previously inserted key (signed cell update on the key's
+  /// stratum). XOR cells make insert-then-delete cancel exactly, so a
+  /// maintained estimator equals a cold build over the surviving key set.
+  void Delete(uint64_t key);
 
   /// Batched insertion for whole key sets (one stratum lookup per key; the
   /// underlying IBLT updates are allocation-free).
   void InsertMany(std::span<const uint64_t> keys);
+  void DeleteMany(std::span<const uint64_t> keys);
 
   /// Estimated symmetric-difference size versus `other` (same parameters).
   Result<uint64_t> EstimateDiff(const StrataEstimator& other) const;

@@ -154,6 +154,82 @@ TEST(MultiPartyTest, CommIsOneBroadcastPerParty) {
   auto report = RunMultiPartyUnion(ToStores(parties), MakeParams(36 * 12));
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->comm.rounds(), 5);
+  EXPECT_EQ(report->used_cells, 36u * 12u);
+  EXPECT_FALSE(report->retried);
+}
+
+// ------------------------------------------------- adaptive sizing --
+
+TEST(MultiPartyTest, AdaptiveShrinksSketchesAndStillReachesTheUnion) {
+  auto parties = MakeParties(4, 60, 3, 21);
+  PointSet want = SortedUnion(parties);
+
+  // A deliberately generous static cap: the hub's estimated difference mass
+  // (sum_j est(|S_0 delta S_j|) ~ 18) should negotiate far below it.
+  MultiPartyParams static_params = MakeParams(4096, 19);
+  MultiPartyParams adaptive_params = static_params;
+  adaptive_params.adaptive.enabled = true;
+  auto fixed = RunMultiPartyUnion(ToStores(parties), static_params);
+  auto adaptive = RunMultiPartyUnion(ToStores(parties), adaptive_params);
+  ASSERT_TRUE(fixed.ok());
+  ASSERT_TRUE(adaptive.ok());
+  ASSERT_TRUE(fixed->all_ok);
+  ASSERT_TRUE(adaptive->all_ok);
+
+  EXPECT_LT(adaptive->used_cells, 4096u);
+  EXPECT_GE(adaptive->used_cells, adaptive_params.adaptive.floor_cells);
+  EXPECT_FALSE(adaptive->retried);
+  // Smaller sketches, smaller broadcasts — the estimator round included.
+  EXPECT_LT(adaptive->comm.total_bits(), fixed->comm.total_bits());
+  // The estimator round and size broadcast are real messages.
+  EXPECT_EQ(adaptive->comm.rounds(), fixed->comm.rounds() + 4);
+
+  for (size_t i = 0; i < parties.size(); ++i) {
+    PointSet got = adaptive->final_sets[i];
+    std::sort(got.begin(), got.end());
+    got.erase(std::unique(got.begin(), got.end()), got.end());
+    EXPECT_EQ(got, want) << "party " << i;
+  }
+}
+
+TEST(MultiPartyTest, AdaptiveIdenticalPartiesHitTheFloor) {
+  Rng rng(23);
+  PointSet shared = GenerateUniform(50, 2, 1023, &rng);
+  std::vector<PointSet> parties(3, shared);
+  MultiPartyParams params = MakeParams(4096, 27);
+  params.adaptive.enabled = true;
+  auto report = RunMultiPartyUnion(ToStores(parties), params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->all_ok);
+  // Zero estimated difference clamps to the floor, not to zero cells.
+  EXPECT_EQ(report->used_cells, params.adaptive.floor_cells);
+  EXPECT_FALSE(report->retried);
+  for (const auto& final_set : report->final_sets) {
+    EXPECT_EQ(final_set.size(), 50u);
+  }
+}
+
+TEST(MultiPartyTest, AdaptiveUndersizeRetriesAtTheStaticCap) {
+  // A crippled multiplier forces the negotiated size to the (tiny) floor,
+  // which cannot absorb the ~90-element per-party decode load. The one-byte
+  // retry signal must re-broadcast at the static cap and succeed — adaptive
+  // may never lose a union that static sizing would have reconciled.
+  auto parties = MakeParties(3, 20, 30, 7);
+  PointSet want = SortedUnion(parties);
+  MultiPartyParams params = MakeParams(3600, 7);
+  params.adaptive.enabled = true;
+  params.adaptive.cell_multiplier = 0.0001;
+  auto report = RunMultiPartyUnion(ToStores(parties), params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->retried);
+  EXPECT_EQ(report->used_cells, 3600u);
+  ASSERT_TRUE(report->all_ok);
+  for (const auto& final_set : report->final_sets) {
+    PointSet got = final_set;
+    std::sort(got.begin(), got.end());
+    got.erase(std::unique(got.begin(), got.end()), got.end());
+    EXPECT_EQ(got, want);
+  }
 }
 
 // --------------------------------------------------------- greedy EMD --

@@ -260,5 +260,75 @@ TEST(PointStoreTest, StoreGeneratorsMatchLegacyGenerators) {
             GenerateClusters(clusters));
 }
 
+// ------------------------------------------- dirty-tail double plane --
+
+void ExpectPlaneMatchesCoords(const PointStore& store) {
+  const double* plane = store.DoublePlane();
+  ASSERT_EQ(store.cached_plane_rows(), store.size());
+  for (size_t i = 0; i < store.size(); ++i) {
+    for (size_t j = 0; j < store.dim(); ++j) {
+      ASSERT_EQ(plane[i * store.dim() + j],
+                static_cast<double>(store.row(i)[j]))
+          << "row " << i << " dim " << j;
+    }
+  }
+}
+
+TEST(PointStoreTest, AppendKeepsTheCleanPlanePrefix) {
+  Rng rng(31);
+  PointStore store = GenerateUniformStore(6, 3, 1000, &rng);
+  EXPECT_EQ(store.cached_plane_rows(), 0u);  // lazily built
+  store.DoublePlane();
+  EXPECT_EQ(store.cached_plane_rows(), 6u);
+
+  // Appends leave the watermark (and the converted prefix) in place...
+  Coord extra[3] = {4, 5, 6};
+  store.Append(extra);
+  store.AppendRow()[0] = 7;
+  EXPECT_EQ(store.cached_plane_rows(), 6u);
+  // ...and the next DoublePlane() converts exactly the tail.
+  ExpectPlaneMatchesCoords(store);
+
+  // Row-rewriting mutations still drop the whole cache.
+  store.SortLex();
+  EXPECT_EQ(store.cached_plane_rows(), 0u);
+  ExpectPlaneMatchesCoords(store);
+
+  // Truncate keeps the surviving prefix converted.
+  store.Truncate(3);
+  EXPECT_EQ(store.cached_plane_rows(), 3u);
+  ExpectPlaneMatchesCoords(store);
+}
+
+TEST(PointStoreTest, RemoveRowSwapKeepsThePlaneValid) {
+  Rng rng(32);
+  PointStore store = GenerateUniformStore(8, 2, 500, &rng);
+  store.DoublePlane();
+
+  // Swap-remove inside the converted prefix: plane row patched in place.
+  Point moved = store.MakePoint(7);
+  store.RemoveRowSwap(2);
+  EXPECT_EQ(store.size(), 7u);
+  EXPECT_EQ(store.cached_plane_rows(), 7u);
+  EXPECT_EQ(store.MakePoint(2), moved);
+  ExpectPlaneMatchesCoords(store);
+
+  // Removing the last row just shrinks the watermark.
+  store.RemoveRowSwap(store.size() - 1);
+  EXPECT_EQ(store.cached_plane_rows(), 6u);
+  ExpectPlaneMatchesCoords(store);
+
+  // Swap-remove that moves an UNCONVERTED tail row into the converted
+  // prefix: the implementation must convert it on the spot.
+  Coord a[2] = {11, -3};
+  Coord b[2] = {21, 9};
+  store.Append(a);
+  store.Append(b);
+  ASSERT_LT(store.cached_plane_rows(), store.size());
+  store.RemoveRowSwap(0);
+  EXPECT_EQ(store.MakePoint(0), Point({21, 9}));
+  ExpectPlaneMatchesCoords(store);
+}
+
 }  // namespace
 }  // namespace rsr

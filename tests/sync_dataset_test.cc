@@ -1,0 +1,262 @@
+// Pins the SyncDataset maintenance contract (core/sync_dataset.h): after ANY
+// interleaving of inserts and deletes, every maintained RIBLT and strata
+// estimator is WriteTo byte-identical to a cold BuildEmdSketches over the
+// surviving rows — across level ladders, shard counts, and thread counts —
+// and warm mutations perform zero heap allocations (alloc_counter.cc).
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "alloc_counter.h"
+#include "core/emd_sketch.h"
+#include "core/sync_dataset.h"
+#include "util/random.h"
+#include "util/serialize.h"
+#include "workload/generators.h"
+
+namespace rsr {
+namespace {
+
+using ::rsr::testing::AllocationCount;
+
+EmdProtocolParams MakeParams(size_t d2, size_t shards, size_t threads,
+                             uint64_t seed = 77) {
+  EmdProtocolParams params;
+  params.metric = MetricKind::kL1;
+  params.dim = 3;
+  params.delta = 1023;
+  params.k = 2;
+  params.d1 = 1;
+  params.d2 = static_cast<double>(d2);
+  params.sketch_shards = shards;
+  params.num_threads = threads;
+  params.seed = seed;
+  return params;
+}
+
+/// `count` distinct rows in a deterministic shuffled order (distinct rows =>
+/// distinct content-hash keys, which Create requires).
+PointStore DistinctPool(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  PointSet points = GenerateUniform(count * 2, 3, 1023, &rng);
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  RSR_CHECK(points.size() >= count);
+  points.resize(count);
+  for (size_t i = points.size(); i > 1; --i) {
+    std::swap(points[i - 1], points[rng.Below(i)]);
+  }
+  return PointStore::FromPointSet(3, points);
+}
+
+/// The core invariant: maintained cells == cold-build cells, byte for byte.
+void ExpectMatchesColdBuild(const SyncDataset& ds,
+                            const EmdProtocolParams& params) {
+  auto cold = BuildEmdSketches(ds.rows(), params, /*build_estimators=*/true);
+  ASSERT_TRUE(cold.ok());
+  const EmdSketchSet& live = ds.sketches();
+  EXPECT_EQ(live.n, ds.rows().size());
+  ASSERT_EQ(live.tables.size(), cold->tables.size());
+  for (size_t l = 0; l < live.tables.size(); ++l) {
+    ByteWriter maintained, rebuilt;
+    live.tables[l].WriteTo(&maintained);
+    cold->tables[l].WriteTo(&rebuilt);
+    EXPECT_EQ(maintained.buffer(), rebuilt.buffer()) << "table level " << l;
+  }
+  ASSERT_EQ(live.estimators.size(), cold->estimators.size());
+  for (size_t l = 0; l < live.estimators.size(); ++l) {
+    ByteWriter maintained, rebuilt;
+    live.estimators[l].WriteTo(&maintained);
+    cold->estimators[l].WriteTo(&rebuilt);
+    EXPECT_EQ(maintained.buffer(), rebuilt.buffer())
+        << "estimator level " << l;
+  }
+}
+
+TEST(SyncDatasetTest, IncrementalMatchesColdBuildAcrossConfigs) {
+  PointStore pool = DistinctPool(140, 5);
+  for (size_t d2 : std::vector<size_t>{8, 256}) {
+    for (size_t shards : std::vector<size_t>{1, 4}) {
+      for (size_t threads : std::vector<size_t>{1, 4}) {
+        SCOPED_TRACE("d2=" + std::to_string(d2) +
+                     " shards=" + std::to_string(shards) +
+                     " threads=" + std::to_string(threads));
+        EmdProtocolParams params = MakeParams(d2, shards, threads);
+        PointStore initial(3);
+        for (size_t i = 0; i < 96; ++i) initial.Append(pool[i]);
+        auto ds = SyncDataset::Create(initial, params);
+        ASSERT_TRUE(ds.ok());
+        ExpectMatchesColdBuild(*ds, params);
+
+        // Singleton inserts...
+        for (size_t i = 96; i < 116; ++i) {
+          auto key = ds->Insert(pool[i]);
+          ASSERT_TRUE(key.ok());
+          EXPECT_EQ(*key, ds->KeyOf(pool[i]));
+        }
+        // ...singleton deletes of original rows...
+        for (size_t i = 0; i < 10; ++i) {
+          ASSERT_TRUE(ds->Delete(ds->KeyOf(pool[i])).ok());
+        }
+        // ...and one batch whose deletes span original rows, a previous
+        // singleton insert, and rows inserted by this very batch.
+        PointStore batch(3);
+        for (size_t i = 116; i < 136; ++i) batch.Append(pool[i]);
+        std::vector<uint64_t> dels;
+        for (size_t i = 10; i < 18; ++i) dels.push_back(ds->KeyOf(pool[i]));
+        dels.push_back(ds->KeyOf(pool[100]));
+        dels.push_back(ds->KeyOf(pool[116]));
+        dels.push_back(ds->KeyOf(pool[117]));
+        ASSERT_TRUE(ds->ApplyBatch(batch, dels).ok());
+        ASSERT_EQ(ds->size(), 115u);
+
+        ExpectMatchesColdBuild(*ds, params);
+
+        // The surviving rows are exactly (initial u inserts) \ deletions.
+        PointSet want;
+        for (size_t i = 18; i < 116; ++i) {
+          if (i == 100) continue;
+          want.push_back(pool.MakePoint(i));
+        }
+        for (size_t i = 118; i < 136; ++i) want.push_back(pool.MakePoint(i));
+        std::sort(want.begin(), want.end());
+        PointSet got = ds->rows().ToPointSet();
+        std::sort(got.begin(), got.end());
+        EXPECT_EQ(got, want);
+      }
+    }
+  }
+}
+
+TEST(SyncDatasetTest, CreateRejectsUnsupportedConfigs) {
+  PointStore pool = DistinctPool(8, 6);
+  EmdProtocolParams params = MakeParams(8, 1, 1);
+
+  EmdProtocolParams no_d2 = params;
+  no_d2.d2 = 0;
+  EXPECT_FALSE(SyncDataset::Create(pool, no_d2).ok());
+
+  EmdProtocolParams adaptive = params;
+  adaptive.adaptive.enabled = true;
+  EXPECT_FALSE(SyncDataset::Create(pool, adaptive).ok());
+
+  EXPECT_FALSE(SyncDataset::Create(PointStore(3), params).ok());
+
+  PointStore dup(3);
+  dup.Append(pool[0]);
+  dup.Append(pool[1]);
+  dup.Append(pool[0]);
+  EXPECT_FALSE(SyncDataset::Create(dup, params).ok());
+}
+
+TEST(SyncDatasetTest, MutationErrorsLeaveDatasetUntouched) {
+  PointStore pool = DistinctPool(40, 7);
+  EmdProtocolParams params = MakeParams(8, 1, 1);
+  PointStore initial(3);
+  for (size_t i = 0; i < 16; ++i) initial.Append(pool[i]);
+  auto ds = SyncDataset::Create(initial, params);
+  ASSERT_TRUE(ds.ok());
+  const uint64_t gen = ds->generation();
+
+  // Duplicate singleton insert / absent singleton delete.
+  EXPECT_FALSE(ds->Insert(pool[3]).ok());
+  EXPECT_FALSE(ds->Delete(ds->KeyOf(pool[30])).ok());
+
+  // Batch rejections: duplicate rows within the batch, row already present,
+  // absent delete key, duplicate delete keys.
+  PointStore twice(3);
+  twice.Append(pool[20]);
+  twice.Append(pool[20]);
+  EXPECT_FALSE(ds->ApplyBatch(twice, {}).ok());
+
+  PointStore present(3);
+  present.Append(pool[5]);
+  EXPECT_FALSE(ds->ApplyBatch(present, {}).ok());
+
+  PointStore fresh(3);
+  fresh.Append(pool[21]);
+  std::vector<uint64_t> absent = {ds->KeyOf(pool[31])};
+  EXPECT_FALSE(ds->ApplyBatch(fresh, absent).ok());
+  std::vector<uint64_t> twice_deleted = {ds->KeyOf(pool[4]),
+                                         ds->KeyOf(pool[4])};
+  EXPECT_FALSE(ds->ApplyBatch(fresh, twice_deleted).ok());
+
+  // Every rejection left the dataset byte-identical and the generation
+  // unmoved.
+  EXPECT_EQ(ds->generation(), gen);
+  EXPECT_EQ(ds->size(), 16u);
+  ExpectMatchesColdBuild(*ds, params);
+}
+
+TEST(SyncDatasetTest, GenerationBumpsOncePerMutationCall) {
+  PointStore pool = DistinctPool(24, 8);
+  PointStore initial(3);
+  for (size_t i = 0; i < 8; ++i) initial.Append(pool[i]);
+  auto ds = SyncDataset::Create(initial, MakeParams(8, 1, 1));
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->generation(), 0u);
+  auto key = ds->Insert(pool[10]);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(ds->generation(), 1u);
+  ASSERT_TRUE(ds->Delete(*key).ok());
+  EXPECT_EQ(ds->generation(), 2u);
+  PointStore batch(3);
+  batch.Append(pool[11]);
+  batch.Append(pool[12]);
+  ASSERT_TRUE(ds->ApplyBatch(batch, {}).ok());
+  EXPECT_EQ(ds->generation(), 3u);  // one bump for the whole batch
+}
+
+TEST(SyncDatasetTest, WarmMutationsDoNotAllocate) {
+  // num_threads = 1 (worker fan-out allocates futures), capacity Reserved,
+  // one warm-up of each mutation shape: after that, Insert / Delete /
+  // ApplyBatch must not touch the heap — the O(levels * k) incremental
+  // update is pure arithmetic on maintained cells.
+  EmdProtocolParams params = MakeParams(64, 1, 1);
+  PointStore pool = DistinctPool(160, 9);
+  PointStore initial(3);
+  for (size_t i = 0; i < 128; ++i) initial.Append(pool[i]);
+  auto ds = SyncDataset::Create(initial, params);
+  ASSERT_TRUE(ds.ok());
+  ds->Reserve(160);
+
+  // Warm-up: sizes the eval matrix, level-key buffers, and batch scratch for
+  // both mutation shapes used below.
+  auto warm_key = ds->Insert(pool[128]);
+  ASSERT_TRUE(warm_key.ok());
+  ASSERT_TRUE(ds->Delete(*warm_key).ok());
+  PointStore warm_batch(3);
+  std::vector<uint64_t> warm_dels;
+  for (size_t i = 130; i < 138; ++i) {
+    warm_batch.Append(pool[i]);
+    warm_dels.push_back(ds->KeyOf(pool[i]));
+  }
+  ASSERT_TRUE(ds->ApplyBatch(warm_batch, warm_dels).ok());
+
+  // Measured: same shapes, different rows; each cycle nets to zero rows so
+  // the dataset state is identical every iteration.
+  PointStore batch(3);
+  std::vector<uint64_t> batch_dels;
+  for (size_t i = 140; i < 148; ++i) {
+    batch.Append(pool[i]);
+    batch_dels.push_back(ds->KeyOf(pool[i]));
+  }
+  bool all_ok = true;
+  long long before = AllocationCount();
+  for (int round = 0; round < 50; ++round) {
+    auto key = ds->Insert(pool[129]);
+    all_ok &= key.ok();
+    all_ok &= ds->Delete(key.ok() ? *key : 0).ok();
+    all_ok &= ds->ApplyBatch(batch, batch_dels).ok();
+  }
+  long long after = AllocationCount();
+  EXPECT_TRUE(all_ok);
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(ds->size(), 128u);
+  ExpectMatchesColdBuild(*ds, params);
+}
+
+}  // namespace
+}  // namespace rsr
