@@ -457,6 +457,47 @@ BENCHMARK(BM_RibltBuildSharded)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+/// Fold-down projection of a cap-size table to a ladder rung — the warm
+/// adaptive serving hot path. Arg = number of keys built into the source
+/// table; the fold touches CELLS, not keys, so the three timings must be
+/// flat across n (that n-independence is the whole point of serving folds
+/// instead of rebuilds). Cap = 9216 cells (c q^2 k at q=3, k=256), rung =
+/// 1152 cells (divisor 384 of the 3072 cells per subtable).
+void BM_RibltFold(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  RibltParams params;
+  params.num_cells = 9216;
+  params.num_hashes = 3;
+  params.dim = 4;
+  params.delta = 1023;
+  params.seed = 31;
+  static auto* sources = new std::map<size_t, Riblt>();
+  auto it = sources->find(n);
+  if (it == sources->end()) {
+    Riblt table(params);
+    Rng rng(32);
+    std::vector<uint64_t> keys(n);
+    for (auto& k : keys) k = rng.Next();
+    PointStore values = GenerateUniformStore(n, 4, 1023, &rng);
+    table.InsertMany(keys, values);
+    it = sources->emplace(n, std::move(table)).first;
+  }
+  RibltParams rung = params;
+  rung.num_cells = 1152;
+  Riblt dst(rung);
+  RSR_CHECK(it->second.FoldInto(&dst).ok());  // warm the destination
+  for (auto _ : state) {
+    Status st = it->second.FoldInto(&dst);
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RibltFold)
+    ->Arg(1 << 10)
+    ->Arg(1 << 12)
+    ->Arg(1 << 14)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_EmdExact(benchmark::State& state) {
   Rng rng(14);
   size_t n = static_cast<size_t>(state.range(0));

@@ -23,8 +23,12 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/adaptive.h"
 #include "core/emd_sketch.h"
 #include "core/sync_dataset.h"
+#include "lsh/eval_pipeline.h"
+#include "sketch/riblt.h"
+#include "sketch/strata.h"
 #include "core/sync_server.h"
 #include "util/random.h"
 #include "util/serialize.h"
@@ -149,6 +153,163 @@ double MeasureRebuilt(const PointStore& pool, size_t churn) {
   });
 }
 
+// ---- Adaptive warm serving sweep --------------------------------------------
+//
+// Three server architectures answering the same client, measured server-side
+// only (client hashing/decoding excluded), at k = 256 across difference
+// sizes. The client's per-level strata message is precomputed once (the
+// client is fixed); each measured sync covers everything the server does
+// with it.
+//
+//   static-warm:    snapshot + serialize the cap-size maintained tables.
+//                   Bytes are flat in the difference — the static tax.
+//   adaptive-warm:  snapshot + parse the client estimators + negotiate
+//                   ladder rungs + FOLD the maintained cap tables down +
+//                   serialize prefix and folded tables. O(levels*cap) cell
+//                   work, no point rehashing.
+//   cold-adaptive:  no maintained state — evaluate all n rows, build
+//                   estimators, negotiate, build the negotiated tables from
+//                   the points, serialize. The O(n*levels) price adaptive
+//                   serving used to require.
+
+EmdProtocolParams AdaptiveSweepParams() {
+  EmdProtocolParams params = ServerParams();
+  params.k = 256;
+  params.adaptive.enabled = true;
+  params.adaptive.rounding = CellRounding::kDivisorLadder;
+  return params;
+}
+
+struct SweepResult {
+  double syncs_per_sec = 0;
+  size_t sketch_bytes = 0;
+};
+
+/// The fixed client: rows diff..n-1 of the server's pool plus `diff` fresh
+/// rows — symmetric difference 2*diff. Returns its estimator message.
+std::vector<uint8_t> ClientEstimatorMessage(const PointStore& pool,
+                                            size_t diff,
+                                            const EmdProtocolParams& params,
+                                            const EmdDerived& derived) {
+  PointStore client(kDim);
+  for (size_t i = diff; i < kN; ++i) client.Append(pool[i]);
+  for (size_t i = 0; i < diff; ++i) client.Append(pool[kN + i]);
+  EmdHashes hashes = MakeEmdHashes(params, derived);
+  const std::vector<size_t> prefix_lens = EmdPrefixLens(derived);
+  EvalMatrix evals;
+  EvaluateAllInto(client, hashes.draws, params.num_threads, &evals);
+  std::vector<uint64_t> keys = ComputeEmdLevelKeys(
+      evals, hashes.level_key_hash, prefix_lens, params.num_threads);
+  std::vector<StrataEstimator> estimators =
+      BuildLevelEstimators(keys, derived.levels, kN, params.adaptive,
+                           params.seed, params.num_threads);
+  ByteWriter msg;
+  WriteEstimators(estimators, &msg);
+  return msg.buffer();
+}
+
+SweepResult MeasureStaticWarm(const PointStore& pool) {
+  EmdProtocolParams params = AdaptiveSweepParams();
+  params.adaptive.enabled = false;
+  PointStore initial(kDim);
+  for (size_t i = 0; i < kN; ++i) initial.Append(pool[i]);
+  auto ds = SyncDataset::Create(initial, params);
+  RSR_CHECK(ds.ok());
+  SyncServer server(std::move(*ds));
+
+  SweepResult result;
+  result.syncs_per_sec = MeasureSyncsPerSec([&] {
+    auto snap = server.AcquireSnapshot();
+    ByteWriter message;
+    snap->WriteSketchMessage(&message);
+    result.sketch_bytes = message.buffer().size();
+  });
+  return result;
+}
+
+SweepResult MeasureAdaptiveWarm(const PointStore& pool, size_t diff) {
+  const EmdProtocolParams params = AdaptiveSweepParams();
+  PointStore initial(kDim);
+  for (size_t i = 0; i < kN; ++i) initial.Append(pool[i]);
+  auto ds = SyncDataset::Create(initial, params);
+  RSR_CHECK(ds.ok());
+  const EmdDerived derived = ds->sketches().derived;
+  SyncServer server(std::move(*ds));
+  const std::vector<uint8_t> est_msg =
+      ClientEstimatorMessage(pool, diff, params, derived);
+  const double cells_per_diff = params.adaptive.cell_multiplier *
+                                params.num_hashes * params.num_hashes;
+
+  EmdServeScratch scratch;
+  SweepResult result;
+  result.syncs_per_sec = MeasureSyncsPerSec([&] {
+    auto snap = server.AcquireSnapshot();
+    ByteReader reader(est_msg.data(), est_msg.size());
+    auto received = ReadEstimators(&reader, params.adaptive, params.seed,
+                                   derived.levels);
+    RSR_CHECK(received.ok());
+    std::vector<size_t> cells = NegotiateLevelCells(
+        snap->sketches.estimators, *received, cells_per_diff,
+        params.adaptive.floor_cells, derived.cells, params.adaptive.rounding,
+        params.num_hashes, params.num_threads);
+    RSR_CHECK(FoldEmdSketches(snap->sketches, cells, params, &scratch).ok());
+    ByteWriter message;
+    WriteNegotiatedCells(cells, &message);
+    for (const Riblt& table : scratch.folded) table.WriteTo(&message);
+    result.sketch_bytes = message.buffer().size();
+  });
+  return result;
+}
+
+SweepResult MeasureColdAdaptive(const PointStore& pool, size_t diff) {
+  const EmdProtocolParams params = AdaptiveSweepParams();
+  PointStore rows(kDim);
+  for (size_t i = 0; i < kN; ++i) rows.Append(pool[i]);
+  EmdDerived derived;
+  {
+    auto derived_or = DeriveEmdParameters(params, kN);
+    RSR_CHECK(derived_or.ok());
+    derived = *derived_or;
+  }
+  const std::vector<uint8_t> est_msg =
+      ClientEstimatorMessage(pool, diff, params, derived);
+  const std::vector<size_t> prefix_lens = EmdPrefixLens(derived);
+  const double cells_per_diff = params.adaptive.cell_multiplier *
+                                params.num_hashes * params.num_hashes;
+
+  SweepResult result;
+  result.syncs_per_sec = MeasureSyncsPerSec([&] {
+    // Everything from the points up, every sync.
+    EmdHashes hashes = MakeEmdHashes(params, derived);
+    EvalMatrix evals;
+    EvaluateAllInto(rows, hashes.draws, params.num_threads, &evals);
+    std::vector<uint64_t> keys = ComputeEmdLevelKeys(
+        evals, hashes.level_key_hash, prefix_lens, params.num_threads);
+    std::vector<StrataEstimator> mine =
+        BuildLevelEstimators(keys, derived.levels, kN, params.adaptive,
+                             params.seed, params.num_threads);
+    ByteReader reader(est_msg.data(), est_msg.size());
+    auto received = ReadEstimators(&reader, params.adaptive, params.seed,
+                                   derived.levels);
+    RSR_CHECK(received.ok());
+    std::vector<size_t> cells = NegotiateLevelCells(
+        mine, *received, cells_per_diff, params.adaptive.floor_cells,
+        derived.cells, params.adaptive.rounding, params.num_hashes,
+        params.num_threads);
+    ByteWriter message;
+    WriteNegotiatedCells(cells, &message);
+    for (size_t level = 1; level <= derived.levels; ++level) {
+      Riblt table(EmdLevelRibltParams(params, cells[level - 1], level));
+      table.InsertMany(
+          std::span<const uint64_t>(keys.data() + (level - 1) * kN, kN),
+          rows);
+      table.WriteTo(&message);
+    }
+    result.sketch_bytes = message.buffer().size();
+  });
+  return result;
+}
+
 }  // namespace
 }  // namespace rsr
 
@@ -173,5 +334,37 @@ int main() {
   std::printf(
       "\nmaintained = SyncServer mutations + cached snapshot + serialize;\n"
       "rebuilt = raw row edits + BuildEmdSketches + serialize per sync.\n");
+
+  bench::Banner("E-ADAPTIVE-WARM: fold-down serving vs static-warm and "
+                "cold-adaptive",
+                "Adaptive warm serving negotiates ladder rungs off maintained "
+                "estimators and folds the cap-size tables down — per-sync "
+                "cost O(levels*cap), bytes tracking the difference.");
+  std::printf("n = %zu, k = 256, dim = %zu, ladder rounding; per-side diff "
+              "swept below\n\n", kN, kDim);
+  const SweepResult static_warm = MeasureStaticWarm(pool);
+  bench::Header(
+      "  diff   mode            sketch KB     sync/s    vs static bytes");
+  for (size_t diff : {size_t{2}, size_t{16}, size_t{256}}) {
+    const SweepResult warm = MeasureAdaptiveWarm(pool, diff);
+    const SweepResult cold = MeasureColdAdaptive(pool, diff);
+    std::printf("  %4zu   static-warm   %11.1f   %8.1f   %14s\n", diff,
+                static_warm.sketch_bytes / 1024.0, static_warm.syncs_per_sec,
+                "1.00x");
+    std::printf("  %4zu   adaptive-warm %11.1f   %8.1f   %13.2fx\n", diff,
+                warm.sketch_bytes / 1024.0, warm.syncs_per_sec,
+                static_cast<double>(warm.sketch_bytes) /
+                    static_cast<double>(static_warm.sketch_bytes));
+    std::printf("  %4zu   cold-adaptive %11.1f   %8.1f   %13.2fx\n\n", diff,
+                cold.sketch_bytes / 1024.0, cold.syncs_per_sec,
+                static_cast<double>(cold.sketch_bytes) /
+                    static_cast<double>(static_warm.sketch_bytes));
+  }
+  std::printf(
+      "static-warm = snapshot + serialize cap tables (bytes flat in diff);\n"
+      "adaptive-warm = snapshot + negotiate + fold + serialize (maintained);\n"
+      "cold-adaptive = evaluate + estimators + negotiate + build + serialize\n"
+      "per sync. Sketch KB excludes the client's estimator upload, which is\n"
+      "identical for both adaptive modes.\n");
   return 0;
 }

@@ -46,7 +46,12 @@ ctest --test-dir build --output-on-failure -j --timeout "${CTEST_TIMEOUT}"
 # scalar reference path stays green on AVX2 hosts, where the default leg
 # above exercises the vector kernels (and
 # SimdDispatchTest.DispatchMatchesCpuAndOverride fails that leg if AVX2 was
-# compiled but the dispatcher never selected it).
+# compiled but the dispatcher never selected it). Both legs run the full
+# suite, so the adaptive warm-serving tests (fold byte-identity in
+# RibltFoldTest/IbltFoldTest/FoldEmdSketchesTest, ladder negotiation in
+# RoundUpToLadderTest/EmdAdaptiveTest, and the SyncServerAdaptiveTest
+# session-vs-cold transcript identity) are exercised under both kernel
+# dispatches — the fold path consumes tables the dispatched kernels built.
 echo "==== Release tests, RSR_FORCE_SCALAR=1 (portable kernel leg) ===="
 RSR_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure -j \
   --timeout "${CTEST_TIMEOUT}"
@@ -68,10 +73,13 @@ RSR_FORCE_SCALAR=1 ctest --test-dir build-asan --output-on-failure -j \
   --timeout "${CTEST_TIMEOUT}"
 
 # TSan gates the concurrent mutate-while-sync serving path (snapshots handed
-# out under churn — SyncServerTest.ConcurrentChurnAndSync and the rest of the
-# Sync suite). Scoped to -R 'Sync': that is where the library spawns
-# concurrent readers against a mutating writer; the full suite under TSan
-# would triple CI time re-checking single-threaded code ASan already covers.
+# out under churn — SyncServerTest.ConcurrentChurnAndSync plus the adaptive
+# analogue SyncServerAdaptiveTest.ConcurrentAdaptiveSessions, where sessions
+# negotiate off one shared snapshot's estimators and fold into per-session
+# scratch — and the rest of the Sync suite). Scoped to -R 'Sync': that is
+# where the library spawns concurrent readers against a mutating writer; the
+# full suite under TSan would triple CI time re-checking single-threaded
+# code ASan already covers.
 # RelWithDebInfo, not Debug: TSan's own slowdown on the protocol loops is
 # ~10x and needs -O2 to keep the leg fast.
 echo "==== RelWithDebInfo + TSan build + concurrency tests ===="

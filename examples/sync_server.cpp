@@ -10,8 +10,12 @@
 // "serialize the maintained cells".
 //
 // The demo runs the same churn-and-serve loop both ways and prints the
-// wall-clock totals side by side, then runs one full client sync off a
-// maintained snapshot to show the exchange itself is unchanged.
+// wall-clock totals side by side, then runs one full ADAPTIVE client sync
+// off a maintained snapshot: the session compares the snapshot's maintained
+// strata estimators against the client's, negotiates per-level sizes on the
+// divisor ladder, and folds the standing cap-size tables down to them —
+// small diffs ship a fraction of the full-width sketch message without any
+// O(n) rebuild (the fold is O(levels * cap) cell adds).
 //
 // Build & run:  cmake -B build -DRSR_BUILD_EXAMPLES=ON && cmake --build build
 //               && ./build/example_sync_server
@@ -41,6 +45,11 @@ int main() {
   params.d1 = 1;
   params.d2 = 1024;  // explicit ladder: levels must not drift with n
   params.seed = 7;
+  // Adaptive warm serving: sessions negotiate per-level sizes and serve
+  // them by folding the maintained cap-size tables (divisor-ladder rounding
+  // is what makes every negotiated size a fold target).
+  params.adaptive.enabled = true;
+  params.adaptive.rounding = CellRounding::kDivisorLadder;
 
   // kRecords resident rows plus kRounds future arrivals, all distinct.
   Rng rng(99);
@@ -119,12 +128,17 @@ int main() {
   std::printf("  speedup: %.1fx  (sketch message: %zu vs %zu bytes)\n",
               rebuilt_sec / maintained_sec, maintained_bytes, rebuilt_bytes);
 
-  // ---- One real exchange off a maintained snapshot -------------------------
+  // ---- One real ADAPTIVE exchange off a maintained snapshot ----------------
   // The server now holds pool rows [kRounds, kRecords + kRounds). A client
-  // that missed the last 5 arrivals (and still holds 5 expired records)
-  // syncs against it: same size, symmetric difference 10.
+  // that missed the latest arrival (and still holds the latest expired
+  // record) syncs against it: same size, symmetric difference 2. The session
+  // negotiates sizes off the snapshot's maintained estimators and folds the
+  // cap-size tables down — the exchange ships difference-proportional bytes,
+  // not the full-width message the churn loop above serialized. (At k = 8
+  // the per-level cap is small, so the negotiated savings shows on small
+  // diffs; bench_server sweeps the full diff range at k = 256.)
   PointStore client(3);
-  for (size_t i = kRounds - 5; i < kRecords + kRounds - 5; ++i) {
+  for (size_t i = kRounds - 1; i < kRecords + kRounds - 1; ++i) {
     client.Append(pool[i]);
   }
   SyncSession session = server.OpenSession();
@@ -134,11 +148,17 @@ int main() {
     return 1;
   }
   std::printf(
-      "\n  client sync via snapshot generation %llu: %s (level %zu, "
-      "|X_A| = %zu, %llu bits)\n",
+      "\n  adaptive client sync via snapshot generation %llu: %s (level %zu, "
+      "|X_A| = %zu)\n",
       static_cast<unsigned long long>(session.generation()),
       report->failure ? "FAILED" : "reconciled", report->decoded_level,
-      static_cast<size_t>(report->x_a.size()),
-      static_cast<unsigned long long>(report->comm.total_bits()));
+      static_cast<size_t>(report->x_a.size()));
+  for (const auto& m : report->comm.messages) {
+    std::printf("    %-22s %7zu bytes\n", m.label.c_str(), m.bytes);
+  }
+  std::printf(
+      "  folded sketch message vs the %zu-byte full-width one the static "
+      "loop above shipped\n",
+      maintained_bytes);
   return report->failure ? 1 : 0;
 }

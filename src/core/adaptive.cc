@@ -76,29 +76,59 @@ size_t AdaptiveCellCount(uint64_t estimate, double cells_per_diff,
   return std::min(std::max(cells, floor_cells), cap_cells);
 }
 
+size_t RoundUpToLadder(size_t cells, size_t cap_cells, int num_hashes) {
+  if (cap_cells == 0 || num_hashes <= 0) return cap_cells;
+  if (cells >= cap_cells) return cap_cells;
+  const size_t q = static_cast<size_t>(num_hashes);
+  // Subtable granularity: the table constructor rounds any requested count
+  // up to ceil(count / q) cells per subtable, so the ladder lives there.
+  const size_t cap_sub = (cap_cells + q - 1) / q;
+  const size_t want_sub = (cells + q - 1) / q;
+  if (want_sub >= cap_sub) return cap_cells;
+  size_t d = want_sub == 0 ? 1 : want_sub;
+  while (cap_sub % d != 0) ++d;  // next divisor; terminates at cap_sub
+  // The top rung is cap_cells ITSELF, not cap_sub * q: the cap need not be a
+  // multiple of q, and cap_sub * q can exceed it — which
+  // ReadNegotiatedCells would reject as out of [1, cap]. Constructing at
+  // cap_cells rounds to cap_sub * q cells anyway, and folding at d ==
+  // cap_sub is the identity. Proper-divisor rungs d * q <= cap_cells
+  // whenever cap_cells >= q (d <= cap_sub / 2).
+  if (d == cap_sub) return cap_cells;
+  return d * q;
+}
+
 std::vector<size_t> NegotiateLevelCells(
     const std::vector<StrataEstimator>& local,
     const std::vector<StrataEstimator>& remote, double cells_per_diff,
-    size_t floor_cells, size_t cap_cells, size_t num_threads) {
+    size_t floor_cells, size_t cap_cells, CellRounding rounding,
+    int table_hashes, size_t num_threads) {
   std::vector<size_t> cells(local.size(), cap_cells);
   ParallelShards(local.size(), num_threads, [&](size_t begin, size_t end) {
     for (size_t level = begin; level < end; ++level) {
       if (level >= remote.size()) continue;  // fall back to the cap
       Result<uint64_t> estimate = local[level].EstimateDiff(remote[level]);
       if (!estimate.ok()) continue;  // incomparable estimator: static sizing
-      cells[level] = AdaptiveCellCount(*estimate, cells_per_diff, floor_cells,
+      size_t count = AdaptiveCellCount(*estimate, cells_per_diff, floor_cells,
                                        cap_cells);
+      if (rounding == CellRounding::kDivisorLadder) {
+        count = RoundUpToLadder(count, cap_cells, table_hashes);
+      }
+      cells[level] = count;
     }
   });
   return cells;
 }
 
-Result<std::vector<size_t>> NegotiateLevelSketchCells(
-    std::span<const uint64_t> sender_keys,
+Result<std::vector<size_t>> NegotiateLevelSketchCellsPrebuilt(
+    const std::vector<StrataEstimator>& sender_estimators,
     std::span<const uint64_t> receiver_keys, size_t levels, size_t n,
     const AdaptiveSizingParams& params, uint64_t seed, double cells_per_diff,
-    size_t cap_cells, size_t num_threads, Transcript* transcript,
-    const std::string& label) {
+    size_t cap_cells, int table_hashes, size_t num_threads,
+    Transcript* transcript, const std::string& label) {
+  if (sender_estimators.size() != levels) {
+    return Status::InvalidArgument(
+        "sender estimator count does not match the level count");
+  }
   std::vector<StrataEstimator> receiver_estimators = BuildLevelEstimators(
       receiver_keys, levels, n, params, seed, num_threads);
   ByteWriter estimator_msg;
@@ -110,10 +140,25 @@ Result<std::vector<size_t>> NegotiateLevelSketchCells(
       std::vector<StrataEstimator> received,
       ReadEstimators(&estimator_reader, params, seed, levels));
   RSR_RETURN_NOT_OK(estimator_reader.FinishAndCheckConsumed());
+  return NegotiateLevelCells(sender_estimators, received, cells_per_diff,
+                             params.floor_cells, cap_cells, params.rounding,
+                             table_hashes, num_threads);
+}
+
+Result<std::vector<size_t>> NegotiateLevelSketchCells(
+    std::span<const uint64_t> sender_keys,
+    std::span<const uint64_t> receiver_keys, size_t levels, size_t n,
+    const AdaptiveSizingParams& params, uint64_t seed, double cells_per_diff,
+    size_t cap_cells, int table_hashes, size_t num_threads,
+    Transcript* transcript, const std::string& label) {
+  // The cold path IS the prebuilt path with freshly built sender estimators:
+  // sharing the body is what guarantees warm serving's negotiation round and
+  // chosen sizes match the one-shot protocol's byte for byte.
   std::vector<StrataEstimator> sender_estimators = BuildLevelEstimators(
       sender_keys, levels, n, params, seed, num_threads);
-  return NegotiateLevelCells(sender_estimators, received, cells_per_diff,
-                             params.floor_cells, cap_cells, num_threads);
+  return NegotiateLevelSketchCellsPrebuilt(
+      sender_estimators, receiver_keys, levels, n, params, seed,
+      cells_per_diff, cap_cells, table_hashes, num_threads, transcript, label);
 }
 
 Result<size_t> NegotiateSingleSketchCells(std::span<const uint64_t> sender_keys,

@@ -38,12 +38,30 @@
 
 namespace rsr {
 
+/// How a negotiated cell count is rounded before it goes on the wire.
+enum class CellRounding {
+  /// Ship clamp(ceil(cells_per_diff * estimate), floor, cap) exactly — the
+  /// historical behavior; transcripts are unchanged.
+  kExact,
+  /// Round up to the cap's divisor ladder (RoundUpToLadder): every shipped
+  /// size's cells-per-subtable divides the cap's, so a table of that size is
+  /// derivable from a maintained cap-size table by Riblt::FoldInto with zero
+  /// rehashing. Required by the warm adaptive serving path
+  /// (SyncDataset/SyncSession); the one-shot protocol accepts it too, which
+  /// is what keeps warm and cold transcripts byte-identical.
+  kDivisorLadder,
+};
+
 /// Configuration of the negotiation phase. Embedded in EmdProtocolParams,
 /// SetsReconcilerParams, and ExactReconParams; `enabled = false` (the
 /// default) keeps every protocol on its static one-shot path with
 /// byte-identical transcripts.
 struct AdaptiveSizingParams {
   bool enabled = false;
+  /// Rounding applied to per-level negotiated counts (EMD path). The
+  /// single-sketch and multi-party consumers size XOR-IBLTs that are never
+  /// served from maintained state, so they ignore this and stay exact.
+  CellRounding rounding = CellRounding::kExact;
   /// Cells provisioned per estimated difference pair. The EMD protocol
   /// multiplies this by q^2 (its RIBLT sizing is c q^2 k, so the adaptive
   /// target is cell_multiplier * q^2 * estimate); the XOR-IBLT consumers use
@@ -96,14 +114,28 @@ Result<std::vector<StrataEstimator>> ReadEstimators(
 size_t AdaptiveCellCount(uint64_t estimate, double cells_per_diff,
                          size_t floor_cells, size_t cap_cells);
 
+/// The smallest divisor-ladder rung >= `cells` for a table whose cap is
+/// `cap_cells` cells at `num_hashes` subtables. The ladder's rungs are
+/// d * num_hashes cells for every proper divisor d of the cap's
+/// cells-per-subtable (ceil(cap_cells / num_hashes) — the table
+/// constructor's own rounding), topped by cap_cells itself; every rung lies
+/// in [1, cap_cells], so ladder sizes always pass ReadNegotiatedCells.
+/// `cells` >= the largest proper rung (or an empty ladder) lands on
+/// cap_cells. Constructing a table at a rung and folding the cap-size table
+/// down to it (Riblt::FoldInto) are byte-identical.
+size_t RoundUpToLadder(size_t cells, size_t cap_cells, int num_hashes);
+
 /// Per-level negotiated cell counts: local[l].EstimateDiff(remote[l]) fed
-/// through AdaptiveCellCount; estimator errors (or a level missing from
+/// through AdaptiveCellCount, then — with rounding == kDivisorLadder —
+/// through RoundUpToLadder(., cap_cells, table_hashes) so every shipped size
+/// is foldable from the cap. Estimator errors (or a level missing from
 /// `remote`) fall back to cap_cells. Levels negotiate on separate shards;
 /// deterministic for every num_threads.
 std::vector<size_t> NegotiateLevelCells(
     const std::vector<StrataEstimator>& local,
     const std::vector<StrataEstimator>& remote, double cells_per_diff,
-    size_t floor_cells, size_t cap_cells, size_t num_threads);
+    size_t floor_cells, size_t cap_cells, CellRounding rounding,
+    int table_hashes, size_t num_threads);
 
 /// Single-sketch negotiation (the reconciler's signature IBLT, the exact
 /// baseline): builds the receiver-side estimator over `receiver_keys`,
@@ -124,15 +156,31 @@ Result<size_t> NegotiateSingleSketchCells(std::span<const uint64_t> sender_keys,
 /// the receiver builds one estimator per level over its level-major keys
 /// (receiver_keys[l*n .. l*n+n)) and ships them as one message recorded
 /// under `label`; the sender parses them off the wire, builds its own
-/// estimators, and returns the per-level counts from NegotiateLevelCells.
+/// estimators, and returns the per-level counts from NegotiateLevelCells
+/// (params.rounding applied against `table_hashes`-subtable tables).
 /// Communicating the chosen sizes back (the sketch-message prefix) stays
 /// with the caller. Deterministic for every num_threads.
 Result<std::vector<size_t>> NegotiateLevelSketchCells(
     std::span<const uint64_t> sender_keys,
     std::span<const uint64_t> receiver_keys, size_t levels, size_t n,
     const AdaptiveSizingParams& params, uint64_t seed, double cells_per_diff,
-    size_t cap_cells, size_t num_threads, Transcript* transcript,
-    const std::string& label);
+    size_t cap_cells, int table_hashes, size_t num_threads,
+    Transcript* transcript, const std::string& label);
+
+/// NegotiateLevelSketchCells with the sender's estimators already built —
+/// the warm serving path, where SyncDataset maintains one estimator per
+/// level incrementally (byte-identical to cold builds) and a session must
+/// not spend O(n) rebuilding them. The receiver side is unchanged (its
+/// estimators are built from `receiver_keys` and shipped on `transcript`),
+/// so the recorded round — and, since maintained estimators equal cold ones,
+/// the negotiated counts — are byte-identical to the cold entry point.
+/// Requires sender_estimators.size() == levels.
+Result<std::vector<size_t>> NegotiateLevelSketchCellsPrebuilt(
+    const std::vector<StrataEstimator>& sender_estimators,
+    std::span<const uint64_t> receiver_keys, size_t levels, size_t n,
+    const AdaptiveSizingParams& params, uint64_t seed, double cells_per_diff,
+    size_t cap_cells, int table_hashes, size_t num_threads,
+    Transcript* transcript, const std::string& label);
 
 /// Sizes prefix on the sketch message: one varint per level.
 void WriteNegotiatedCells(const std::vector<size_t>& cells, ByteWriter* w);

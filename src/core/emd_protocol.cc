@@ -222,8 +222,9 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
         NegotiateLevelSketchCells(alice_keys, bob_keys, derived.levels, n,
                                   params.adaptive, params.seed,
                                   params.adaptive.cell_multiplier * q * q,
-                                  derived.cells, params.num_threads,
-                                  &transcript, "B->A level strata"));
+                                  derived.cells, params.num_hashes,
+                                  params.num_threads, &transcript,
+                                  "B->A level strata"));
   }
 
   // ---- Alice: build the t RIBLTs at the provisioned sizes. ----
@@ -263,11 +264,13 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
 
 Result<EmdProtocolReport> RunEmdProtocolPrebuilt(
     const EmdSketchSet& alice, const PointStore& bob,
-    const EmdProtocolParams& params) {
-  if (params.adaptive.enabled) {
+    const EmdProtocolParams& params, EmdServeScratch* scratch) {
+  if (params.adaptive.enabled &&
+      params.adaptive.rounding != CellRounding::kDivisorLadder) {
     return Status::InvalidArgument(
-        "prebuilt sketch sets are statically sized; adaptive negotiation "
-        "re-sizes tables per exchange and requires the one-shot protocol");
+        "prebuilt adaptive serving requires CellRounding::kDivisorLadder: "
+        "exact negotiated sizes cannot be folded from the maintained "
+        "cap-size tables");
   }
   if (bob.size() != alice.n || bob.empty()) {
     return Status::InvalidArgument("|S_B| must equal the sketch set's n");
@@ -296,7 +299,36 @@ Result<EmdProtocolReport> RunEmdProtocolPrebuilt(
 
   Transcript transcript;
   std::vector<size_t> level_cells(derived.levels, derived.cells);
-  return FinishEmdProtocol(alice.tables, level_cells, alice.prefix_lens, bob,
+  if (!params.adaptive.enabled) {
+    return FinishEmdProtocol(alice.tables, level_cells, alice.prefix_lens, bob,
+                             bob_keys, params, &transcript, std::move(report));
+  }
+
+  // ---- Adaptive warm serving: negotiate, then FOLD instead of build. ----
+  // The maintained estimators stand in for a cold sender-side build (they are
+  // byte-identical to one), so the negotiation round and the chosen rungs
+  // match RunEmdProtocol's under the same ladder rounding. The negotiated
+  // tables are then projected from the maintained cap-size tables by
+  // Riblt::FoldInto — O(levels * cap) cell additions, no point rehashing —
+  // and land in `scratch` so a long-lived session re-serves without
+  // reallocating.
+  if (alice.estimators.size() != derived.levels) {
+    return Status::InvalidArgument(
+        "adaptive serving requires a sketch set built with estimators "
+        "(BuildEmdSketches build_estimators = true)");
+  }
+  const double q = static_cast<double>(params.num_hashes);
+  RSR_ASSIGN_OR_RETURN(
+      level_cells,
+      NegotiateLevelSketchCellsPrebuilt(
+          alice.estimators, bob_keys, derived.levels, n, params.adaptive,
+          params.seed, params.adaptive.cell_multiplier * q * q, derived.cells,
+          params.num_hashes, params.num_threads, &transcript,
+          "B->A level strata"));
+  EmdServeScratch local_scratch;
+  EmdServeScratch* serve = scratch != nullptr ? scratch : &local_scratch;
+  RSR_RETURN_NOT_OK(FoldEmdSketches(alice, level_cells, params, serve));
+  return FinishEmdProtocol(serve->folded, level_cells, alice.prefix_lens, bob,
                            bob_keys, params, &transcript, std::move(report));
 }
 

@@ -68,14 +68,23 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
 
 /// Runs the protocol against a prebuilt (or incrementally maintained)
 /// Alice-side sketch set instead of hashing Alice's points: the per-sync
-/// sketch cost drops to serializing the maintained cells. Requires static
-/// sizing (adaptive negotiation re-sizes tables per exchange), |bob| ==
-/// alice.n, and `params` matching the build-time configuration. The
+/// sketch cost drops to serializing the maintained cells. Requires |bob| ==
+/// alice.n and `params` matching the build-time configuration. The
 /// transcript and report are byte-identical to RunEmdProtocol over the same
 /// point sets (emd_protocol.cc builds both from the same tail).
+///
+/// With params.adaptive enabled, the rounding mode must be
+/// CellRounding::kDivisorLadder and the sketch set must carry estimators
+/// (BuildEmdSketches with build_estimators = true, or a SyncDataset): the
+/// negotiation round runs off the maintained estimators, and the negotiated
+/// per-level tables are produced by FOLDING the maintained cap-size tables
+/// down (FoldEmdSketches) rather than rebuilding from points — O(levels *
+/// cap) work per sync independent of n. Pass `scratch` to pool the folded
+/// tables across syncs (a stable-rung session allocates nothing after its
+/// first exchange); nullptr uses call-local scratch.
 Result<EmdProtocolReport> RunEmdProtocolPrebuilt(
     const EmdSketchSet& alice, const PointStore& bob,
-    const EmdProtocolParams& params);
+    const EmdProtocolParams& params, EmdServeScratch* scratch = nullptr);
 
 }  // namespace rsr
 

@@ -137,4 +137,35 @@ Result<EmdSketchSet> BuildEmdSketches(const PointStore& alice,
   return set;
 }
 
+Status FoldEmdSketches(const EmdSketchSet& set,
+                       const std::vector<size_t>& level_cells,
+                       const EmdProtocolParams& params,
+                       EmdServeScratch* scratch) {
+  if (level_cells.size() != set.tables.size()) {
+    return Status::InvalidArgument(
+        "level_cells count does not match the sketch set's level count");
+  }
+  const size_t q = static_cast<size_t>(params.num_hashes);
+  if (scratch->folded.size() > level_cells.size()) {
+    // Shrink via erase: Riblt has no default constructor, so resize() can't.
+    scratch->folded.erase(scratch->folded.begin() + level_cells.size(),
+                          scratch->folded.end());
+  }
+  for (size_t l = 0; l < level_cells.size(); ++l) {
+    const size_t target = level_cells[l];
+    if (target == 0) return Status::InvalidArgument("level_cells must be > 0");
+    // The constructor's rounding: the pooled entry matches iff its normalized
+    // cell count (and per-level seed, fixed for slot l) equals the target's.
+    const size_t normalized = (target + q - 1) / q * q;
+    if (l >= scratch->folded.size()) {
+      scratch->folded.emplace_back(
+          EmdLevelRibltParams(params, target, l + 1));
+    } else if (scratch->folded[l].params().num_cells != normalized) {
+      scratch->folded[l] = Riblt(EmdLevelRibltParams(params, target, l + 1));
+    }
+    RSR_RETURN_NOT_OK(set.tables[l].FoldInto(&scratch->folded[l]));
+  }
+  return Status();
+}
+
 }  // namespace rsr

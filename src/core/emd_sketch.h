@@ -105,6 +105,27 @@ Result<EmdSketchSet> BuildEmdSketches(const PointStore& alice,
                                       const EmdProtocolParams& params,
                                       bool build_estimators);
 
+/// Reusable per-session scratch for adaptive warm serving: one folded table
+/// per level, pooled across syncs so a session that keeps negotiating the
+/// same ladder rungs performs zero allocation after its first exchange.
+struct EmdServeScratch {
+  std::vector<Riblt> folded;
+};
+
+/// Projects the maintained cap-size tables down to the negotiated
+/// `level_cells` via Riblt::FoldInto — no point rehashing, O(levels * cap)
+/// cell work regardless of how many points built the set. Requires every
+/// level_cells[l] to be a divisor-ladder rung of derived.cells
+/// (CellRounding::kDivisorLadder guarantees this); a non-divisor count is
+/// InvalidArgument. On success scratch->folded[l] is byte-identical
+/// (Riblt::WriteTo) to a cold table built at level_cells[l] over the same
+/// rows. Pool entries whose shape already matches are folded into in place;
+/// mismatched entries are reconstructed (the only allocation this performs).
+Status FoldEmdSketches(const EmdSketchSet& set,
+                       const std::vector<size_t>& level_cells,
+                       const EmdProtocolParams& params,
+                       EmdServeScratch* scratch);
+
 }  // namespace rsr
 
 #endif  // RSR_CORE_EMD_SKETCH_H_

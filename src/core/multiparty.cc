@@ -138,8 +138,9 @@ size_t NegotiateMultiPartyCells(
   });
 
   // The hub consumes each spoke's estimator off the wire (parse fidelity),
-  // summing est(|S_0 Δ S_j|). EstimateDiff peels on the hub estimator's
-  // scratch pool, so the hub loop stays sequential.
+  // summing est(|S_0 Δ S_j|). EstimateDiff is reentrant (thread_local peel
+  // scratch), but the loop stays sequential: it also parses the shared wire
+  // stream in party order, and s is small.
   uint64_t total = 0;
   bool fallback = false;
   for (size_t j = 1; j < s; ++j) {

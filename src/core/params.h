@@ -55,7 +55,12 @@ struct EmdProtocolParams {
   /// clamp(cell_multiplier * q^2 * estimate, floor_cells, c q^2 k) cells,
   /// prepending the chosen sizes to her message. Default OFF: the static
   /// one-round path stays byte-identical. Levels whose estimate fails or
-  /// exceeds the cap fall back to the static c q^2 k cells.
+  /// exceeds the cap fall back to the static c q^2 k cells. With
+  /// adaptive.rounding == CellRounding::kDivisorLadder the negotiated sizes
+  /// are rounded up to the cap's divisor ladder, making every exchange
+  /// servable from a maintained cap-size sketch set by folding
+  /// (SyncDataset / RunEmdProtocolPrebuilt) — required for warm adaptive
+  /// serving, accepted identically by the one-shot protocol.
   AdaptiveSizingParams adaptive;
   /// Shared seed (public coins).
   uint64_t seed = 0;

@@ -117,10 +117,13 @@ bool SyncDataset::RowIndex::SetRow(uint64_t key, uint32_t row) {
 
 Result<SyncDataset> SyncDataset::Create(const PointStore& initial,
                                         const EmdProtocolParams& params) {
-  if (params.adaptive.enabled) {
+  if (params.adaptive.enabled &&
+      params.adaptive.rounding != CellRounding::kDivisorLadder) {
     return Status::InvalidArgument(
-        "maintained sketch sets are statically sized; adaptive negotiation "
-        "re-sizes tables per exchange (run the one-shot protocol instead)");
+        "maintained sketch sets serve adaptive exchanges by folding the "
+        "cap-size tables down, which requires "
+        "adaptive.rounding == CellRounding::kDivisorLadder (exact sizes are "
+        "not divisors of the cap; use the one-shot protocol for those)");
   }
   if (params.d2 <= 0) {
     return Status::InvalidArgument(

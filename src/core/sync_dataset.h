@@ -49,10 +49,14 @@ class SyncDataset {
   ///     which churn changes — the maintained tables would stop matching the
   ///     derivation. An explicit d2 makes every derived quantity
   ///     n-independent.
-  ///   - !params.adaptive.enabled: adaptive negotiation sizes tables per
-  ///     exchange; maintained tables are statically sized at derived.cells.
-  ///     (Estimators ARE maintained — shaped by params.adaptive — so a
-  ///     future adaptive-serving path has its inputs ready.)
+  ///   - params.adaptive, when enabled, must use
+  ///     CellRounding::kDivisorLadder: the maintained tables are statically
+  ///     sized at derived.cells (the cap), and adaptive exchanges are served
+  ///     by FOLDING them down to the negotiated rung
+  ///     (RunEmdProtocolPrebuilt -> FoldEmdSketches) — only ladder rungs are
+  ///     foldable. kExact rounding is rejected. (Estimators are maintained
+  ///     regardless — shaped by params.adaptive — and feed the negotiation
+  ///     round without any O(n) rebuild.)
   /// The initial build is exactly BuildEmdSketches (same hashes, same build
   /// order); everything afterwards is incremental.
   static Result<SyncDataset> Create(const PointStore& initial,

@@ -18,13 +18,21 @@
 //     cannot tear its view — the generation stamps exactly which state the
 //     session serves. Snapshot reads are const and scratch-free
 //     (serialization + protocol runs decode RECEIVED copies, never the
-//     snapshot's own tables), so any number of sessions share one snapshot
-//     across threads without locks. The mutate-while-sync interleaving is
-//     gated under TSan in CI (SyncServerTest.ConcurrentChurnAndSync).
+//     snapshot's own tables; adaptive negotiation's EstimateDiff is
+//     reentrant via thread_local peel scratch), so any number of sessions
+//     share one snapshot across threads without locks — each session keeps
+//     its own fold scratch. The mutate-while-sync interleaving is gated
+//     under TSan in CI (SyncServerTest.ConcurrentChurnAndSync and
+//     SyncServerAdaptiveTest.ConcurrentAdaptiveSessions).
 //
 // Per-sync cost: the dataset absorbed the hashing at mutation time, so a
 // warm session's server-side work is O(1) serialization of maintained cells
-// (BM_SessionSyncWarm vs BM_SessionSyncRebuild in bench_micro).
+// (BM_SessionSyncWarm vs BM_SessionSyncRebuild in bench_micro). With
+// adaptive params (divisor-ladder rounding), a session instead negotiates
+// per-level sizes off the snapshot's estimators and FOLDS the cap-size
+// tables down to the negotiated rungs (Riblt::FoldInto) — O(levels * cap)
+// cell additions per sync, still independent of n, shipping the adaptive
+// path's smaller sketches from maintained state.
 #ifndef RSR_CORE_SYNC_SERVER_H_
 #define RSR_CORE_SYNC_SERVER_H_
 
@@ -45,9 +53,10 @@ struct SyncSnapshot {
   uint64_t generation = 0;
   /// Build-time protocol parameters (what RunEmdProtocolPrebuilt consumes).
   EmdProtocolParams params;
-  /// Deep copy of the maintained tables (estimators are NOT copied: their
-  /// diff estimation uses per-instance scratch and belongs on the live
-  /// dataset, not on lock-free snapshots).
+  /// Deep copy of the maintained tables AND per-level estimators.
+  /// StrataEstimator::EstimateDiff is const and reentrant (the IBLT peel
+  /// scratch is thread_local), so snapshot estimators serve concurrent
+  /// adaptive negotiations without locks.
   EmdSketchSet sketches;
 
   /// Serializes the level tables exactly as the protocol's "A->B level
@@ -58,7 +67,9 @@ struct SyncSnapshot {
 };
 
 /// One client exchange pinned to one snapshot. Copyable (shares the
-/// snapshot); cheap to create per request.
+/// snapshot); cheap to create per request. Owns the fold scratch for
+/// adaptive serving, so a session is single-threaded state — share the
+/// SNAPSHOT across threads, not the session.
 class SyncSession {
  public:
   explicit SyncSession(std::shared_ptr<const SyncSnapshot> snapshot)
@@ -70,16 +81,22 @@ class SyncSession {
   /// Runs the full EMD exchange against `client` (Bob's side) from the
   /// pinned sketch set. Requires |client| == snapshot size. Transcript and
   /// report are byte-identical to RunEmdProtocol over (server rows, client).
-  /// The snapshot side is safe to share across threads; `client` is the
-  /// caller's store and must not be shared between concurrent Run calls —
-  /// evaluation lazily builds its cached double plane (mutable, unsynced).
-  Result<EmdProtocolReport> Run(const PointStore& client) const {
+  /// With adaptive params (CellRounding::kDivisorLadder), the negotiation
+  /// runs off the snapshot's estimators and the negotiated tables are folded
+  /// from the snapshot's cap-size tables into this session's pooled scratch —
+  /// O(levels * cap) per sync regardless of n, and allocation-free once the
+  /// scratch shapes are warm. The snapshot side stays shared and read-only;
+  /// `client` is the caller's store and must not be shared between
+  /// concurrent Run calls — evaluation lazily builds its cached double plane
+  /// (mutable, unsynced).
+  Result<EmdProtocolReport> Run(const PointStore& client) {
     return RunEmdProtocolPrebuilt(snapshot_->sketches, client,
-                                  snapshot_->params);
+                                  snapshot_->params, &scratch_);
   }
 
  private:
   std::shared_ptr<const SyncSnapshot> snapshot_;
+  EmdServeScratch scratch_;
 };
 
 /// Thread-safe owner: serialized mutations, shared snapshots.

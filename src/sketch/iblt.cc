@@ -194,6 +194,72 @@ Status Iblt::SubtractInPlace(const Iblt& other) {
   return Status::OK();
 }
 
+Status Iblt::FoldInto(Iblt* dst) const {
+  if (dst->params_.num_hashes != params_.num_hashes ||
+      dst->params_.value_size != params_.value_size ||
+      dst->params_.checksum_bytes != params_.checksum_bytes ||
+      dst->params_.seed != params_.seed) {
+    return Status::InvalidArgument("IBLT parameter mismatch in FoldInto");
+  }
+  const size_t src_sub = cells_per_subtable_;
+  const size_t dst_sub = dst->cells_per_subtable_;
+  if (dst_sub == 0 || src_sub % dst_sub != 0) {
+    return Status::InvalidArgument(
+        "FoldInto target cells-per-subtable must divide the source's");
+  }
+  const size_t q = static_cast<size_t>(params_.num_hashes);
+  const size_t value_size = params_.value_size;
+  const size_t blocks = src_sub / dst_sub;
+  // Source subtable block r covers cells [r*dst_sub, (r+1)*dst_sub); cell
+  // r*dst_sub + i folds onto dst cell i. Counts add; key/checksum/value
+  // words XOR — both order-insensitive, so the result equals a cold build at
+  // dst's size (the index polynomials depend on the seed only). No
+  // allocation.
+  for (size_t j = 0; j < q; ++j) {
+    const size_t src_base = j * src_sub;
+    const size_t dst_base = j * dst_sub;
+    for (size_t r = 0; r < blocks; ++r) {
+      const size_t src_off = src_base + r * dst_sub;
+      const int64_t* const sc = Counts() + src_off;
+      const uint64_t* const sk = KeyXors() + src_off;
+      const uint64_t* const ss = ChecksumXors() + src_off;
+      int64_t* const dc = dst->Counts() + dst_base;
+      uint64_t* const dk = dst->KeyXors() + dst_base;
+      uint64_t* const dsum = dst->ChecksumXors() + dst_base;
+      if (r == 0) {
+        for (size_t i = 0; i < dst_sub; ++i) dc[i] = sc[i];
+        for (size_t i = 0; i < dst_sub; ++i) dk[i] = sk[i];
+        for (size_t i = 0; i < dst_sub; ++i) dsum[i] = ss[i];
+      } else {
+        for (size_t i = 0; i < dst_sub; ++i) dc[i] += sc[i];
+        for (size_t i = 0; i < dst_sub; ++i) dk[i] ^= sk[i];
+        for (size_t i = 0; i < dst_sub; ++i) dsum[i] ^= ss[i];
+      }
+      if (value_size > 0) {
+        const uint8_t* const sv = ValueXors() + src_off * value_size;
+        uint8_t* const dv = dst->ValueXors() + dst_base * value_size;
+        if (r == 0) {
+          for (size_t i = 0; i < dst_sub * value_size; ++i) dv[i] = sv[i];
+        } else {
+          for (size_t i = 0; i < dst_sub * value_size; ++i) dv[i] ^= sv[i];
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Iblt> Iblt::FoldTo(size_t num_cells) const {
+  if (num_cells == 0) {
+    return Status::InvalidArgument("FoldTo requires num_cells > 0");
+  }
+  IbltParams target = params_;
+  target.num_cells = num_cells;
+  Iblt dst(target);
+  RSR_RETURN_NOT_OK(FoldInto(&dst));
+  return dst;
+}
+
 IbltDecodeResult Iblt::Decode() const {
   IbltDecodeResult result;
   PeelInto(nullptr, &result);
@@ -212,8 +278,21 @@ void Iblt::PeelInto(const Iblt* subtrahend, IbltDecodeResult* result) const {
   const size_t value_size = params_.value_size;
   const uint64_t salt = checksum_salt_;
 
-  // Work on a pooled copy of the cell arena; after the first call this is a
-  // memcpy into existing capacity, not an allocation.
+  // Reusable peel buffers, pooled PER THREAD rather than per instance: this
+  // is what makes Decode/DecodeDiff reentrant — concurrent sessions call
+  // StrataEstimator::EstimateDiff against one shared snapshot's estimators,
+  // each thread peeling on its own pool — while warm repeat decodes on a
+  // thread still allocate nothing (capacity persists across calls).
+  struct DecodeScratch {
+    std::vector<uint64_t> arena;
+    std::vector<uint32_t> queue;  // FIFO via head index
+    std::vector<uint8_t> queued;
+    std::vector<uint8_t> pure;  // cached purity flags, updated incrementally
+  };
+  static thread_local DecodeScratch scratch_;
+
+  // Work on a pooled copy of the cell arena; with warm (same or larger
+  // capacity) scratch this is a memcpy into existing storage.
   scratch_.arena.assign(arena_.begin(), arena_.end());
   int64_t* counts = reinterpret_cast<int64_t*>(scratch_.arena.data());
   uint64_t* keys = scratch_.arena.data() + total;

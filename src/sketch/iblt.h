@@ -14,8 +14,11 @@
 //     values are raw byte spans.
 //   - Decode peels in place on a reusable scratch pool (no per-call copy of
 //     the Iblt object) with per-cell purity flags maintained incrementally.
-//     The scratch pool makes Decode non-reentrant: do not decode the same
-//     table concurrently from multiple threads.
+//     The pool is thread_local, so Decode/DecodeDiff are const AND reentrant:
+//     any number of threads may decode the same table (or disjoint tables)
+//     concurrently, and warm repeat decodes on one thread still allocate
+//     nothing. StrataEstimator::EstimateDiff inherits this — concurrent
+//     sessions negotiate against one shared snapshot's estimators.
 //
 // NOTE (multiset semantics): two XOR-inserts of the same key self-cancel.
 // Callers reconciling multisets must salt keys with a canonical occurrence
@@ -79,9 +82,9 @@ class Iblt {
   explicit Iblt(const IbltParams& params);
 
   /// Copies transfer the cell arena and hash configuration but NOT the
-  /// pooled decode/shard scratch (snapshot copies are made to be read or
-  /// subtracted, and scratch regrows lazily on first use). Moves keep
-  /// everything.
+  /// pooled shard scratch (snapshot copies are made to be read or
+  /// subtracted, and scratch regrows lazily on first use; decode scratch is
+  /// thread_local and never part of the instance). Moves keep everything.
   Iblt(const Iblt& other)
       : params_(other.params_),
         num_cells_(other.num_cells_),
@@ -155,6 +158,19 @@ class Iblt {
   /// Requires identical parameters and seed.
   Status SubtractInPlace(const Iblt& other);
 
+  /// Fold-down projection (XOR analogue of Riblt::FoldInto): overwrites
+  /// `dst` (same num_hashes/value_size/checksum_bytes/seed) with this table
+  /// folded to dst's size — within each subtable, source cell i adds its
+  /// count into (and XORs its key/checksum/value words into) dst cell
+  /// i mod m', where dst's cells-per-subtable m' must divide ours. The cell
+  /// index polynomials depend on the seed only, so the folded table is
+  /// byte-identical to a cold build at dst's size. O(num_cells), no
+  /// rehashing, no allocation.
+  Status FoldInto(Iblt* dst) const;
+  /// Convenience: folds into a fresh table of `num_cells` cells (rounded up
+  /// to a multiple of num_hashes, like the constructor).
+  Result<Iblt> FoldTo(size_t num_cells) const;
+
   /// Peels the table (on a pooled scratch copy of the cell arena; the sketch
   /// itself stays intact). Returns entries with net counts +-1; the result is
   /// complete iff the residual table is empty. An incomplete decode still
@@ -222,14 +238,10 @@ class Iblt {
   /// by ceil(num_cells_*value_size/8) words of value bytes.
   std::vector<uint64_t> arena_;
 
-  /// Reusable peel buffers; sized on first Decode, then allocation-free.
-  struct DecodeScratch {
-    std::vector<uint64_t> arena;
-    std::vector<uint32_t> queue;  // FIFO via head index
-    std::vector<uint8_t> queued;
-    std::vector<uint8_t> pure;  // cached purity flags, updated incrementally
-  };
-  mutable DecodeScratch scratch_;
+  // Peel scratch is thread_local inside PeelInto (iblt.cc), NOT an instance
+  // member: decode must be reentrant across threads sharing one table
+  // (snapshot estimators), and per-thread pooling still keeps warm decodes
+  // allocation-free.
 
   /// Pooled buffers for UpdateManySharded (see Riblt::ShardScratch).
   struct ShardScratch {

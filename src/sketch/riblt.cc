@@ -311,6 +311,68 @@ Status Riblt::AddScaled(const Riblt& other, int64_t factor) {
   return Status::OK();
 }
 
+Status Riblt::FoldInto(Riblt* dst) const {
+  if (dst->params_.num_hashes != params_.num_hashes ||
+      dst->params_.dim != params_.dim ||
+      dst->params_.delta != params_.delta ||
+      dst->params_.seed != params_.seed) {
+    return Status::InvalidArgument("RIBLT parameter mismatch in FoldInto");
+  }
+  const size_t src_sub = cells_per_subtable_;
+  const size_t dst_sub = dst->cells_per_subtable_;
+  if (dst_sub == 0 || src_sub % dst_sub != 0) {
+    return Status::InvalidArgument(
+        "FoldInto target cells-per-subtable must divide the source's");
+  }
+  const size_t q = static_cast<size_t>(params_.num_hashes);
+  const size_t dim = params_.dim;
+  const size_t blocks = src_sub / dst_sub;
+  // Overwrite-then-accumulate, subtable by subtable. Block r of the source
+  // subtable covers cells [r*dst_sub, (r+1)*dst_sub); cell r*dst_sub + i
+  // lands on dst cell i (== (r*dst_sub + i) mod dst_sub), so each block adds
+  // slab-contiguously — no modulo in the loop. Sums are associative and
+  // commutative (int64 adds, wrapping 128-bit adds), so the fold equals a
+  // cold build at dst's size regardless of update order. No allocation.
+  for (size_t j = 0; j < q; ++j) {
+    const size_t src_base = j * src_sub;
+    const size_t dst_base = j * dst_sub;
+    for (size_t r = 0; r < blocks; ++r) {
+      const size_t src_off = src_base + r * dst_sub;
+      const int64_t* const sc = counts_.data() + src_off;
+      const U128* const sk = key_sums_.data() + src_off;
+      const U128* const ss = checksum_sums_.data() + src_off;
+      const int64_t* const sv = value_sums_.data() + src_off * dim;
+      int64_t* const dc = dst->counts_.data() + dst_base;
+      U128* const dk = dst->key_sums_.data() + dst_base;
+      U128* const dsum = dst->checksum_sums_.data() + dst_base;
+      int64_t* const dv = dst->value_sums_.data() + dst_base * dim;
+      if (r == 0) {
+        for (size_t i = 0; i < dst_sub; ++i) dc[i] = sc[i];
+        for (size_t i = 0; i < dst_sub; ++i) dk[i] = sk[i];
+        for (size_t i = 0; i < dst_sub; ++i) dsum[i] = ss[i];
+        for (size_t i = 0; i < dst_sub * dim; ++i) dv[i] = sv[i];
+      } else {
+        for (size_t i = 0; i < dst_sub; ++i) dc[i] += sc[i];
+        for (size_t i = 0; i < dst_sub; ++i) dk[i] += sk[i];
+        for (size_t i = 0; i < dst_sub; ++i) dsum[i] += ss[i];
+        for (size_t i = 0; i < dst_sub * dim; ++i) dv[i] += sv[i];
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Riblt> Riblt::FoldTo(size_t num_cells) const {
+  if (num_cells == 0) {
+    return Status::InvalidArgument("FoldTo requires num_cells > 0");
+  }
+  RibltParams target = params_;
+  target.num_cells = num_cells;
+  Riblt dst(target);
+  RSR_RETURN_NOT_OK(FoldInto(&dst));
+  return dst;
+}
+
 Status Riblt::DecodeInto(size_t max_pairs, size_t max_per_side, Rng* rng,
                          RibltDecodeResult* out) const {
   const size_t total = counts_.size();

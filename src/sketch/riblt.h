@@ -179,6 +179,25 @@ class Riblt {
   /// sum_j T_j - s * T_i, where universal elements cancel exactly.
   Status AddScaled(const Riblt& other, int64_t factor);
 
+  /// Fold-down projection: overwrites `dst` (same num_hashes/dim/delta/seed,
+  /// smaller or equal table) with this table folded to dst's size — within
+  /// each subtable, source cell i accumulates into dst cell i mod m', where
+  /// m' is dst's cells-per-subtable and must DIVIDE ours. Because a key's
+  /// cell index in subtable j is j*m + (h_j(key) mod m) with the polynomials
+  /// h_j drawn from the seed alone (independent of num_cells), and
+  /// (h mod m) mod m' == h mod m' whenever m' | m, the folded table is
+  /// cell-for-cell — and therefore WriteTo byte-for-byte — identical to a
+  /// cold build of every (key, value) update at dst's size. O(num_cells)
+  /// cell adds, zero rehashing, zero allocation: the warm adaptive serving
+  /// path projects a maintained cap-size table to the negotiated size per
+  /// session this way. Folding into an equal-size dst is a plain copy of the
+  /// cells.
+  Status FoldInto(Riblt* dst) const;
+  /// Convenience: folds into a fresh table of `num_cells` cells (rounded up
+  /// to a multiple of num_hashes, like the constructor; the rounded
+  /// per-subtable size must divide ours).
+  Result<Riblt> FoldTo(size_t num_cells) const;
+
   /// FIFO peeling (on a pooled scratch copy; the sketch stays intact). Caps:
   /// decode fails (returns DecodeFailure) if more than max_pairs total or
   /// max_per_side pairs for either side are extracted, or if the table does

@@ -55,6 +55,11 @@ class StrataEstimator {
   void DeleteMany(std::span<const uint64_t> keys);
 
   /// Estimated symmetric-difference size versus `other` (same parameters).
+  /// Reentrant and thread-safe: the per-stratum peel runs on thread_local
+  /// scratch (Iblt::DecodeDiff), so any number of threads may estimate
+  /// against one shared estimator concurrently — the warm adaptive serving
+  /// path negotiates every session against the snapshot's estimators this
+  /// way.
   Result<uint64_t> EstimateDiff(const StrataEstimator& other) const;
 
   const StrataParams& params() const { return params_; }

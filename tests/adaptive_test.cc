@@ -46,10 +46,56 @@ TEST(AdaptiveNegotiateTest, EstimatorErrorFallsBackToCap) {
       BuildLevelEstimators(keys, 1, keys.size(), params, /*seed=*/1, 1);
   std::vector<StrataEstimator> remote =
       BuildLevelEstimators(keys, 1, keys.size(), params, /*seed=*/2, 1);
-  std::vector<size_t> cells =
-      NegotiateLevelCells(local, remote, 36.0, 64, 9216, 1);
+  std::vector<size_t> cells = NegotiateLevelCells(
+      local, remote, 36.0, 64, 9216, CellRounding::kExact, 3, 1);
   ASSERT_EQ(cells.size(), 1u);
   EXPECT_EQ(cells[0], 9216u);
+}
+
+TEST(RoundUpToLadderTest, FloorBelowSmallestRungLandsOnOneSubtableCell) {
+  // cap 192 cells at q = 3 -> 64 cells per subtable; the smallest rung is
+  // one cell per subtable = q cells.
+  EXPECT_EQ(RoundUpToLadder(1, 192, 3), 3u);
+  EXPECT_EQ(RoundUpToLadder(3, 192, 3), 3u);
+  EXPECT_EQ(RoundUpToLadder(4, 192, 3), 6u);  // ceil(4/3) = 2 divides 64
+}
+
+TEST(RoundUpToLadderTest, ExactRungsAndInBetweenValues) {
+  // Divisors of 64: rungs at 3, 6, 12, 24, 48, 96, and the 192 cap.
+  EXPECT_EQ(RoundUpToLadder(96, 192, 3), 96u);
+  EXPECT_EQ(RoundUpToLadder(97, 192, 3), 192u);  // ceil(97/3)=33 -> cap_sub
+  EXPECT_EQ(RoundUpToLadder(50, 192, 3), 96u);   // ceil(50/3)=17 -> d=32
+}
+
+TEST(RoundUpToLadderTest, EstimateAtOrAboveCapClampsToCap) {
+  EXPECT_EQ(RoundUpToLadder(192, 192, 3), 192u);
+  EXPECT_EQ(RoundUpToLadder(10'000'000, 192, 3), 192u);
+}
+
+TEST(RoundUpToLadderTest, CapNotMultipleOfSubtablesUsesCapItselfAsTopRung) {
+  // cap 100 at q = 3 -> cap_sub = 34 (divisors 1, 2, 17, 34). Rounding to
+  // the top rung must return 100 — NOT 34*3 = 102, which ReadNegotiatedCells
+  // would reject as beyond the cap. (Constructing a table at 100 cells
+  // rounds to 102 internally on both sides; only the wire value is capped.)
+  EXPECT_EQ(RoundUpToLadder(90, 100, 3), 100u);  // ceil(90/3)=30 -> 34 = cap_sub
+  EXPECT_EQ(RoundUpToLadder(10, 100, 3), 51u);   // ceil(10/3)=4 -> d=17
+  EXPECT_EQ(RoundUpToLadder(5, 100, 3), 6u);     // ceil(5/3)=2 -> d=2
+  // Tiny cap below q: the only rung is the cap.
+  EXPECT_EQ(RoundUpToLadder(1, 2, 3), 2u);
+}
+
+TEST(RoundUpToLadderTest, EveryRungIsFoldableFromTheCap) {
+  // The ladder's whole point: constructing a table at the rung equals
+  // folding the cap-size table down. Check divisibility across the range.
+  const size_t cap = 4 * 3 * 3 * 8;  // c q^2 k with q=3, k=8 -> 288
+  const size_t cap_sub = (cap + 2) / 3;
+  for (size_t cells = 1; cells <= cap; ++cells) {
+    const size_t rung = RoundUpToLadder(cells, cap, 3);
+    ASSERT_GE(rung, cells);
+    ASSERT_LE(rung, cap);
+    const size_t rung_sub = (rung + 2) / 3;
+    ASSERT_EQ(cap_sub % rung_sub, 0u) << "cells = " << cells;
+  }
 }
 
 TEST(AdaptiveNegotiateTest, LargeDifferenceClampsToCap) {
@@ -65,7 +111,8 @@ TEST(AdaptiveNegotiateTest, LargeDifferenceClampsToCap) {
   std::vector<StrataEstimator> remote =
       BuildLevelEstimators(bob_keys, 1, 2000, params, 3, 1);
   std::vector<size_t> cells =
-      NegotiateLevelCells(local, remote, 36.0, 64, 1152, 1);
+      NegotiateLevelCells(local, remote, 36.0, 64, 1152, CellRounding::kExact,
+                          3, 1);
   ASSERT_EQ(cells.size(), 1u);
   EXPECT_EQ(cells[0], 1152u);  // 36 * ~4000 >> cap
 }
@@ -87,7 +134,8 @@ TEST(AdaptiveNegotiateTest, DeterministicAcrossThreadCounts) {
     std::vector<StrataEstimator> remote =
         BuildLevelEstimators(bob_keys, levels, n, params, 5, threads);
     std::vector<size_t> cells =
-        NegotiateLevelCells(local, remote, 36.0, 64, 4608, threads);
+        NegotiateLevelCells(local, remote, 36.0, 64, 4608,
+                            CellRounding::kExact, 3, threads);
     if (reference.empty()) {
       reference = cells;
     } else {
@@ -227,6 +275,76 @@ TEST(EmdAdaptiveTest, SmallDiffSendsFewerBytesAndStillReconciles) {
   EXPECT_LT(*std::min_element(adaptive->level_cells.begin(),
                               adaptive->level_cells.end()),
             adaptive->derived.cells / 2);
+}
+
+TEST(EmdAdaptiveTest, LadderRoundingLandsOnRungsAndStillReconciles) {
+  auto workload = SmallDiffWorkload(256, 1, 504);
+  ASSERT_TRUE(workload.ok());
+  EmdProtocolParams params = AdaptiveEmdParams(3, 1023, 32, 75);
+  params.d1 = 8;
+  params.d2 = 512;
+  params.adaptive.enabled = true;
+  auto exact = RunEmdProtocol(workload->alice, workload->bob, params);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_FALSE(exact->failure);
+
+  params.adaptive.rounding = CellRounding::kDivisorLadder;
+  auto ladder = RunEmdProtocol(workload->alice, workload->bob, params);
+  ASSERT_TRUE(ladder.ok());
+  ASSERT_FALSE(ladder->failure);
+  EXPECT_EQ(ladder->comm.rounds(), 2);
+  EXPECT_EQ(ladder->s_b_prime.size(), workload->alice.size());
+
+  // Every negotiated size is on the cap's divisor ladder (a fixed point of
+  // RoundUpToLadder) and dominates the exact-mode size for its level —
+  // rounding only ever rounds UP, never below the estimate.
+  const size_t cap = ladder->derived.cells;
+  ASSERT_EQ(ladder->level_cells.size(), exact->level_cells.size());
+  for (size_t l = 0; l < ladder->level_cells.size(); ++l) {
+    const size_t cells = ladder->level_cells[l];
+    EXPECT_EQ(cells, RoundUpToLadder(cells, cap, params.num_hashes));
+    EXPECT_GE(cells, exact->level_cells[l]);
+    EXPECT_LE(cells, cap);
+  }
+  // The ladder is dense enough that a small difference still shrinks levels
+  // far below the cap.
+  EXPECT_LT(*std::min_element(ladder->level_cells.begin(),
+                              ladder->level_cells.end()),
+            cap / 2);
+}
+
+TEST(EmdAdaptiveTest, PrebuiltAdaptiveRequiresLadderAndEstimators) {
+  auto workload = SmallDiffWorkload(128, 1, 505);
+  ASSERT_TRUE(workload.ok());
+  EmdProtocolParams params = AdaptiveEmdParams(3, 1023, 16, 76);
+  params.d1 = 8;
+  params.d2 = 512;
+  params.adaptive.enabled = true;
+
+  // Exact rounding cannot be served from a prebuilt cap-size set.
+  auto set_exact = BuildEmdSketches(workload->alice, params,
+                                    /*build_estimators=*/true);
+  ASSERT_TRUE(set_exact.ok());
+  EXPECT_FALSE(RunEmdProtocolPrebuilt(*set_exact, workload->bob, params).ok());
+
+  // Ladder rounding without estimators cannot negotiate.
+  params.adaptive.rounding = CellRounding::kDivisorLadder;
+  auto set_blind = BuildEmdSketches(workload->alice, params,
+                                    /*build_estimators=*/false);
+  ASSERT_TRUE(set_blind.ok());
+  EXPECT_FALSE(RunEmdProtocolPrebuilt(*set_blind, workload->bob, params).ok());
+
+  // Ladder + estimators: byte-identical to the cold adaptive protocol.
+  auto set = BuildEmdSketches(workload->alice, params,
+                              /*build_estimators=*/true);
+  ASSERT_TRUE(set.ok());
+  auto warm = RunEmdProtocolPrebuilt(*set, workload->bob, params);
+  auto cold = RunEmdProtocol(workload->alice, workload->bob, params);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(warm->level_cells, cold->level_cells);
+  EXPECT_EQ(warm->comm.total_bits(), cold->comm.total_bits());
+  EXPECT_EQ(warm->s_b_prime, cold->s_b_prime);
 }
 
 TEST(EmdAdaptiveTest, TranscriptDeterministicAcrossThreadCounts) {

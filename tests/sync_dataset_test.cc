@@ -138,9 +138,14 @@ TEST(SyncDatasetTest, CreateRejectsUnsupportedConfigs) {
   no_d2.d2 = 0;
   EXPECT_FALSE(SyncDataset::Create(pool, no_d2).ok());
 
+  // Adaptive is accepted only with divisor-ladder rounding (the maintained
+  // cap tables serve adaptive exchanges by folding, which needs ladder
+  // rungs); exact rounding is rejected.
   EmdProtocolParams adaptive = params;
   adaptive.adaptive.enabled = true;
   EXPECT_FALSE(SyncDataset::Create(pool, adaptive).ok());
+  adaptive.adaptive.rounding = CellRounding::kDivisorLadder;
+  EXPECT_TRUE(SyncDataset::Create(pool, adaptive).ok());
 
   EXPECT_FALSE(SyncDataset::Create(PointStore(3), params).ok());
 

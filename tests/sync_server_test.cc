@@ -205,5 +205,143 @@ TEST(SyncServerTest, ConcurrentChurnAndSync) {
   EXPECT_EQ(server.generation(), 60u);
 }
 
+// ---- Adaptive warm serving (fold-down projection) ---------------------------
+
+EmdProtocolParams AdaptiveServerParams(uint64_t seed = 31) {
+  EmdProtocolParams params = ServerParams(seed);
+  params.adaptive.enabled = true;
+  params.adaptive.rounding = CellRounding::kDivisorLadder;
+  return params;
+}
+
+TEST(SyncServerAdaptiveTest, SessionMatchesOneShotAdaptiveProtocol) {
+  // The tentpole identity: a warm adaptive session — negotiation off
+  // maintained estimators, tables FOLDED from the maintained cap — must be
+  // transcript byte-identical to the cold adaptive one-shot protocol under
+  // the same ladder rounding.
+  EmdProtocolParams params = AdaptiveServerParams();
+  PointStore pool = DistinctPool(80, 21);
+  PointStore alice(3), bob(3);
+  // 1 row differs per side: estimate 2 * 36 cells/diff = 72 cells, a proper
+  // rung below the 144-cell cap (diff 2 per side would land exactly ON it).
+  for (size_t i = 0; i < 64; ++i) alice.Append(pool[i]);
+  for (size_t i = 1; i < 65; ++i) bob.Append(pool[i]);
+
+  auto ds = SyncDataset::Create(alice, params);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  SyncServer server(std::move(*ds));
+  SyncSession session = server.OpenSession();
+  auto served = session.Run(bob);
+  auto one_shot = RunEmdProtocol(alice, bob, params);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  ASSERT_TRUE(one_shot.ok());
+
+  EXPECT_EQ(served->failure, one_shot->failure);
+  EXPECT_EQ(served->decoded_level, one_shot->decoded_level);
+  EXPECT_EQ(served->s_b_prime, one_shot->s_b_prime);
+  EXPECT_EQ(served->level_cells, one_shot->level_cells);
+  EXPECT_EQ(served->comm.total_bits(), one_shot->comm.total_bits());
+  EXPECT_EQ(served->comm.rounds(), one_shot->comm.rounds());
+
+  // The negotiation actually shrank something: a 2-row difference must not
+  // provision the static cap at every level.
+  const size_t cap = served->derived.cells;
+  bool any_below_cap = false;
+  for (size_t cells : served->level_cells) {
+    EXPECT_LE(cells, cap);
+    if (cells < cap) any_below_cap = true;
+  }
+  EXPECT_TRUE(any_below_cap);
+
+  // Re-serving from the same session reuses the pooled fold scratch and
+  // stays deterministic.
+  auto again = session.Run(bob);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->comm.total_bits(), served->comm.total_bits());
+  EXPECT_EQ(again->s_b_prime, served->s_b_prime);
+}
+
+TEST(SyncServerAdaptiveTest, AdaptiveSessionShipsFewerBytesThanStatic) {
+  // At a realistic k the negotiated rungs undercut the static cap by far
+  // more than the estimator round costs.
+  EmdProtocolParams params = AdaptiveServerParams(33);
+  params.k = 32;
+  PointStore pool = DistinctPool(140, 22);
+  PointStore alice(3), bob(3);
+  for (size_t i = 0; i < 128; ++i) alice.Append(pool[i]);
+  for (size_t i = 2; i < 130; ++i) bob.Append(pool[i]);
+
+  EmdProtocolParams static_params = params;
+  static_params.adaptive.enabled = false;
+
+  auto adaptive_ds = SyncDataset::Create(alice, params);
+  auto static_ds = SyncDataset::Create(alice, static_params);
+  ASSERT_TRUE(adaptive_ds.ok());
+  ASSERT_TRUE(static_ds.ok());
+  SyncServer adaptive_server(std::move(*adaptive_ds));
+  SyncServer static_server(std::move(*static_ds));
+
+  auto adaptive_report = adaptive_server.OpenSession().Run(bob);
+  auto static_report = static_server.OpenSession().Run(bob);
+  ASSERT_TRUE(adaptive_report.ok()) << adaptive_report.status().ToString();
+  ASSERT_TRUE(static_report.ok());
+  EXPECT_FALSE(adaptive_report->failure);
+  EXPECT_LT(adaptive_report->comm.total_bits(),
+            static_report->comm.total_bits());
+}
+
+TEST(SyncServerAdaptiveTest, ConcurrentAdaptiveSessions) {
+  // The adaptive analogue of ConcurrentChurnAndSync — and the reason
+  // StrataEstimator::EstimateDiff had to become reentrant: concurrent
+  // sessions negotiate against ONE shared snapshot's estimators while a
+  // writer churns the live dataset. Each reader owns its session (the fold
+  // scratch is per-session state); the snapshot underneath is shared.
+  EmdProtocolParams params = AdaptiveServerParams(35);
+  params.k = 8;
+  PointStore pool = DistinctPool(260, 23);
+  PointStore initial(3), client(3);
+  for (size_t i = 0; i < 128; ++i) initial.Append(pool[i]);
+  for (size_t i = 0; i < 128; ++i) client.Append(pool[i]);
+
+  auto ds = SyncDataset::Create(initial, params);
+  ASSERT_TRUE(ds.ok());
+  SyncServer server(std::move(*ds));
+
+  std::atomic<bool> writer_ok{true};
+  std::thread writer([&] {
+    for (size_t r = 0; r < 60; ++r) {
+      PointStore ins(3);
+      ins.Append(pool[128 + r]);
+      std::vector<uint64_t> dels = {server.KeyOf(pool[r])};
+      if (!server.ApplyBatch(ins, dels).ok()) writer_ok = false;
+    }
+  });
+
+  std::atomic<bool> readers_ok{true};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      PointStore my_client(3);
+      my_client.AppendStore(client);
+      // One long-lived session per reader: repeated Runs exercise the warm
+      // fold-scratch reuse; fresh sessions exercise snapshot sharing.
+      SyncSession pinned = server.OpenSession();
+      for (int r = 0; r < 25; ++r) {
+        auto warm = pinned.Run(my_client);
+        if (!warm.ok()) readers_ok = false;
+        SyncSession fresh = server.OpenSession();
+        auto cold = fresh.Run(my_client);
+        if (!cold.ok()) readers_ok = false;
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_TRUE(writer_ok);
+  EXPECT_TRUE(readers_ok);
+  EXPECT_EQ(server.size(), 128u);
+  EXPECT_EQ(server.generation(), 60u);
+}
+
 }  // namespace
 }  // namespace rsr
