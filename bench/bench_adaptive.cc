@@ -17,9 +17,12 @@
 // itself is exceeded); the estimators clamp to the cap, so adaptive pays
 // only the estimator overhead there.
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "bench_util.h"
 #include "core/emd_protocol.h"
+#include "util/wire.h"
 #include "workload/generators.h"
 
 namespace rsr {
@@ -129,10 +132,112 @@ void Run() {
       "paths converge (adaptive pays only the estimator round).\n");
 }
 
+/// Per-message-type byte breakdown of one adaptive diff-8 exchange under
+/// both wire codecs: estimator round vs the sizes prefix vs the RIBLT cells
+/// themselves, with a classic-vs-compact column (docs/WIRE.md).
+void CodecBreakdown() {
+  bench::Banner(
+      "Wire codec — per-message bytes, classic vs compact",
+      "one adaptive diff-8 exchange (n=4096, k=256); compact packs counts, "
+      "truncates checksums, and drops empty cells behind a bitmap");
+
+  const size_t n = 4096;
+  const size_t diff = 8;
+  NoisyPairConfig config;
+  config.metric = MetricKind::kL2;
+  config.dim = 4;
+  config.delta = 1023;
+  config.n = n;
+  config.outliers = diff / 2;
+  config.noise = 0.0;
+  config.outlier_dist = 60;
+  config.seed = 42008;
+  auto workload = GenerateNoisyPairStore(config);
+  if (!workload.ok()) {
+    std::printf("workload generation failed: %s\n",
+                workload.status().message().c_str());
+    return;
+  }
+
+  auto varint_size = [](size_t v) {
+    size_t bytes = 1;
+    while (v >= 0x80) { v >>= 7; ++bytes; }
+    return bytes;
+  };
+
+  // label -> [classic bytes, compact bytes]; ordered rows for printing.
+  std::map<std::string, size_t> sizes[2];
+  std::vector<std::string> order;
+  bool identical = true;
+  PointSet decoded_classic;
+  for (int which = 0; which < 2; ++which) {
+    EmdProtocolParams params;
+    params.metric = MetricKind::kL2;
+    params.dim = 4;
+    params.delta = 1023;
+    params.k = 256;
+    params.d1 = 32;
+    params.d2 = 8192;
+    params.seed = 42008 * 131;
+    params.adaptive.enabled = true;
+    params.codec = which == 0 ? WireCodec::kClassic : WireCodec::kCompact;
+    auto report = RunEmdProtocol(workload->alice, workload->bob, params);
+    if (!report.ok() || report->failure) {
+      std::printf("%s run failed\n", WireCodecName(params.codec));
+      return;
+    }
+    size_t prefix = 0;
+    for (size_t cells : report->level_cells) prefix += varint_size(cells);
+    for (const MessageRecord& m : report->comm.messages) {
+      size_t body = m.bytes;
+      if (m.label == "A->B level RIBLTs") {
+        // Split the sketch message into its negotiated-sizes prefix and the
+        // cells themselves (the codec header rides the estimator message).
+        sizes[which]["A->B sizes prefix"] += prefix;
+        body -= prefix;
+        if (which == 0) order.push_back("A->B sizes prefix");
+        sizes[which]["A->B RIBLT cells"] += body;
+        if (which == 0) order.push_back("A->B RIBLT cells");
+        continue;
+      }
+      sizes[which][m.label] += body;
+      if (which == 0) order.push_back(m.label);
+    }
+    PointSet repaired = report->s_b_prime;
+    std::sort(repaired.begin(), repaired.end());
+    if (which == 0) {
+      decoded_classic = std::move(repaired);
+    } else {
+      identical = decoded_classic == repaired;
+    }
+  }
+
+  bench::Header("  message                      classic-B    compact-B  saved");
+  size_t totals[2] = {0, 0};
+  for (const std::string& label : order) {
+    size_t c = sizes[0][label];
+    size_t z = sizes[1][label];
+    totals[0] += c;
+    totals[1] += z;
+    std::printf("  %-28s %9zu    %9zu  %4.0f%%\n", label.c_str(), c, z,
+                c > 0 ? 100.0 * (1.0 - static_cast<double>(z) /
+                                           static_cast<double>(c))
+                      : 0.0);
+  }
+  std::printf("  %-28s %9zu    %9zu  %4.0f%%\n", "TOTAL", totals[0], totals[1],
+              totals[0] > 0
+                  ? 100.0 * (1.0 - static_cast<double>(totals[1]) /
+                                       static_cast<double>(totals[0]))
+                  : 0.0);
+  std::printf("\nDecoded repaired sets identical across codecs: %s\n",
+              identical ? "yes" : "NO — INVESTIGATE");
+}
+
 }  // namespace
 }  // namespace rsr
 
 int main() {
   rsr::Run();
+  rsr::CodecBreakdown();
   return 0;
 }

@@ -17,8 +17,11 @@
 // is flat in r and bounded by the O(n * levels) rebuild; maintained is
 // orders of magnitude faster at low churn and degrades only linearly in r,
 // crossing over (if at all) near r ~ n.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -310,6 +313,99 @@ SweepResult MeasureColdAdaptive(const PointStore& pool, size_t diff) {
   return result;
 }
 
+// ---- Wire-codec breakdown on the warm serving path --------------------------
+
+/// One full adaptive-warm exchange (SyncSession::Run) at diff = 16 under
+/// each codec: per-message bytes, classic vs compact, plus a decoded-results
+/// identity check. The client store matches ClientEstimatorMessage's.
+void ServerCodecBreakdown(const PointStore& pool) {
+  bench::Banner(
+      "Wire codec — E-ADAPTIVE-WARM diff=16 per-message bytes",
+      "one warm fold-down exchange per codec; compact packs counts, "
+      "truncates checksums, and ships sparse or mod-2^w cells");
+
+  const size_t diff = 16;
+  PointStore client(kDim);
+  for (size_t i = diff; i < kN; ++i) client.Append(pool[i]);
+  for (size_t i = 0; i < diff; ++i) client.Append(pool[kN + i]);
+
+  auto varint_size = [](size_t v) {
+    size_t bytes = 1;
+    while (v >= 0x80) { v >>= 7; ++bytes; }
+    return bytes;
+  };
+
+  std::map<std::string, size_t> sizes[2];
+  std::vector<std::string> order;
+  bool identical = true;
+  PointSet decoded_classic;
+  for (int which = 0; which < 2; ++which) {
+    EmdProtocolParams params = AdaptiveSweepParams();
+    params.codec = which == 0 ? WireCodec::kClassic : WireCodec::kCompact;
+    PointStore initial(kDim);
+    for (size_t i = 0; i < kN; ++i) initial.Append(pool[i]);
+    auto ds = SyncDataset::Create(initial, params);
+    RSR_CHECK(ds.ok());
+    SyncServer server(std::move(*ds));
+    SyncSession session = server.OpenSession();
+    auto report = session.Run(client);
+    if (!report.ok() || report->failure) {
+      std::printf("%s warm exchange failed\n", WireCodecName(params.codec));
+      return;
+    }
+    size_t prefix = 0;
+    for (size_t cells : report->level_cells) prefix += varint_size(cells);
+    for (const MessageRecord& m : report->comm.messages) {
+      size_t body = m.bytes;
+      if (m.label == "A->B level RIBLTs") {
+        sizes[which]["A->B sizes prefix"] += prefix;
+        body -= prefix;
+        if (which == 0) order.push_back("A->B sizes prefix");
+        sizes[which]["A->B folded RIBLT cells"] += body;
+        if (which == 0) order.push_back("A->B folded RIBLT cells");
+        continue;
+      }
+      sizes[which][m.label] += body;
+      if (which == 0) order.push_back(m.label);
+    }
+    PointSet repaired = report->s_b_prime;
+    std::sort(repaired.begin(), repaired.end());
+    if (which == 0) {
+      decoded_classic = std::move(repaired);
+    } else {
+      identical = decoded_classic == repaired;
+    }
+  }
+
+  bench::Header("  message                      classic-B    compact-B  saved");
+  size_t totals[2] = {0, 0};
+  for (const std::string& label : order) {
+    size_t c = sizes[0][label];
+    size_t z = sizes[1][label];
+    totals[0] += c;
+    totals[1] += z;
+    std::printf("  %-28s %9zu    %9zu  %4.0f%%\n", label.c_str(), c, z,
+                c > 0 ? 100.0 * (1.0 - static_cast<double>(z) /
+                                           static_cast<double>(c))
+                      : 0.0);
+  }
+  std::printf("  %-28s %9zu    %9zu  %4.0f%%\n", "TOTAL", totals[0], totals[1],
+              totals[0] > 0
+                  ? 100.0 * (1.0 - static_cast<double>(totals[1]) /
+                                       static_cast<double>(totals[0]))
+                  : 0.0);
+  std::printf(
+      "\nDecoded repaired sets identical across codecs: %s\n"
+      "\nNote: the warm fold-down tables here are FULL tables over all "
+      "n=%zu rows\n(~8-11 keys/cell at the diff=16 rungs), not difference "
+      "tables, so their\nper-cell field entropy — key sums ~44 bits, "
+      "truncated checksum ~25,\ncoordinate sums ~13/dim — floors what any "
+      "faithful cell encoding can\nship (see docs/WIRE.md). Compact lands at "
+      "that floor; the sparse and\nmod-2^w modes only pay off on the "
+      "lightly-loaded small-diff tables of\nthe bench_adaptive sweep.\n",
+      identical ? "yes" : "NO — INVESTIGATE", kN);
+}
+
 }  // namespace
 }  // namespace rsr
 
@@ -366,5 +462,6 @@ int main() {
       "cold-adaptive = evaluate + estimators + negotiate + build + serialize\n"
       "per sync. Sketch KB excludes the client's estimator upload, which is\n"
       "identical for both adaptive modes.\n");
+  ServerCodecBreakdown(pool);
   return 0;
 }

@@ -56,6 +56,17 @@ echo "==== Release tests, RSR_FORCE_SCALAR=1 (portable kernel leg) ===="
 RSR_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure -j \
   --timeout "${CTEST_TIMEOUT}"
 
+# Third leg, mirroring the scalar pattern for the wire layer: the
+# serialization, fold, and hardening suites re-run with the process-wide
+# default codec flipped to compact (RSR_WIRE_CODEC is read once by
+# DefaultWireCodec()). The default legs above pin kClassic byte identity
+# (golden fixtures, transcript-identity tests); this leg proves every
+# codec-dispatched WriteTo/ReadFrom pair, the fold-then-serialize path, and
+# the corruption hardening hold when kCompact is the negotiated default.
+echo "==== Release tests, RSR_WIRE_CODEC=compact (compact codec leg) ===="
+RSR_WIRE_CODEC=compact ctest --test-dir build --output-on-failure -j \
+  --timeout "${CTEST_TIMEOUT}" -R 'Serial|Fold|Wire|Golden|Corrupt|Sync'
+
 if [[ "${RSR_BENCH:-0}" == "1" && ! -x build/bench_micro ]]; then
   echo "error: RSR_BENCH=1 but build/bench_micro was not produced" >&2
   echo "       (google-benchmark missing or bench build broken)" >&2
@@ -71,6 +82,14 @@ ctest --test-dir build-asan --output-on-failure -j --timeout "${CTEST_TIMEOUT}"
 echo "==== ASan/UBSan tests, RSR_FORCE_SCALAR=1 (portable kernel leg) ===="
 RSR_FORCE_SCALAR=1 ctest --test-dir build-asan --output-on-failure -j \
   --timeout "${CTEST_TIMEOUT}"
+
+# The corrupted-stream sweep (truncate + bit-flip every serialized form) is
+# where ASan/UBSan earn their keep on the wire layer: run it plus the
+# serialization suites under the compact default too, so an over-read in a
+# bit-packed reader cannot hide behind the classic-arm default.
+echo "==== ASan/UBSan tests, RSR_WIRE_CODEC=compact (compact codec leg) ===="
+RSR_WIRE_CODEC=compact ctest --test-dir build-asan --output-on-failure -j \
+  --timeout "${CTEST_TIMEOUT}" -R 'Serial|Fold|Wire|Golden|Corrupt|Sync'
 
 # TSan gates the concurrent mutate-while-sync serving path (snapshots handed
 # out under churn — SyncServerTest.ConcurrentChurnAndSync plus the adaptive

@@ -41,20 +41,23 @@ std::vector<StrataEstimator> BuildLevelEstimators(
 }
 
 void WriteEstimators(const std::vector<StrataEstimator>& estimators,
-                     ByteWriter* w) {
-  for (const StrataEstimator& estimator : estimators) estimator.WriteTo(w);
+                     ByteWriter* w, WireCodec codec) {
+  for (const StrataEstimator& estimator : estimators) {
+    estimator.WriteTo(w, codec);
+  }
 }
 
 Result<std::vector<StrataEstimator>> ReadEstimators(
     ByteReader* r, const AdaptiveSizingParams& params, uint64_t seed,
-    size_t levels) {
+    size_t levels, WireCodec codec) {
   std::vector<StrataEstimator> estimators;
   estimators.reserve(levels);
   for (size_t level = 0; level < levels; ++level) {
     RSR_ASSIGN_OR_RETURN(
         StrataEstimator estimator,
         StrataEstimator::ReadFrom(r, MakeLevelStrataParams(params, seed,
-                                                           level)));
+                                                           level),
+                                  codec));
     estimators.push_back(std::move(estimator));
   }
   return estimators;
@@ -124,7 +127,7 @@ Result<std::vector<size_t>> NegotiateLevelSketchCellsPrebuilt(
     std::span<const uint64_t> receiver_keys, size_t levels, size_t n,
     const AdaptiveSizingParams& params, uint64_t seed, double cells_per_diff,
     size_t cap_cells, int table_hashes, size_t num_threads,
-    Transcript* transcript, const std::string& label) {
+    Transcript* transcript, const std::string& label, WireCodec codec) {
   if (sender_estimators.size() != levels) {
     return Status::InvalidArgument(
         "sender estimator count does not match the level count");
@@ -132,13 +135,19 @@ Result<std::vector<size_t>> NegotiateLevelSketchCellsPrebuilt(
   std::vector<StrataEstimator> receiver_estimators = BuildLevelEstimators(
       receiver_keys, levels, n, params, seed, num_threads);
   ByteWriter estimator_msg;
-  WriteEstimators(receiver_estimators, &estimator_msg);
-  transcript->Send(label, estimator_msg);
+  // A compact exchange announces itself on its first message — here, the
+  // estimator round (the static path writes it on the sketch message).
+  if (codec != WireCodec::kClassic) WriteWireHeader(codec, &estimator_msg);
+  WriteEstimators(receiver_estimators, &estimator_msg, codec);
+  transcript->Send(label, estimator_msg, codec);
 
   ByteReader estimator_reader(estimator_msg.buffer());
+  if (codec != WireCodec::kClassic) {
+    RSR_RETURN_NOT_OK(ExpectWireHeader(codec, &estimator_reader));
+  }
   RSR_ASSIGN_OR_RETURN(
       std::vector<StrataEstimator> received,
-      ReadEstimators(&estimator_reader, params, seed, levels));
+      ReadEstimators(&estimator_reader, params, seed, levels, codec));
   RSR_RETURN_NOT_OK(estimator_reader.FinishAndCheckConsumed());
   return NegotiateLevelCells(sender_estimators, received, cells_per_diff,
                              params.floor_cells, cap_cells, params.rounding,
@@ -150,7 +159,7 @@ Result<std::vector<size_t>> NegotiateLevelSketchCells(
     std::span<const uint64_t> receiver_keys, size_t levels, size_t n,
     const AdaptiveSizingParams& params, uint64_t seed, double cells_per_diff,
     size_t cap_cells, int table_hashes, size_t num_threads,
-    Transcript* transcript, const std::string& label) {
+    Transcript* transcript, const std::string& label, WireCodec codec) {
   // The cold path IS the prebuilt path with freshly built sender estimators:
   // sharing the body is what guarantees warm serving's negotiation round and
   // chosen sizes match the one-shot protocol's byte for byte.
@@ -158,7 +167,8 @@ Result<std::vector<size_t>> NegotiateLevelSketchCells(
       sender_keys, levels, n, params, seed, num_threads);
   return NegotiateLevelSketchCellsPrebuilt(
       sender_estimators, receiver_keys, levels, n, params, seed,
-      cells_per_diff, cap_cells, table_hashes, num_threads, transcript, label);
+      cells_per_diff, cap_cells, table_hashes, num_threads, transcript, label,
+      codec);
 }
 
 Result<size_t> NegotiateSingleSketchCells(std::span<const uint64_t> sender_keys,
@@ -166,18 +176,23 @@ Result<size_t> NegotiateSingleSketchCells(std::span<const uint64_t> sender_keys,
                                           const AdaptiveSizingParams& params,
                                           uint64_t seed, size_t cap_cells,
                                           Transcript* transcript,
-                                          const std::string& label) {
+                                          const std::string& label,
+                                          WireCodec codec) {
   const StrataParams estimator_params = MakeLevelStrataParams(params, seed, 0);
   StrataEstimator receiver_estimator(estimator_params);
   receiver_estimator.InsertMany(receiver_keys);
   ByteWriter estimator_msg;
-  receiver_estimator.WriteTo(&estimator_msg);
-  transcript->Send(label, estimator_msg);
+  if (codec != WireCodec::kClassic) WriteWireHeader(codec, &estimator_msg);
+  receiver_estimator.WriteTo(&estimator_msg, codec);
+  transcript->Send(label, estimator_msg, codec);
 
   ByteReader estimator_reader(estimator_msg.buffer());
+  if (codec != WireCodec::kClassic) {
+    RSR_RETURN_NOT_OK(ExpectWireHeader(codec, &estimator_reader));
+  }
   RSR_ASSIGN_OR_RETURN(
       StrataEstimator received,
-      StrataEstimator::ReadFrom(&estimator_reader, estimator_params));
+      StrataEstimator::ReadFrom(&estimator_reader, estimator_params, codec));
   RSR_RETURN_NOT_OK(estimator_reader.FinishAndCheckConsumed());
   StrataEstimator sender_estimator(estimator_params);
   sender_estimator.InsertMany(sender_keys);

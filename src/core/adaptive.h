@@ -35,6 +35,7 @@
 #include "sketch/strata.h"
 #include "util/serialize.h"
 #include "util/status.h"
+#include "util/wire.h"
 
 namespace rsr {
 
@@ -98,14 +99,16 @@ std::vector<StrataEstimator> BuildLevelEstimators(
 
 /// Serializes all estimators into one message (concatenated strata; the
 /// count and parameters are shared knowledge, like every sketch format in
-/// this library).
+/// this library). The one-byte wire header of a compact exchange is NOT
+/// written here — the negotiation entry points own it, since the estimator
+/// message is the exchange's first message only on the adaptive path.
 void WriteEstimators(const std::vector<StrataEstimator>& estimators,
-                     ByteWriter* w);
+                     ByteWriter* w, WireCodec codec = DefaultWireCodec());
 
 /// Parses `levels` estimators written by WriteEstimators.
 Result<std::vector<StrataEstimator>> ReadEstimators(
     ByteReader* r, const AdaptiveSizingParams& params, uint64_t seed,
-    size_t levels);
+    size_t levels, WireCodec codec = DefaultWireCodec());
 
 /// clamp(ceil(cells_per_diff * estimate), floor_cells, cap_cells). Saturates
 /// through double arithmetic, so a UINT64_MAX estimate (the strata
@@ -145,12 +148,15 @@ std::vector<size_t> NegotiateLevelCells(
 /// — cap_cells when the estimate is unavailable. How the sender communicates
 /// the chosen size back (separate message vs sketch-message prefix) stays
 /// with the caller.
+/// The estimator message opens the exchange, so under kCompact it carries
+/// the versioned wire header (util/wire.h) which the parsing side validates.
 Result<size_t> NegotiateSingleSketchCells(std::span<const uint64_t> sender_keys,
                                           std::span<const uint64_t> receiver_keys,
                                           const AdaptiveSizingParams& params,
                                           uint64_t seed, size_t cap_cells,
                                           Transcript* transcript,
-                                          const std::string& label);
+                                          const std::string& label,
+                                          WireCodec codec = DefaultWireCodec());
 
 /// Multi-level analogue of NegotiateSingleSketchCells (the EMD protocol):
 /// the receiver builds one estimator per level over its level-major keys
@@ -165,7 +171,8 @@ Result<std::vector<size_t>> NegotiateLevelSketchCells(
     std::span<const uint64_t> receiver_keys, size_t levels, size_t n,
     const AdaptiveSizingParams& params, uint64_t seed, double cells_per_diff,
     size_t cap_cells, int table_hashes, size_t num_threads,
-    Transcript* transcript, const std::string& label);
+    Transcript* transcript, const std::string& label,
+    WireCodec codec = DefaultWireCodec());
 
 /// NegotiateLevelSketchCells with the sender's estimators already built —
 /// the warm serving path, where SyncDataset maintains one estimator per
@@ -180,7 +187,8 @@ Result<std::vector<size_t>> NegotiateLevelSketchCellsPrebuilt(
     std::span<const uint64_t> receiver_keys, size_t levels, size_t n,
     const AdaptiveSizingParams& params, uint64_t seed, double cells_per_diff,
     size_t cap_cells, int table_hashes, size_t num_threads,
-    Transcript* transcript, const std::string& label);
+    Transcript* transcript, const std::string& label,
+    WireCodec codec = DefaultWireCodec());
 
 /// Sizes prefix on the sketch message: one varint per level.
 void WriteNegotiatedCells(const std::vector<size_t>& cells, ByteWriter* w);

@@ -30,9 +30,11 @@ Result<EmdProtocolReport> FinishEmdProtocol(
     const std::vector<Riblt>& tables, const std::vector<size_t>& level_cells,
     const std::vector<size_t>& prefix_lens, const PointStore& bob,
     const std::vector<uint64_t>& bob_keys, const EmdProtocolParams& params,
-    Transcript* transcript, EmdProtocolReport report) {
+    Transcript* transcript, EmdProtocolReport report,
+    ByteWriter* pooled_message = nullptr) {
   const EmdDerived& derived = report.derived;
   const size_t n = bob.size();
+  const WireCodec codec = params.codec;
 
   // ---- Alice: "send" the t RIBLTs (single message). ----
   report.level_cells = level_cells;
@@ -40,13 +42,28 @@ Result<EmdProtocolReport> FinishEmdProtocol(
   for (size_t level = 1; level <= derived.levels; ++level) {
     report.levels[level - 1].prefix_len = prefix_lens[level - 1];
   }
-  ByteWriter message;
+  // The warm serving path pools the outgoing buffer in EmdServeScratch:
+  // Clear keeps the capacity, so a stable session shape re-serializes with
+  // zero allocation after its first exchange.
+  ByteWriter local_message;
+  ByteWriter& message =
+      pooled_message != nullptr ? *pooled_message : local_message;
+  message.Clear();
+  // A compact exchange's first message carries the versioned wire header; on
+  // the adaptive path that was the estimator round, so only the static
+  // single-message exchange writes it here.
+  if (codec != WireCodec::kClassic && !params.adaptive.enabled) {
+    WriteWireHeader(codec, &message);
+  }
   if (params.adaptive.enabled) WriteNegotiatedCells(level_cells, &message);
-  for (const Riblt& table : tables) table.WriteTo(&message);
-  transcript->Send("A->B level RIBLTs", message);
+  for (const Riblt& table : tables) table.WriteTo(&message, codec);
+  transcript->Send("A->B level RIBLTs", message, codec);
 
   // ---- Bob: parse, delete his pairs, decode finest feasible level. ----
   ByteReader reader(message.buffer());
+  if (codec != WireCodec::kClassic && !params.adaptive.enabled) {
+    RSR_RETURN_NOT_OK(ExpectWireHeader(codec, &reader));
+  }
   std::vector<size_t> parsed_cells(derived.levels, derived.cells);
   if (params.adaptive.enabled) {
     RSR_ASSIGN_OR_RETURN(
@@ -65,8 +82,10 @@ Result<EmdProtocolReport> FinishEmdProtocol(
   for (size_t level = 1; level <= derived.levels; ++level) {
     RSR_ASSIGN_OR_RETURN(
         Riblt table,
-        Riblt::ReadFrom(&reader, EmdLevelRibltParams(
-                                     params, parsed_cells[level - 1], level)));
+        Riblt::ReadFrom(&reader,
+                        EmdLevelRibltParams(params, parsed_cells[level - 1],
+                                            level),
+                        codec));
     received.push_back(std::move(table));
   }
   RSR_RETURN_NOT_OK(reader.FinishAndCheckConsumed());
@@ -224,7 +243,7 @@ Result<EmdProtocolReport> RunEmdProtocol(const PointStore& alice,
                                   params.adaptive.cell_multiplier * q * q,
                                   derived.cells, params.num_hashes,
                                   params.num_threads, &transcript,
-                                  "B->A level strata"));
+                                  "B->A level strata", params.codec));
   }
 
   // ---- Alice: build the t RIBLTs at the provisioned sizes. ----
@@ -301,7 +320,8 @@ Result<EmdProtocolReport> RunEmdProtocolPrebuilt(
   std::vector<size_t> level_cells(derived.levels, derived.cells);
   if (!params.adaptive.enabled) {
     return FinishEmdProtocol(alice.tables, level_cells, alice.prefix_lens, bob,
-                             bob_keys, params, &transcript, std::move(report));
+                             bob_keys, params, &transcript, std::move(report),
+                             scratch != nullptr ? &scratch->message : nullptr);
   }
 
   // ---- Adaptive warm serving: negotiate, then FOLD instead of build. ----
@@ -324,12 +344,13 @@ Result<EmdProtocolReport> RunEmdProtocolPrebuilt(
           alice.estimators, bob_keys, derived.levels, n, params.adaptive,
           params.seed, params.adaptive.cell_multiplier * q * q, derived.cells,
           params.num_hashes, params.num_threads, &transcript,
-          "B->A level strata"));
+          "B->A level strata", params.codec));
   EmdServeScratch local_scratch;
   EmdServeScratch* serve = scratch != nullptr ? scratch : &local_scratch;
   RSR_RETURN_NOT_OK(FoldEmdSketches(alice, level_cells, params, serve));
   return FinishEmdProtocol(serve->folded, level_cells, alice.prefix_lens, bob,
-                           bob_keys, params, &transcript, std::move(report));
+                           bob_keys, params, &transcript, std::move(report),
+                           &serve->message);
 }
 
 }  // namespace rsr

@@ -26,6 +26,7 @@
 #include "lsh/mlsh.h"
 #include "sketch/riblt.h"
 #include "sketch/strata.h"
+#include "util/serialize.h"
 #include "util/status.h"
 
 namespace rsr {
@@ -110,6 +111,11 @@ Result<EmdSketchSet> BuildEmdSketches(const PointStore& alice,
 /// same ladder rungs performs zero allocation after its first exchange.
 struct EmdServeScratch {
   std::vector<Riblt> folded;
+  /// Pooled outgoing sketch-message buffer. ByteWriter::Clear keeps the
+  /// backing capacity, so re-serving a stable session shape (same negotiated
+  /// rungs, either codec) reuses the first exchange's allocation and the
+  /// serialize pass itself is allocation-free.
+  ByteWriter message;
 };
 
 /// Projects the maintained cap-size tables down to the negotiated

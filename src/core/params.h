@@ -13,6 +13,7 @@
 #include "core/adaptive.h"
 #include "geometry/metric.h"
 #include "lsh/lsh_family.h"
+#include "util/wire.h"
 
 namespace rsr {
 
@@ -62,6 +63,13 @@ struct EmdProtocolParams {
   /// (SyncDataset / RunEmdProtocolPrebuilt) — required for warm adaptive
   /// serving, accepted identically by the one-shot protocol.
   AdaptiveSizingParams adaptive;
+  /// Wire codec for every sketch message of the exchange (util/wire.h).
+  /// kClassic keeps transcripts byte-identical to the historical layout; a
+  /// kCompact exchange announces itself with a one-byte versioned header on
+  /// its first message, which the receiving side validates before parsing.
+  /// Defaults to the RSR_WIRE_CODEC environment override so whole suites can
+  /// flip codec without touching call sites.
+  WireCodec codec = DefaultWireCodec();
   /// Shared seed (public coins).
   uint64_t seed = 0;
 };

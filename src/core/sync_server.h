@@ -60,9 +60,10 @@ struct SyncSnapshot {
   EmdSketchSet sketches;
 
   /// Serializes the level tables exactly as the protocol's "A->B level
-  /// RIBLTs" message body — the per-sync server-side work.
+  /// RIBLTs" message body under the snapshot's negotiated wire codec — the
+  /// per-sync server-side work.
   void WriteSketchMessage(ByteWriter* w) const {
-    for (const Riblt& table : sketches.tables) table.WriteTo(w);
+    for (const Riblt& table : sketches.tables) table.WriteTo(w, params.codec);
   }
 };
 

@@ -14,12 +14,16 @@
 #include <vector>
 
 #include "util/serialize.h"
+#include "util/wire.h"
 
 namespace rsr {
 
 struct MessageRecord {
   std::string label;   // e.g. "A->B level RIBLTs"
   size_t bytes = 0;
+  /// Codec the message body was encoded under; lets benches attribute bytes
+  /// per codec when comparing classic vs compact transcripts.
+  WireCodec codec = WireCodec::kClassic;
 };
 
 struct CommStats {
@@ -33,6 +37,16 @@ struct CommStats {
   size_t total_bits() const { return total_bytes() * 8; }
   int rounds() const { return static_cast<int>(messages.size()); }
 
+  /// Bytes of the messages encoded under `codec` (classic vs compact
+  /// attribution; headers count toward the codec that required them).
+  size_t bytes_under(WireCodec codec) const {
+    size_t sum = 0;
+    for (const auto& m : messages) {
+      if (m.codec == codec) sum += m.bytes;
+    }
+    return sum;
+  }
+
   /// Appends another protocol phase's messages (sequential composition).
   void Append(const CommStats& other) {
     messages.insert(messages.end(), other.messages.begin(),
@@ -44,11 +58,14 @@ struct CommStats {
 class Transcript {
  public:
   /// Records a message of `writer`'s current size.
-  void Send(const std::string& label, const ByteWriter& writer) {
-    stats_.messages.push_back(MessageRecord{label, writer.size_bytes()});
+  void Send(const std::string& label, const ByteWriter& writer,
+            WireCodec codec = WireCodec::kClassic) {
+    stats_.messages.push_back(
+        MessageRecord{label, writer.size_bytes(), codec});
   }
-  void SendBytes(const std::string& label, size_t bytes) {
-    stats_.messages.push_back(MessageRecord{label, bytes});
+  void SendBytes(const std::string& label, size_t bytes,
+                 WireCodec codec = WireCodec::kClassic) {
+    stats_.messages.push_back(MessageRecord{label, bytes, codec});
   }
 
   const CommStats& stats() const { return stats_; }

@@ -7,6 +7,7 @@
 #include "core/adaptive.h"
 #include "hashing/hash64.h"
 #include "sketch/iblt.h"
+#include "util/key_stream.h"
 
 namespace rsr {
 
@@ -124,6 +125,7 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
   SetsReconcilerReport report;
   Transcript transcript;
   const uint64_t salt = params.seed;
+  const WireCodec codec = params.codec;
 
   std::vector<uint64_t> alice_salted =
       CanonicalSaltedSignatures(alice_sets, salt, nullptr);
@@ -154,7 +156,7 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
         NegotiateSingleSketchCells(bob_salted, alice_salted, params.adaptive,
                                    HashCombine(salt, 0x51'ada'7ULL),
                                    static_cells, &transcript,
-                                   "A->B sig-strata"));
+                                   "A->B sig-strata", codec));
   }
   // The static path tries static_cells << 0..(max_attempts-1); the adaptive
   // path may start lower, so its ladder keeps doubling past max_attempts
@@ -177,17 +179,26 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
     bob_table.InsertManySharded(bob_salted, params.sketch_shards,
                                 params.num_threads);
     ByteWriter msg1;
+    // Without the adaptive estimator round, this is the exchange's first
+    // message — a compact exchange writes its versioned header here (once;
+    // retries are mid-exchange).
+    if (codec != WireCodec::kClassic && !negotiate_sig && attempt == 0) {
+      WriteWireHeader(codec, &msg1);
+    }
     // The negotiated size rides as a prefix on the first sketch only;
     // retry sizes are already on the wire in the sig-resize messages.
     if (negotiate_sig && attempt == 0) {
       WriteNegotiatedCells({sig_cells}, &msg1);
     }
     msg1.PutVarint64(bob_salted.size());
-    bob_table.WriteTo(&msg1);
-    transcript.Send("B->A sig-iblt", msg1);
+    bob_table.WriteTo(&msg1, codec);
+    transcript.Send("B->A sig-iblt", msg1, codec);
 
     // Alice parses and deletes her signatures.
     ByteReader reader(msg1.buffer());
+    if (codec != WireCodec::kClassic && !negotiate_sig && attempt == 0) {
+      RSR_RETURN_NOT_OK(ExpectWireHeader(codec, &reader));
+    }
     IbltParams parsed_sig_params = sig_params;
     if (negotiate_sig && attempt == 0) {
       RSR_ASSIGN_OR_RETURN(std::vector<size_t> parsed,
@@ -197,7 +208,7 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
     uint64_t bob_count = reader.GetVarint64();
     (void)bob_count;
     RSR_ASSIGN_OR_RETURN(Iblt alice_view,
-                         Iblt::ReadFrom(&reader, parsed_sig_params));
+                         Iblt::ReadFrom(&reader, parsed_sig_params, codec));
     alice_view.DeleteManySharded(alice_salted, params.sketch_shards,
                                  params.num_threads);
     IbltDecodeResult decoded = alice_view.Decode();
@@ -246,10 +257,12 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
   report.diff_sets_alice = alice_only_sigs.size();
 
   // ---- Phase 2: Alice -> Bob, the salted signatures she is missing. ----
+  // Classic = count + raw 64-bit signatures (historical bytes); compact = a
+  // sorted varint-delta key stream, which hands Bob the request in ascending
+  // signature order — the recovered multiset is order-insensitive.
   ByteWriter msg2;
-  msg2.PutVarint64(bob_only_sigs.size());
-  for (uint64_t sig : bob_only_sigs) msg2.PutU64(sig);
-  transcript.Send("A->B missing-sigs", msg2);
+  WriteKeyStream(bob_only_sigs, &msg2, codec);
+  transcript.Send("A->B missing-sigs", msg2, codec);
 
   // Bob resolves salted signature -> set index.
   std::unordered_map<uint64_t, size_t> bob_sig_to_index;
@@ -259,9 +272,9 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
   std::vector<size_t> requested;  // Bob's set indices Alice asked for
   {
     ByteReader reader(msg2.buffer());
-    uint64_t count = reader.GetVarint64();
-    for (uint64_t i = 0; i < count; ++i) {
-      uint64_t sig = reader.GetU64();
+    RSR_ASSIGN_OR_RETURN(std::vector<uint64_t> sigs,
+                         ReadKeyStream(&reader, codec, bob_salted.size()));
+    for (uint64_t sig : sigs) {
       auto it = bob_sig_to_index.find(sig);
       if (it == bob_sig_to_index.end()) {
         return Status::ProtocolFailure(
@@ -330,7 +343,7 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
       elem_table.InsertManySharded(bob_words, params.sketch_shards,
                                    params.num_threads);
       ByteWriter msg3;
-      elem_table.WriteTo(&msg3);
+      elem_table.WriteTo(&msg3, codec);
       // Per-set records: unsalted signature + per-slot fingerprints.
       int fp_bytes = (params.fingerprint_bits + 7) / 8;
       for (const SlottedSet& set : bob_diff_sets) {
@@ -344,12 +357,12 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
           }
         }
       }
-      transcript.Send("B->A elem-iblt+fps", msg3);
+      transcript.Send("B->A elem-iblt+fps", msg3, codec);
 
       // Alice parses, deletes her differing sets' elements, decodes.
       ByteReader reader(msg3.buffer());
       RSR_ASSIGN_OR_RETURN(Iblt alice_view,
-                           Iblt::ReadFrom(&reader, elem_params));
+                           Iblt::ReadFrom(&reader, elem_params, codec));
       alice_view.DeleteManySharded(alice_words, params.sketch_shards,
                                    params.num_threads);
       IbltDecodeResult decoded = alice_view.Decode();

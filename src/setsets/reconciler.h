@@ -35,6 +35,7 @@
 #include "setsets/sethash.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/wire.h"
 
 namespace rsr {
 
@@ -82,6 +83,14 @@ struct SetsReconcilerParams {
   /// Worker threads for the sharded build (<= 1 = inline). No effect on the
   /// transcript.
   size_t num_threads = 1;
+  /// Wire codec for the exchange (util/wire.h): the first message — the
+  /// adaptive estimator when enabled, otherwise Bob's first sig-IBLT —
+  /// carries the versioned header under kCompact; IBLTs are codec-dispatched
+  /// and the missing-signatures report becomes a sorted varint-delta key
+  /// stream (util/key_stream.h), which reorders — but never changes — the
+  /// recovered multiset. kClassic stays byte-identical to the historical
+  /// transcripts.
+  WireCodec codec = DefaultWireCodec();
   /// Shared seed (public coins).
   uint64_t seed = 0;
 };

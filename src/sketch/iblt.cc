@@ -1,5 +1,7 @@
 #include "sketch/iblt.h"
 
+#include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "hashing/checksum.h"
@@ -183,14 +185,25 @@ Status Iblt::CheckCompatible(const Iblt& other) const {
 Status Iblt::SubtractInPlace(const Iblt& other) {
   Status compatible = CheckCompatible(other);
   if (!compatible.ok()) return compatible;
+  // The checksum domain is the narrower of the two masks: masking commutes
+  // with XOR, so narrowing a full-width table is exactly the table that
+  // would have been built under the narrow mask in the first place.
+  const uint64_t eff = checksum_mask_ & other.checksum_mask_;
   int64_t* counts = Counts();
   const int64_t* other_counts = other.Counts();
   for (size_t i = 0; i < num_cells_; ++i) counts[i] -= other_counts[i];
-  // Keys, checksums, and value bytes all subtract by XOR: word-wise over the
-  // rest of the arena.
-  for (size_t i = num_cells_; i < arena_.size(); ++i) {
+  uint64_t* keys = KeyXors();
+  const uint64_t* other_keys = other.KeyXors();
+  for (size_t i = 0; i < num_cells_; ++i) keys[i] ^= other_keys[i];
+  uint64_t* checksums = ChecksumXors();
+  const uint64_t* other_checksums = other.ChecksumXors();
+  for (size_t i = 0; i < num_cells_; ++i) {
+    checksums[i] = (checksums[i] ^ other_checksums[i]) & eff;
+  }
+  for (size_t i = 3 * num_cells_; i < arena_.size(); ++i) {
     arena_[i] ^= other.arena_[i];
   }
+  checksum_mask_ = eff;
   return Status::OK();
 }
 
@@ -246,6 +259,7 @@ Status Iblt::FoldInto(Iblt* dst) const {
       }
     }
   }
+  dst->checksum_mask_ = checksum_mask_;  // folding preserves the domain
   return Status::OK();
 }
 
@@ -277,6 +291,12 @@ void Iblt::PeelInto(const Iblt* subtrahend, IbltDecodeResult* result) const {
   const size_t total = num_cells_;
   const size_t value_size = params_.value_size;
   const uint64_t salt = checksum_salt_;
+  // Peel under the mask intersection: a parsed compact table carries a
+  // truncated checksum domain, and comparisons against full-width local
+  // checksums must happen in that domain.
+  const uint64_t eff_mask =
+      subtrahend == nullptr ? checksum_mask_
+                            : (checksum_mask_ & subtrahend->checksum_mask_);
 
   // Reusable peel buffers, pooled PER THREAD rather than per instance: this
   // is what makes Decode/DecodeDiff reentrant — concurrent sessions call
@@ -305,6 +325,10 @@ void Iblt::PeelInto(const Iblt* subtrahend, IbltDecodeResult* result) const {
     for (size_t i = total; i < scratch_.arena.size(); ++i) {
       scratch_.arena[i] ^= subtrahend->arena_[i];
     }
+    if (eff_mask != checksum_mask_ ||
+        eff_mask != subtrahend->checksum_mask_) {
+      for (size_t i = 0; i < total; ++i) checksums[i] &= eff_mask;
+    }
   }
 
   // Cached per-cell purity flags, invalidated incrementally as cells mutate:
@@ -317,7 +341,7 @@ void Iblt::PeelInto(const Iblt* subtrahend, IbltDecodeResult* result) const {
   auto refresh_pure = [&](size_t cell) {
     pure[cell] =
         (counts[cell] == 1 || counts[cell] == -1) &&
-        checksums[cell] == (ChecksumWithSalt(keys[cell], salt) & checksum_mask_);
+        checksums[cell] == (ChecksumWithSalt(keys[cell], salt) & eff_mask);
   };
 
   scratch_.queue.clear();
@@ -332,10 +356,21 @@ void Iblt::PeelInto(const Iblt* subtrahend, IbltDecodeResult* result) const {
 
   size_t cells[kMaxHashes];
   const size_t q = static_cast<size_t>(params_.num_hashes);
+  // A complete peel can never extract more distinct entries than cells (a
+  // q-uniform hypergraph with more edges than vertices has a nonempty
+  // 2-core), so anything past this bound is a corrupted table oscillating
+  // (truncated compact checksums admit spurious pure cells whose keys hash
+  // elsewhere, re-purifying each other forever). Cut the loop and report
+  // the decode incomplete instead of growing without bound.
+  const size_t max_entries = 2 * total + 16;
   while (head < scratch_.queue.size()) {
     size_t cell = scratch_.queue[head++];
     queued[cell] = 0;
     if (!pure[cell]) continue;
+    if (result->entries.size() >= max_entries) {
+      result->complete = false;
+      return;
+    }
 
     IbltEntry entry;
     entry.key = keys[cell];
@@ -348,7 +383,7 @@ void Iblt::PeelInto(const Iblt* subtrahend, IbltDecodeResult* result) const {
     // Remove the entry from all its cells (including this one), refreshing
     // purity only for the touched cells.
     int direction = entry.count > 0 ? -1 : +1;
-    uint64_t checksum = ChecksumWithSalt(entry.key, salt) & checksum_mask_;
+    uint64_t checksum = ChecksumWithSalt(entry.key, salt) & eff_mask;
     CellsOf(entry.key, cells);
     for (size_t j = 0; j < q; ++j) {
       size_t touched = cells[j];
@@ -382,41 +417,243 @@ void Iblt::PeelInto(const Iblt* subtrahend, IbltDecodeResult* result) const {
   }
 }
 
-void Iblt::WriteTo(ByteWriter* w) const {
+namespace {
+
+/// Wire checksum width for a compact table: the pure-cell false-positive
+/// rate the cell count needs (2^-16 per peel step — the library's estimator
+/// strata already run at exactly this rate — plus one bit per doubling of
+/// the cell count), never wider than the table's current mask.
+int CompactChecksumBits(size_t num_cells, uint64_t checksum_mask,
+                        int checksum_bytes) {
+  int trunc = std::min(8 * checksum_bytes,
+                       16 + static_cast<int>(std::bit_width(num_cells)));
+  return std::min(trunc, static_cast<int>(std::bit_width(checksum_mask)));
+}
+
+int Width64(uint64_t v) { return static_cast<int>(std::bit_width(v)); }
+
+}  // namespace
+
+void Iblt::WriteTo(ByteWriter* w, WireCodec codec) const {
   const int64_t* counts = Counts();
   const uint64_t* keys = KeyXors();
   const uint64_t* checksums = ChecksumXors();
-  for (size_t c = 0; c < num_cells_; ++c) {
-    w->PutSignedVarint64(counts[c]);
-    // Empty cells (the common case in a well-sized sketch) cost 3 bytes.
-    w->PutVarint64(keys[c]);
-    for (int b = 0; b < params_.checksum_bytes; ++b) {
-      w->PutU8(static_cast<uint8_t>(checksums[c] >> (8 * b)));
+  if (codec == WireCodec::kClassic) {
+    for (size_t c = 0; c < num_cells_; ++c) {
+      w->PutSignedVarint64(counts[c]);
+      // Empty cells (the common case in a well-sized sketch) cost 3 bytes.
+      w->PutVarint64(keys[c]);
+      for (int b = 0; b < params_.checksum_bytes; ++b) {
+        w->PutU8(static_cast<uint8_t>(checksums[c] >> (8 * b)));
+      }
+    }
+    if (params_.value_size > 0) {
+      w->PutBytes(ValueXors(), num_cells_ * params_.value_size);
+    }
+    return;
+  }
+
+  // Compact: frame-of-reference counts, width-packed keys (minus their
+  // common trailing zeros), checksums
+  // truncated to the width the cell count needs, and a nonzero-cell bitmap
+  // (sparse mode) when dropping empty cells wins by exact byte count. Every
+  // included cell ships its (truncated) checksum — a leaner "pure cell"
+  // elision that re-derived checksums from keys was rejected because it
+  // hands corrupted streams guaranteed-valid pure cells, defeating the
+  // probabilistic guard the peeler's termination rests on.
+  const size_t m = num_cells_;
+  const size_t value_size = params_.value_size;
+  const uint8_t* values = ValueXors();
+  const int chk_bits =
+      CompactChecksumBits(m, checksum_mask_, params_.checksum_bytes);
+  const uint64_t wire_mask =
+      chk_bits >= 64 ? ~uint64_t{0} : ((uint64_t{1} << chk_bits) - 1);
+
+  size_t n_included = 0;
+  int64_t cnt_min_all = 0, cnt_max_all = 0;  // over all cells (dense)
+  int64_t cnt_min_inc = 0, cnt_max_inc = 0;  // over included cells (sparse)
+  bool have_inc = false;
+  uint64_t key_max_all = 0, key_max_inc = 0;
+  // Common trailing-zero count of every nonzero key XOR, shipped once and
+  // stripped from each key field. Strata estimator tables are the target:
+  // every key in stratum s ends in exactly s trailing zeros, so their XORs
+  // share >= s, and the stratum's cells each save s bits.
+  int key_shift = 64;
+  // Pooled inclusion flags (encode runs on concurrent serving threads, so
+  // the pool is per thread, not per instance).
+  static thread_local std::vector<uint8_t> included_cells;
+  included_cells.assign(m, 0);
+  for (size_t c = 0; c < m; ++c) {
+    if (c == 0) {
+      cnt_min_all = cnt_max_all = counts[0];
+    } else {
+      cnt_min_all = std::min(cnt_min_all, counts[c]);
+      cnt_max_all = std::max(cnt_max_all, counts[c]);
+    }
+    key_max_all = std::max(key_max_all, keys[c]);
+    if (keys[c] != 0) {
+      key_shift = std::min(key_shift, std::countr_zero(keys[c]));
+    }
+    bool nonzero =
+        counts[c] != 0 || keys[c] != 0 || (checksums[c] & wire_mask) != 0;
+    if (!nonzero && value_size > 0) {
+      const uint8_t* v = values + c * value_size;
+      for (size_t i = 0; i < value_size; ++i) {
+        if (v[i] != 0) {
+          nonzero = true;
+          break;
+        }
+      }
+    }
+    if (!nonzero) continue;
+    included_cells[c] = 1;
+    ++n_included;
+    key_max_inc = std::max(key_max_inc, keys[c]);
+    if (!have_inc) {
+      cnt_min_inc = cnt_max_inc = counts[c];
+      have_inc = true;
+    } else {
+      cnt_min_inc = std::min(cnt_min_inc, counts[c]);
+      cnt_max_inc = std::max(cnt_max_inc, counts[c]);
     }
   }
-  if (params_.value_size > 0) {
-    w->PutBytes(ValueXors(), num_cells_ * params_.value_size);
+  if (key_shift == 64) key_shift = 0;  // no nonzero keys: nothing to strip
+  const int cnt_bits_dense = Width64(static_cast<uint64_t>(cnt_max_all) -
+                                     static_cast<uint64_t>(cnt_min_all));
+  const int cnt_bits_sparse =
+      have_inc ? Width64(static_cast<uint64_t>(cnt_max_inc) -
+                         static_cast<uint64_t>(cnt_min_inc))
+               : 0;
+  const int key_bits_dense = Width64(key_max_all >> key_shift);
+  const int key_bits_sparse = Width64(key_max_inc >> key_shift);
+
+  const size_t dense_bits =
+      m * static_cast<size_t>(cnt_bits_dense + key_bits_dense + chk_bits);
+  const size_t sparse_bits =
+      n_included *
+      static_cast<size_t>(cnt_bits_sparse + key_bits_sparse + chk_bits);
+  const size_t dense_bytes = (dense_bits + 7) / 8 + m * value_size;
+  const size_t sparse_bytes =
+      (m + 7) / 8 + (sparse_bits + 7) / 8 + n_included * value_size;
+  const bool sparse = sparse_bytes < dense_bytes;
+
+  const int cnt_bits = sparse ? cnt_bits_sparse : cnt_bits_dense;
+  const int key_bits = sparse ? key_bits_sparse : key_bits_dense;
+  const int64_t cnt_base = sparse ? (have_inc ? cnt_min_inc : 0) : cnt_min_all;
+  // Exact-size reserve (the 15 covers the fixed header fields plus the
+  // worst-case cnt_base varint): the chosen candidate's byte count is known
+  // before a single field is emitted, so a cold pooled writer allocates at
+  // most once.
+  w->Reserve(w->size_bytes() + 15 + (sparse ? sparse_bytes : dense_bytes));
+  w->PutU8(sparse ? 1 : 0);
+  w->PutU8(static_cast<uint8_t>(chk_bits));
+  w->PutSignedVarint64(cnt_base);
+  w->PutU8(static_cast<uint8_t>(cnt_bits));
+  w->PutU8(static_cast<uint8_t>(key_bits));
+  w->PutU8(static_cast<uint8_t>(key_shift));
+  if (sparse) {
+    for (size_t base = 0; base < m; base += 8) {
+      uint8_t bits = 0;
+      for (size_t i = 0; i < 8 && base + i < m; ++i) {
+        if (included_cells[base + i]) bits |= static_cast<uint8_t>(1u << i);
+      }
+      w->PutU8(bits);
+    }
+  }
+  for (size_t c = 0; c < m; ++c) {
+    if (sparse && !included_cells[c]) continue;
+    w->PutBits(static_cast<uint64_t>(counts[c]) -
+                   static_cast<uint64_t>(cnt_base),
+               cnt_bits);
+    w->PutBits(keys[c] >> key_shift, key_bits);
+    w->PutBits(checksums[c] & wire_mask, chk_bits);
+  }
+  w->AlignToByte();
+  if (value_size > 0) {
+    for (size_t c = 0; c < m; ++c) {
+      if (sparse && !included_cells[c]) continue;
+      w->PutBytes(values + c * value_size, value_size);
+    }
   }
 }
 
-Result<Iblt> Iblt::ReadFrom(ByteReader* r, const IbltParams& params) {
+Result<Iblt> Iblt::ReadFrom(ByteReader* r, const IbltParams& params,
+                            WireCodec codec) {
   Iblt table(params);
   int64_t* counts = table.Counts();
   uint64_t* keys = table.KeyXors();
   uint64_t* checksums = table.ChecksumXors();
-  for (size_t c = 0; c < table.num_cells_; ++c) {
-    counts[c] = r->GetSignedVarint64();
-    keys[c] = r->GetVarint64();
-    uint64_t checksum = 0;
-    for (int b = 0; b < table.params_.checksum_bytes; ++b) {
-      checksum |= static_cast<uint64_t>(r->GetU8()) << (8 * b);
+  if (codec == WireCodec::kClassic) {
+    for (size_t c = 0; c < table.num_cells_; ++c) {
+      counts[c] = r->GetSignedVarint64();
+      keys[c] = r->GetVarint64();
+      uint64_t checksum = 0;
+      for (int b = 0; b < table.params_.checksum_bytes; ++b) {
+        checksum |= static_cast<uint64_t>(r->GetU8()) << (8 * b);
+      }
+      checksums[c] = checksum;
     }
-    checksums[c] = checksum;
+    if (table.params_.value_size > 0) {
+      r->GetBytes(table.ValueXors(),
+                  table.num_cells_ * table.params_.value_size);
+    }
+    RSR_RETURN_NOT_OK(r->status());
+    return table;
   }
-  if (table.params_.value_size > 0) {
-    r->GetBytes(table.ValueXors(), table.num_cells_ * table.params_.value_size);
+
+  const size_t m = table.num_cells_;
+  const size_t value_size = table.params_.value_size;
+  const uint8_t mode = r->GetU8();
+  const int chk_bits = r->GetU8();
+  const int64_t cnt_base = r->GetSignedVarint64();
+  const int cnt_bits = r->GetU8();
+  const int key_bits = r->GetU8();
+  const int key_shift = r->GetU8();
+  RSR_RETURN_NOT_OK(r->status());
+  const int chk_bound = CompactChecksumBits(m, table.checksum_mask_,
+                                            table.params_.checksum_bytes);
+  if (mode > 1 || chk_bits < 1 || chk_bits > chk_bound || cnt_bits > 64 ||
+      key_bits > 64 || key_shift > 63 || key_bits + key_shift > 64) {
+    r->Invalidate();
+    return Status::Corruption("invalid compact IBLT header");
+  }
+  const uint64_t wire_mask =
+      chk_bits >= 64 ? ~uint64_t{0} : ((uint64_t{1} << chk_bits) - 1);
+  const bool sparse = mode == 1;
+  static thread_local std::vector<uint8_t> included;
+  included.assign(m, 1);
+  if (sparse) {
+    for (size_t base = 0; base < m; base += 8) {
+      uint8_t bits = r->GetU8();
+      for (size_t i = 0; i < 8; ++i) {
+        if (base + i < m) {
+          included[base + i] = (bits >> i) & 1;
+        } else if ((bits >> i) & 1) {
+          // Nonzero padding past the last cell: two distinct streams would
+          // decode identically, so reject for canonical round-trips.
+          r->Invalidate();
+        }
+      }
+    }
+    RSR_RETURN_NOT_OK(r->status());
+  }
+  for (size_t c = 0; c < m; ++c) {
+    if (!included[c]) continue;
+    counts[c] = static_cast<int64_t>(static_cast<uint64_t>(cnt_base) +
+                                     r->GetBits(cnt_bits));
+    keys[c] = r->GetBits(key_bits) << key_shift;
+    checksums[c] = r->GetBits(chk_bits);
+  }
+  r->AlignToByte();
+  if (value_size > 0) {
+    uint8_t* values = table.ValueXors();
+    for (size_t c = 0; c < m; ++c) {
+      if (!included[c]) continue;
+      r->GetBytes(values + c * value_size, value_size);
+    }
   }
   RSR_RETURN_NOT_OK(r->status());
+  table.checksum_mask_ &= wire_mask;
   return table;
 }
 

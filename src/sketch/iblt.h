@@ -39,6 +39,7 @@
 #include "util/random.h"
 #include "util/serialize.h"
 #include "util/status.h"
+#include "util/wire.h"
 
 namespace rsr {
 
@@ -184,9 +185,21 @@ class Iblt {
   const IbltParams& params() const { return params_; }
   size_t num_cells() const { return num_cells_; }
 
-  /// Exact wire size accounting.
-  void WriteTo(ByteWriter* w) const;
-  static Result<Iblt> ReadFrom(ByteReader* r, const IbltParams& params);
+  /// Effective checksum mask. Locally-built tables carry the full
+  /// ChecksumMask(checksum_bytes); tables parsed from a compact stream carry
+  /// the narrower truncated mask, and every combining op (SubtractInPlace,
+  /// DecodeDiff) works under the mask intersection — XOR commutes with
+  /// masking, so a narrowed table is indistinguishable from one built narrow.
+  uint64_t checksum_mask() const { return checksum_mask_; }
+
+  /// Exact wire size accounting. kClassic is the historical byte layout;
+  /// kCompact bit-packs cells (frame-of-reference counts, width-packed key
+  /// XORs, checksums truncated to 16 + bit_width(cells), sparse bitmap mode
+  /// with pure-cell checksum elision). See docs/WIRE.md. The default codec
+  /// follows RSR_WIRE_CODEC so test suites re-run under either codec.
+  void WriteTo(ByteWriter* w, WireCodec codec = DefaultWireCodec()) const;
+  static Result<Iblt> ReadFrom(ByteReader* r, const IbltParams& params,
+                               WireCodec codec = DefaultWireCodec());
 
  private:
   /// Degree of the cell-index polynomials (3-independent hashing; see the

@@ -1,5 +1,7 @@
 #include "sketch/riblt.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "hashing/checksum.h"
@@ -22,10 +24,14 @@ using U128 = unsigned __int128;
 
 /// If the cell's contents are C copies of a single key from a single side,
 /// fills |C|, key, side and returns true. Operates on raw slabs so the
-/// peeler can run on scratch buffers without copying the table.
+/// peeler can run on scratch buffers without copying the table. Checksum
+/// comparisons run under `mask` — tables parsed from a compact stream only
+/// know their checksum sums mod the wire width, and truncation commutes
+/// with the wrapping sums, so comparing residues is exactly as sound as the
+/// narrower width's false-positive rate.
 inline bool CellIsPure(const int64_t* counts, const U128* key_sums,
                        const U128* checksum_sums, uint64_t mixed_salt,
-                       size_t cell, int64_t* copies, uint64_t* key,
+                       U128 mask, size_t cell, int64_t* copies, uint64_t* key,
                        int* side) {
   int64_t c = counts[cell];
   if (c == 0) return false;
@@ -41,7 +47,8 @@ inline bool CellIsPure(const int64_t* counts, const U128* key_sums,
     // magnitude = 1.
     if (key_sum > static_cast<U128>(~uint64_t{0})) return false;
     uint64_t k = static_cast<uint64_t>(key_sum);
-    if (checksum_sum != static_cast<U128>(CellChecksum(k, mixed_salt))) {
+    if (((checksum_sum - static_cast<U128>(CellChecksum(k, mixed_salt))) &
+         mask) != 0) {
       return false;
     }
     *copies = 1;
@@ -54,15 +61,44 @@ inline bool CellIsPure(const int64_t* counts, const U128* key_sums,
   U128 candidate = key_sum / magnitude;
   if (candidate > ~uint64_t{0}) return false;
   uint64_t k = static_cast<uint64_t>(candidate);
-  // checksum(K/C) == S/C, equivalently S == C * checksum(K/C).
-  if (checksum_sum !=
-      magnitude * static_cast<U128>(CellChecksum(k, mixed_salt))) {
+  // checksum(K/C) == S/C, equivalently S == C * checksum(K/C) (mod mask+1).
+  if (((checksum_sum -
+        magnitude * static_cast<U128>(CellChecksum(k, mixed_salt))) &
+       mask) != 0) {
     return false;
   }
   *copies = c > 0 ? c : -c;
   *key = k;
   *side = s;
   return true;
+}
+
+inline int BitWidth128(U128 v) {
+  uint64_t hi = static_cast<uint64_t>(v >> 64);
+  if (hi != 0) return 64 + static_cast<int>(std::bit_width(hi));
+  return static_cast<int>(std::bit_width(static_cast<uint64_t>(v)));
+}
+
+/// Exact encoded size of a LEB128 varint over 128 bits (mirrors
+/// ByteWriter::PutVarint128).
+inline size_t Varint128Size(U128 v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+inline size_t SignedVarint64Size(int64_t v) {
+  uint64_t z = (static_cast<uint64_t>(v) << 1) ^
+               static_cast<uint64_t>(v >> 63);  // zigzag
+  size_t n = 1;
+  while (z >= 0x80) {
+    z >>= 7;
+    ++n;
+  }
+  return n;
 }
 
 }  // namespace
@@ -296,7 +332,11 @@ Status Riblt::AddScaled(const Riblt& other, int64_t factor) {
       other.params_.seed != params_.seed) {
     return Status::InvalidArgument("RIBLT parameter mismatch in AddScaled");
   }
-  // 128-bit sums wrap consistently under negative factors.
+  // 128-bit sums wrap consistently under negative factors. The combined
+  // table's checksum comparisons are only sound at the narrower of the two
+  // operands' widths, so the masks intersect.
+  checksum_mask_ &= other.checksum_mask_;
+  value_mask_ &= other.value_mask_;
   U128 factor128 = factor >= 0
                        ? static_cast<U128>(factor)
                        : static_cast<U128>(0) - static_cast<U128>(-factor);
@@ -324,6 +364,8 @@ Status Riblt::FoldInto(Riblt* dst) const {
     return Status::InvalidArgument(
         "FoldInto target cells-per-subtable must divide the source's");
   }
+  dst->checksum_mask_ = checksum_mask_;
+  dst->value_mask_ = value_mask_;
   const size_t q = static_cast<size_t>(params_.num_hashes);
   const size_t dim = params_.dim;
   const size_t blocks = src_sub / dst_sub;
@@ -410,9 +452,10 @@ Status Riblt::DecodeInto(size_t max_pairs, size_t max_per_side, Rng* rng,
   int64_t copies;
   uint64_t key;
   int side;
+  const U128 mask = checksum_mask_;
   for (size_t c = 0; c < total; ++c) {
-    if (CellIsPure(counts, key_sums, checksum_sums, checksum_salt_, c, &copies,
-                   &key, &side)) {
+    if (CellIsPure(counts, key_sums, checksum_sums, checksum_salt_, mask, c,
+                   &copies, &key, &side)) {
       scratch_.queue.push_back(static_cast<uint32_t>(c));
       queued[c] = 1;
     }
@@ -429,8 +472,8 @@ Status Riblt::DecodeInto(size_t max_pairs, size_t max_per_side, Rng* rng,
   while (head < scratch_.queue.size()) {
     size_t cell = scratch_.queue[head++];
     queued[cell] = 0;
-    if (!CellIsPure(counts, key_sums, checksum_sums, checksum_salt_, cell,
-                    &copies, &key, &side)) {
+    if (!CellIsPure(counts, key_sums, checksum_sums, checksum_salt_, mask,
+                    cell, &copies, &key, &side)) {
       continue;
     }
     ++out->peel_steps;
@@ -442,12 +485,25 @@ Status Riblt::DecodeInto(size_t max_pairs, size_t max_per_side, Rng* rng,
 
     // Extract |C| pairs. Average value = value_sum / count (signed), then
     // clamp into [0, Delta] and randomized-round each fractional coordinate
-    // independently per copy (RIBLT requirement 5).
+    // independently per copy (RIBLT requirement 5). Under a narrowed value
+    // mask (compact mod-2^Wv streams) the slab holds residues; a centered
+    // lift recovers the true small sum — exact whenever |sum| < 2^(Wv-1),
+    // which the Wv = bit_width(delta)+4 wire width guarantees for any cell
+    // whose diff multiplicity (plus propagated error) stays below ~8 —
+    // and clamping bounds the damage exactly as for Figure 1 value error.
     const int64_t* vs = &value_sums[cell * dim];
     int64_t signed_count = side > 0 ? copies : -copies;
+    const uint64_t vmask = value_mask_;
+    const uint64_t vhalf = (vmask >> 1) + 1;
     for (size_t j = 0; j < dim; ++j) {
+      int64_t v = vs[j];
+      if (vmask != ~static_cast<uint64_t>(0)) {
+        const uint64_t res = static_cast<uint64_t>(v) & vmask;
+        v = res >= vhalf ? static_cast<int64_t>(res - vmask - 1)
+                         : static_cast<int64_t>(res);
+      }
       average[j] =
-          static_cast<double>(vs[j]) / static_cast<double>(signed_count);
+          static_cast<double>(v) / static_cast<double>(signed_count);
       if (average[j] < 0.0) average[j] = 0.0;
       double delta = static_cast<double>(params_.delta);
       if (average[j] > delta) average[j] = delta;
@@ -490,8 +546,8 @@ Status Riblt::DecodeInto(size_t max_pairs, size_t max_per_side, Rng* rng,
         int64_t c2;
         uint64_t k2;
         int s2;
-        if (CellIsPure(counts, key_sums, checksum_sums, checksum_salt_, touched,
-                       &c2, &k2, &s2)) {
+        if (CellIsPure(counts, key_sums, checksum_sums, checksum_salt_, mask,
+                       touched, &c2, &k2, &s2)) {
           scratch_.queue.push_back(static_cast<uint32_t>(touched));
           queued[touched] = 1;
         }
@@ -504,7 +560,8 @@ Status Riblt::DecodeInto(size_t max_pairs, size_t max_per_side, Rng* rng,
   // the analysis charges to mu).
   out->complete = true;
   for (size_t c = 0; c < total; ++c) {
-    if (counts[c] != 0 || key_sums[c] != 0 || checksum_sums[c] != 0) {
+    if (counts[c] != 0 || key_sums[c] != 0 ||
+        (checksum_sums[c] & mask) != 0) {
       out->complete = false;
       break;
     }
@@ -522,32 +579,382 @@ Result<RibltDecodeResult> Riblt::Decode(size_t max_pairs, size_t max_per_side,
   return result;
 }
 
-void Riblt::WriteTo(ByteWriter* w) const {
-  // Varint-coded sums: an empty cell costs 3 bytes + d value bytes; tables
-  // serialized before any deletion (Algorithm 1 ships Alice's inserts only)
-  // have nonnegative sums, so the encoding stays compact. Wrapped (negative)
-  // sums still round-trip correctly, just at the full 19-byte width.
-  for (size_t c = 0; c < counts_.size(); ++c) {
-    w->PutSignedVarint64(counts_[c]);
-    w->PutVarint128(key_sums_[c]);
-    w->PutVarint128(checksum_sums_[c]);
-    const int64_t* vs = &value_sums_[c * params_.dim];
-    for (size_t j = 0; j < params_.dim; ++j) w->PutSignedVarint64(vs[j]);
-  }
+namespace {
+
+/// Wire checksum-sum width for a compact RIBLT. Purity false positives cost
+/// one trial per peel-loop visit, and visits scale with the decodable load
+/// (~m/4 entries at the peeling threshold), not with the cell count — so a
+/// 2^-16 per-decode budget needs 16 + log2(m/4) bits, two fewer than the
+/// per-cell-trial bound. Capped at 64 bits — checksum terms are 32-bit, so
+/// 64-bit residues are exact for any realistic batch — and at the table's
+/// current mask width.
+int RibltCompactChecksumBits(size_t num_cells, U128 mask) {
+  int bits = 16 + static_cast<int>(std::bit_width((num_cells + 3) / 4));
+  bits = std::min(bits, 64);
+  return std::min(bits, BitWidth128(mask));
 }
 
-Result<Riblt> Riblt::ReadFrom(ByteReader* r, const RibltParams& params) {
+}  // namespace
+
+void Riblt::WriteTo(ByteWriter* w, WireCodec codec) const {
+  const size_t m = counts_.size();
+  const size_t dim = params_.dim;
+  if (codec == WireCodec::kClassic) {
+    // Varint-coded sums: an empty cell costs 3 bytes + d value bytes; tables
+    // serialized before any deletion (Algorithm 1 ships Alice's inserts
+    // only) have nonnegative sums, so the encoding stays compact. Wrapped
+    // (negative) sums still round-trip correctly, just at the full 19-byte
+    // width.
+    for (size_t c = 0; c < m; ++c) {
+      w->PutSignedVarint64(counts_[c]);
+      w->PutVarint128(key_sums_[c]);
+      w->PutVarint128(checksum_sums_[c]);
+      const int64_t* vs = &value_sums_[c * dim];
+      for (size_t j = 0; j < dim; ++j) w->PutSignedVarint64(vs[j]);
+    }
+    return;
+  }
+
+  // Compact: every shipped field is a frame-of-reference delta at the width
+  // its min..max range needs, checksum sums are shipped mod 2^chk_bits, and
+  // a bitmap (sparse mode) drops empty cells when that wins by exact byte
+  // count. Value sums ship in one of two forms, whichever is smaller:
+  //  - FoR residuals against a per-dim count-slope predictor
+  //    (val ~ count * val_mu): subtracting the shipped slope removes the
+  //    occupancy component of the spread, and the width tracks only the
+  //    intrinsic coordinate variance. Exact full-width round trip.
+  //  - mod-2^Wv residues (mode bit 1), Wv = bit_width(delta)+4: the decoder
+  //    only ever needs value sums of the *difference* table after
+  //    subtracting its own sketch, and those are bounded by per-cell diff
+  //    multiplicity * delta — so shipping residues and centered-lifting at
+  //    extraction is exact for any cell with <= 8 net diff copies (plus
+  //    slack for propagated Figure 1 error). This is what keeps dense
+  //    maintained tables from paying full sum width for every cell.
+  // Layout per docs/WIRE.md:
+  //   mode u8 (bit0 sparse, bit1 values-mod) · chk_bits u8 ·
+  //   cnt_base svarint + cnt_bits u8 · key_base varint128 + key_bits u8 ·
+  //   values-mod ? (wv u8) : per-dim (val_mu svarint + val_base svarint +
+  //   val_bits u8) · [bitmap] · bitstream (cnt Δ, key Δ, chk residue,
+  //   val residual Δs or mod residues per included cell) · zero-pad to byte.
+  const int chk_bits = RibltCompactChecksumBits(m, checksum_mask_);
+  const U128 wire_mask = chk_bits >= 128
+                             ? ~static_cast<U128>(0)
+                             : (static_cast<U128>(1) << chk_bits) - 1;
+
+  // Count-slope predictor: val_mu[j] = (sum of value sums) / (sum of
+  // counts), in wrapping arithmetic. Any slope round-trips exactly; a
+  // wrapped or skewed one only widens the residual FoR.
+  uint64_t total_cnt = 0;
+  static thread_local std::vector<uint64_t> total_val;
+  total_val.assign(dim, 0);
+  for (size_t c = 0; c < m; ++c) {
+    total_cnt += static_cast<uint64_t>(counts_[c]);
+    const int64_t* vs = &value_sums_[c * dim];
+    for (size_t j = 0; j < dim; ++j) {
+      total_val[j] += static_cast<uint64_t>(vs[j]);
+    }
+  }
+  static thread_local std::vector<int64_t> val_mu;
+  val_mu.assign(dim, 0);
+  if (static_cast<int64_t>(total_cnt) != 0) {
+    for (size_t j = 0; j < dim; ++j) {
+      val_mu[j] = static_cast<int64_t>(total_val[j]) /
+                  static_cast<int64_t>(total_cnt);
+    }
+  }
+  auto val_resid = [&](size_t c, size_t j) {
+    return static_cast<int64_t>(
+        static_cast<uint64_t>(value_sums_[c * dim + j]) -
+        static_cast<uint64_t>(counts_[c]) *
+            static_cast<uint64_t>(val_mu[j]));
+  };
+
+  static thread_local std::vector<uint8_t> included;
+  included.assign(m, 0);
+  // Stats over all cells (dense candidate) and included cells (sparse).
+  int64_t cmin_d = 0, cmax_d = 0, cmin_s = 0, cmax_s = 0;
+  U128 kmin_d = 0, kmax_d = 0, kmin_s = 0, kmax_s = 0;
+  static thread_local std::vector<int64_t> vmin_d, vmax_d, vmin_s, vmax_s;
+  vmin_d.assign(dim, 0);
+  vmax_d.assign(dim, 0);
+  vmin_s.assign(dim, 0);
+  vmax_s.assign(dim, 0);
+  size_t n_included = 0;
+  bool first_s = true;
+  for (size_t c = 0; c < m; ++c) {
+    const int64_t* vs = &value_sums_[c * dim];
+    if (c == 0) {
+      cmin_d = cmax_d = counts_[0];
+      kmin_d = kmax_d = key_sums_[0];
+      for (size_t j = 0; j < dim; ++j) vmin_d[j] = vmax_d[j] = val_resid(0, j);
+    } else {
+      cmin_d = std::min(cmin_d, counts_[c]);
+      cmax_d = std::max(cmax_d, counts_[c]);
+      kmin_d = std::min(kmin_d, key_sums_[c]);
+      kmax_d = std::max(kmax_d, key_sums_[c]);
+      for (size_t j = 0; j < dim; ++j) {
+        const int64_t rv = val_resid(c, j);
+        vmin_d[j] = std::min(vmin_d[j], rv);
+        vmax_d[j] = std::max(vmax_d[j], rv);
+      }
+    }
+    bool nonzero = counts_[c] != 0 || key_sums_[c] != 0 ||
+                   (checksum_sums_[c] & wire_mask) != 0;
+    if (!nonzero) {
+      for (size_t j = 0; j < dim; ++j) {
+        if ((static_cast<uint64_t>(vs[j]) & value_mask_) != 0) {
+          nonzero = true;
+          break;
+        }
+      }
+    }
+    if (!nonzero) continue;
+    included[c] = 1;
+    ++n_included;
+    if (first_s) {
+      first_s = false;
+      cmin_s = cmax_s = counts_[c];
+      kmin_s = kmax_s = key_sums_[c];
+      for (size_t j = 0; j < dim; ++j) vmin_s[j] = vmax_s[j] = val_resid(c, j);
+    } else {
+      cmin_s = std::min(cmin_s, counts_[c]);
+      cmax_s = std::max(cmax_s, counts_[c]);
+      kmin_s = std::min(kmin_s, key_sums_[c]);
+      kmax_s = std::max(kmax_s, key_sums_[c]);
+      for (size_t j = 0; j < dim; ++j) {
+        const int64_t rv = val_resid(c, j);
+        vmin_s[j] = std::min(vmin_s[j], rv);
+        vmax_s[j] = std::max(vmax_s[j], rv);
+      }
+    }
+  }
+
+  auto range_bits64 = [](int64_t lo, int64_t hi) {
+    return static_cast<int>(std::bit_width(static_cast<uint64_t>(hi) -
+                                           static_cast<uint64_t>(lo)));
+  };
+  const int cnt_bits_d = range_bits64(cmin_d, cmax_d);
+  const int cnt_bits_s = n_included == 0 ? 0 : range_bits64(cmin_s, cmax_s);
+  const int key_bits_d = BitWidth128(kmax_d - kmin_d);
+  const int key_bits_s = n_included == 0 ? 0 : BitWidth128(kmax_s - kmin_s);
+  const size_t base_bits_d =
+      static_cast<size_t>(cnt_bits_d + key_bits_d + chk_bits);
+  const size_t base_bits_s =
+      static_cast<size_t>(cnt_bits_s + key_bits_s + chk_bits);
+  // Mod-value wire width: enough for +-8 copies of a delta-bounded
+  // coordinate after the receiver's subtraction, clamped by an already
+  // narrowed value mask (re-serialized parses) and the 64-bit slab.
+  const int wv_mod = std::min(
+      {64,
+       static_cast<int>(
+           std::bit_width(static_cast<uint64_t>(params_.delta))) +
+           4,
+       static_cast<int>(std::bit_width(value_mask_))});
+  size_t val_for_bits_d = 0, val_for_bits_s = 0;
+  size_t val_for_hdr = 0;
+  for (size_t j = 0; j < dim; ++j) {
+    val_for_bits_d += static_cast<size_t>(range_bits64(vmin_d[j], vmax_d[j]));
+    val_for_bits_s +=
+        n_included == 0
+            ? 0
+            : static_cast<size_t>(range_bits64(vmin_s[j], vmax_s[j]));
+    val_for_hdr += SignedVarint64Size(val_mu[j]) + 1;
+  }
+  size_t val_for_hdr_d = val_for_hdr, val_for_hdr_s = val_for_hdr;
+  for (size_t j = 0; j < dim; ++j) {
+    val_for_hdr_d += SignedVarint64Size(vmin_d[j]);
+    val_for_hdr_s += SignedVarint64Size(vmin_s[j]);
+  }
+  const size_t val_mod_bits = dim * static_cast<size_t>(wv_mod);
+  const size_t hdr_d =
+      2 + SignedVarint64Size(cmin_d) + 1 + Varint128Size(kmin_d) + 1;
+  const size_t hdr_s = 2 + SignedVarint64Size(cmin_s) + 1 +
+                       Varint128Size(kmin_s) + 1 + (m + 7) / 8;
+  // Four candidates: {dense, sparse} x {FoR values, mod values}; exact byte
+  // counts, deterministic preference order on ties.
+  const size_t size_df =
+      hdr_d + val_for_hdr_d + (m * (base_bits_d + val_for_bits_d) + 7) / 8;
+  const size_t size_dm = hdr_d + 1 + (m * (base_bits_d + val_mod_bits) + 7) / 8;
+  const size_t size_sf = hdr_s + val_for_hdr_s +
+                         (n_included * (base_bits_s + val_for_bits_s) + 7) / 8;
+  const size_t size_sm =
+      hdr_s + 1 + (n_included * (base_bits_s + val_mod_bits) + 7) / 8;
+  const size_t best = std::min({size_df, size_dm, size_sf, size_sm});
+  const bool sparse = best != size_df && best != size_dm;
+  const bool vmod = sparse ? best != size_sf : (best != size_df);
+
+  const int64_t cnt_base = sparse ? cmin_s : cmin_d;
+  const int cnt_bits = sparse ? cnt_bits_s : cnt_bits_d;
+  const U128 key_base = sparse ? kmin_s : kmin_d;
+  const int key_bits = sparse ? key_bits_s : key_bits_d;
+  const std::vector<int64_t>& vmin = sparse ? vmin_s : vmin_d;
+  const std::vector<int64_t>& vmax = sparse ? vmax_s : vmax_d;
+  const uint64_t wv_mask = wv_mod >= 64 ? ~static_cast<uint64_t>(0)
+                                        : (uint64_t{1} << wv_mod) - 1;
+
+  // The candidate sizes above are exact, so one reserve covers the whole
+  // encode: a cold pooled writer allocates at most once per table and a
+  // warm one (EmdServeScratch::message) not at all.
+  w->Reserve(w->size_bytes() + best);
+  w->PutU8(static_cast<uint8_t>((sparse ? 1 : 0) | (vmod ? 2 : 0)));
+  w->PutU8(static_cast<uint8_t>(chk_bits));
+  w->PutSignedVarint64(cnt_base);
+  w->PutU8(static_cast<uint8_t>(cnt_bits));
+  w->PutVarint128(key_base);
+  w->PutU8(static_cast<uint8_t>(key_bits));
+  static thread_local std::vector<uint8_t> val_bits;
+  val_bits.assign(dim, 0);
+  if (vmod) {
+    w->PutU8(static_cast<uint8_t>(wv_mod));
+  } else {
+    for (size_t j = 0; j < dim; ++j) {
+      val_bits[j] = static_cast<uint8_t>(
+          sparse && n_included == 0 ? 0 : range_bits64(vmin[j], vmax[j]));
+      w->PutSignedVarint64(val_mu[j]);
+      w->PutSignedVarint64(vmin[j]);
+      w->PutU8(val_bits[j]);
+    }
+  }
+  if (sparse) {
+    for (size_t base = 0; base < m; base += 8) {
+      uint8_t bits = 0;
+      for (size_t i = 0; i < 8 && base + i < m; ++i) {
+        if (included[base + i]) bits |= static_cast<uint8_t>(1u << i);
+      }
+      w->PutU8(bits);
+    }
+  }
+  for (size_t c = 0; c < m; ++c) {
+    if (sparse && !included[c]) continue;
+    w->PutBits(static_cast<uint64_t>(counts_[c]) -
+                   static_cast<uint64_t>(cnt_base),
+               cnt_bits);
+    w->PutBits128(key_sums_[c] - key_base, key_bits);
+    w->PutBits(static_cast<uint64_t>(checksum_sums_[c] & wire_mask),
+               chk_bits);
+    const int64_t* vs = &value_sums_[c * dim];
+    for (size_t j = 0; j < dim; ++j) {
+      if (vmod) {
+        w->PutBits(static_cast<uint64_t>(vs[j]) & wv_mask, wv_mod);
+      } else {
+        w->PutBits(static_cast<uint64_t>(val_resid(c, j)) -
+                       static_cast<uint64_t>(vmin[j]),
+                   val_bits[j]);
+      }
+    }
+  }
+  w->AlignToByte();
+}
+
+Result<Riblt> Riblt::ReadFrom(ByteReader* r, const RibltParams& params,
+                              WireCodec codec) {
   Riblt table(params);
-  for (size_t c = 0; c < table.counts_.size(); ++c) {
-    table.counts_[c] = r->GetSignedVarint64();
-    table.key_sums_[c] = r->GetVarint128();
-    table.checksum_sums_[c] = r->GetVarint128();
-    int64_t* vs = &table.value_sums_[c * table.params_.dim];
-    for (size_t j = 0; j < table.params_.dim; ++j) {
-      vs[j] = r->GetSignedVarint64();
+  const size_t m = table.counts_.size();
+  const size_t dim = table.params_.dim;
+  if (codec == WireCodec::kClassic) {
+    for (size_t c = 0; c < m; ++c) {
+      table.counts_[c] = r->GetSignedVarint64();
+      table.key_sums_[c] = r->GetVarint128();
+      table.checksum_sums_[c] = r->GetVarint128();
+      int64_t* vs = &table.value_sums_[c * dim];
+      for (size_t j = 0; j < dim; ++j) {
+        vs[j] = r->GetSignedVarint64();
+      }
+    }
+    RSR_RETURN_NOT_OK(r->status());
+    return table;
+  }
+
+  const uint8_t mode = r->GetU8();
+  const int chk_bits = r->GetU8();
+  const int64_t cnt_base = r->GetSignedVarint64();
+  const int cnt_bits = r->GetU8();
+  const U128 key_base = r->GetVarint128();
+  const int key_bits = r->GetU8();
+  RSR_RETURN_NOT_OK(r->status());
+  const int chk_bound = RibltCompactChecksumBits(m, table.checksum_mask_);
+  if (mode > 3 || chk_bits < 1 || chk_bits > chk_bound || cnt_bits > 64 ||
+      key_bits > 128) {
+    r->Invalidate();
+    return Status::Corruption("invalid compact RIBLT header");
+  }
+  const bool vmod = (mode & 2) != 0;
+  int wv_mod = 0;
+  static thread_local std::vector<int64_t> val_mu;
+  static thread_local std::vector<int64_t> val_base;
+  static thread_local std::vector<uint8_t> val_bits;
+  val_mu.resize(dim);
+  val_base.resize(dim);
+  val_bits.resize(dim);
+  if (vmod) {
+    wv_mod = r->GetU8();
+    if (wv_mod < 1 || wv_mod > 64) {
+      r->Invalidate();
+      return Status::Corruption("invalid compact RIBLT value width");
+    }
+  } else {
+    for (size_t j = 0; j < dim; ++j) {
+      val_mu[j] = r->GetSignedVarint64();
+      val_base[j] = r->GetSignedVarint64();
+      val_bits[j] = r->GetU8();
+      if (val_bits[j] > 64) {
+        r->Invalidate();
+        return Status::Corruption("invalid compact RIBLT value width");
+      }
+    }
+  }
+  const U128 wire_mask = chk_bits >= 128
+                             ? ~static_cast<U128>(0)
+                             : (static_cast<U128>(1) << chk_bits) - 1;
+  const bool sparse = (mode & 1) != 0;
+  static thread_local std::vector<uint8_t> included;
+  included.assign(m, 1);
+  if (sparse) {
+    for (size_t base = 0; base < m; base += 8) {
+      uint8_t bits = r->GetU8();
+      for (size_t i = 0; i < 8; ++i) {
+        if (base + i < m) {
+          included[base + i] = (bits >> i) & 1;
+        } else if ((bits >> i) & 1) {
+          // Nonzero bitmap padding would let distinct streams decode
+          // identically; reject for canonical round-trips.
+          r->Invalidate();
+        }
+      }
     }
   }
   RSR_RETURN_NOT_OK(r->status());
+  for (size_t c = 0; c < m; ++c) {
+    if (!included[c]) continue;
+    table.counts_[c] = static_cast<int64_t>(
+        static_cast<uint64_t>(cnt_base) + r->GetBits(cnt_bits));
+    table.key_sums_[c] = key_base + r->GetBits128(key_bits);
+    table.checksum_sums_[c] = static_cast<U128>(r->GetBits(chk_bits));
+    int64_t* vs = &table.value_sums_[c * dim];
+    if (vmod) {
+      // Raw residues mod 2^wv; stored zero-extended. The narrowed value
+      // mask (set below) makes every downstream comparison/extraction run
+      // in the wire's residue ring.
+      for (size_t j = 0; j < dim; ++j) {
+        vs[j] = static_cast<int64_t>(r->GetBits(wv_mod));
+      }
+    } else {
+      for (size_t j = 0; j < dim; ++j) {
+        // Residual + count * slope: exact inverse of the writer's predictor.
+        vs[j] = static_cast<int64_t>(
+            static_cast<uint64_t>(val_base[j]) + r->GetBits(val_bits[j]) +
+            static_cast<uint64_t>(table.counts_[c]) *
+                static_cast<uint64_t>(val_mu[j]));
+      }
+    }
+  }
+  r->AlignToByte();
+  RSR_RETURN_NOT_OK(r->status());
+  table.checksum_mask_ &= wire_mask;
+  if (vmod) {
+    table.value_mask_ &= wv_mod >= 64 ? ~static_cast<uint64_t>(0)
+                                      : (uint64_t{1} << wv_mod) - 1;
+  }
   return table;
 }
 

@@ -40,6 +40,7 @@
 #include "util/random.h"
 #include "util/serialize.h"
 #include "util/status.h"
+#include "util/wire.h"
 
 namespace rsr {
 
@@ -90,6 +91,8 @@ class Riblt {
         cells_per_subtable_(other.cells_per_subtable_),
         subtable_mod_(other.subtable_mod_),
         checksum_salt_(other.checksum_salt_),
+        checksum_mask_(other.checksum_mask_),
+        value_mask_(other.value_mask_),
         index_coeffs_(other.index_coeffs_),
         counts_(other.counts_),
         key_sums_(other.key_sums_),
@@ -101,6 +104,8 @@ class Riblt {
       cells_per_subtable_ = other.cells_per_subtable_;
       subtable_mod_ = other.subtable_mod_;
       checksum_salt_ = other.checksum_salt_;
+      checksum_mask_ = other.checksum_mask_;
+      value_mask_ = other.value_mask_;
       index_coeffs_ = other.index_coeffs_;
       counts_ = other.counts_;
       key_sums_ = other.key_sums_;
@@ -214,9 +219,28 @@ class Riblt {
   const RibltParams& params() const { return params_; }
   size_t num_cells() const { return counts_.size(); }
 
-  /// Exact wire-size accounting; cell encoding is O(d log(n Delta)) bits.
-  void WriteTo(ByteWriter* w) const;
-  static Result<Riblt> ReadFrom(ByteReader* r, const RibltParams& params);
+  /// Effective checksum-sum modulus minus one: all purity/drain comparisons
+  /// run mod (mask+1). Locally built tables use the full 128-bit sums; a
+  /// table parsed from a compact stream carries the narrower wire width
+  /// (truncation commutes with the wrapping sums, so masked comparisons stay
+  /// sound). AddScaled intersects operand masks; FoldInto propagates.
+  unsigned __int128 checksum_mask() const { return checksum_mask_; }
+
+  /// Effective value-sum modulus minus one. A compact stream may ship value
+  /// sums mod 2^Wv (Wv ~ bit_width(delta)+4): after the receiver subtracts
+  /// its own table, a cell's true value sum is bounded by its tiny diff
+  /// multiplicity times delta, so a centered lift at extraction recovers it
+  /// exactly — the "code for the difference, not the sum" trick. All cell
+  /// arithmetic is linear, so it commutes with the mask; only extraction
+  /// lifts. AddScaled intersects, FoldInto propagates.
+  uint64_t value_mask() const { return value_mask_; }
+
+  /// Exact wire-size accounting; classic cell encoding is
+  /// O(d log(n Delta)) bits, compact packs frame-of-reference deltas at
+  /// data-derived widths (docs/WIRE.md).
+  void WriteTo(ByteWriter* w, WireCodec codec = DefaultWireCodec()) const;
+  static Result<Riblt> ReadFrom(ByteReader* r, const RibltParams& params,
+                                WireCodec codec = DefaultWireCodec());
 
  private:
   using U128 = unsigned __int128;
@@ -232,6 +256,11 @@ class Riblt {
   size_t cells_per_subtable_ = 0;
   FastDiv61 subtable_mod_;      // division-free h % cells_per_subtable_
   uint64_t checksum_salt_ = 0;  // pre-mixed seed for cell checksums
+  /// See checksum_mask(); narrowed only by compact-stream parses and by
+  /// combining with a narrowed operand.
+  unsigned __int128 checksum_mask_ = ~static_cast<unsigned __int128>(0);
+  /// See value_mask(); same narrowing rules as checksum_mask_.
+  uint64_t value_mask_ = ~static_cast<uint64_t>(0);
   /// index_coeffs_[j*kIndexIndependence + i] multiplies x^i in subtable j's
   /// index polynomial.
   std::array<uint64_t, kIndexIndependence * kMaxHashes> index_coeffs_{};

@@ -89,17 +89,19 @@ Result<uint64_t> StrataEstimator::EstimateDiff(
   return exact_from_deeper;  // Every stratum decoded: the count is exact.
 }
 
-void StrataEstimator::WriteTo(ByteWriter* w) const {
-  for (const Iblt& s : strata_) s.WriteTo(w);
+void StrataEstimator::WriteTo(ByteWriter* w, WireCodec codec) const {
+  for (const Iblt& s : strata_) s.WriteTo(w, codec);
 }
 
 Result<StrataEstimator> StrataEstimator::ReadFrom(ByteReader* r,
-                                                  const StrataParams& params) {
+                                                  const StrataParams& params,
+                                                  WireCodec codec) {
   StrataEstimator est(params);
   for (int i = 0; i < params.num_strata; ++i) {
     RSR_ASSIGN_OR_RETURN(
         est.strata_[static_cast<size_t>(i)],
-        Iblt::ReadFrom(r, est.strata_[static_cast<size_t>(i)].params()));
+        Iblt::ReadFrom(r, est.strata_[static_cast<size_t>(i)].params(),
+                       codec));
   }
   return est;
 }

@@ -64,9 +64,16 @@ class StrataEstimator {
 
   const StrataParams& params() const { return params_; }
 
-  void WriteTo(ByteWriter* w) const;
-  static Result<StrataEstimator> ReadFrom(ByteReader* r,
-                                          const StrataParams& params);
+  /// Serializes every stratum's IBLT under `codec`. With the adaptive
+  /// defaults (2-byte checksums, small strata) the compact codec ships the
+  /// full configured checksum width, so EstimateDiff over parsed estimators
+  /// — and therefore adaptive size negotiation — is codec-invariant; wider
+  /// configurations may truncate down to the 16 + log2(cells) per-peel
+  /// budget (see iblt.cc).
+  void WriteTo(ByteWriter* w, WireCodec codec = DefaultWireCodec()) const;
+  static Result<StrataEstimator> ReadFrom(
+      ByteReader* r, const StrataParams& params,
+      WireCodec codec = DefaultWireCodec());
 
  private:
   int StratumOf(uint64_t key) const;

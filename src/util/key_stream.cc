@@ -1,0 +1,53 @@
+#include "util/key_stream.h"
+
+#include <algorithm>
+
+namespace rsr {
+
+void WriteKeyStream(std::span<const uint64_t> keys, ByteWriter* w,
+                    WireCodec codec) {
+  w->PutVarint64(keys.size());
+  if (codec == WireCodec::kClassic) {
+    for (uint64_t key : keys) w->PutU64(key);
+    return;
+  }
+  std::vector<uint64_t> sorted(keys.begin(), keys.end());
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t prev = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    // First key absolute, then gaps; duplicates encode as a zero gap.
+    w->PutVarint64(i == 0 ? sorted[0] : sorted[i] - prev);
+    prev = sorted[i];
+  }
+}
+
+Result<std::vector<uint64_t>> ReadKeyStream(ByteReader* r, WireCodec codec,
+                                            uint64_t max_keys) {
+  uint64_t count = r->GetVarint64();
+  if (r->failed() || count > max_keys) {
+    r->Invalidate();
+    return Status::Corruption("key stream count out of range");
+  }
+  std::vector<uint64_t> keys;
+  keys.reserve(static_cast<size_t>(count));
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t key;
+    if (codec == WireCodec::kClassic) {
+      key = r->GetU64();
+    } else {
+      uint64_t gap = r->GetVarint64();
+      key = i == 0 ? gap : prev + gap;
+      if (i != 0 && key < prev) {
+        r->Invalidate();
+        return Status::Corruption("key stream gap overflows");
+      }
+      prev = key;
+    }
+    keys.push_back(key);
+  }
+  if (r->failed()) return Status::Corruption("truncated key stream");
+  return keys;
+}
+
+}  // namespace rsr

@@ -1,0 +1,40 @@
+// Codec-dispatched encoding of a bare key multiset (a "decoded-row report"
+// — e.g. the reconciler's missing-signatures message).
+//
+// kClassic ships a varint count followed by raw fixed 64-bit keys, exactly
+// the historical layout. kCompact sorts the keys ascending and ships a
+// varint count, the first key as a varint, then varint gaps — the standard
+// delta stream for key reports. For FULL-WIDTH uniform keys (64-bit salted
+// signatures) the gaps average 64 - log2(count) bits, so the delta stream is
+// roughly break-even against raw; it wins outright whenever the key space is
+// narrower than 64 bits (see docs/WIRE.md). The compact stream is a
+// canonical multiset encoding: readers get the keys back sorted, so compact
+// consumers must not depend on the writer's insertion order.
+#ifndef RSR_UTIL_KEY_STREAM_H_
+#define RSR_UTIL_KEY_STREAM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+#include "util/wire.h"
+
+namespace rsr {
+
+/// Writes `keys` under `codec`. kCompact sorts a copy; `keys` is untouched.
+void WriteKeyStream(std::span<const uint64_t> keys, ByteWriter* w,
+                    WireCodec codec);
+
+/// Parses a stream written by WriteKeyStream under the same codec. The
+/// result is in wire order (writer order for kClassic, ascending for
+/// kCompact). `max_keys` bounds the parsed count (Corruption beyond it —
+/// a length prefix must never drive allocation unchecked); gap overflow
+/// past 2^64 is Corruption and poisons the reader.
+Result<std::vector<uint64_t>> ReadKeyStream(ByteReader* r, WireCodec codec,
+                                            uint64_t max_keys);
+
+}  // namespace rsr
+
+#endif  // RSR_UTIL_KEY_STREAM_H_

@@ -5,6 +5,13 @@
 // exact bytes produced here. Encoding: little-endian fixed ints, LEB128
 // varints, zigzag for signed varints.
 //
+// Both ends also expose a bit-granular layer (PutBits/GetBits, LSB-first
+// within each byte) used by the compact wire codec (util/wire.h, docs/
+// WIRE.md) to pack sketch cells at data-derived widths. Bit and byte
+// accessors may be mixed as long as every bit run is closed with
+// AlignToByte() before the next byte-level access — the writer CHECKs this,
+// and the reader treats misalignment as corruption.
+//
 // ByteReader uses a sticky error flag: reads past the end (or failed
 // validation) mark the reader failed and return zero values; callers check
 // status() once at the end of a decode sequence.
@@ -36,6 +43,27 @@ class ByteWriter {
   void PutDouble(double v);
   void PutBytes(const uint8_t* data, size_t len);
 
+  /// Appends the low `nbits` (0..64) of v, LSB-first. Bits accumulate into a
+  /// partial byte flushed as it fills; call AlignToByte() before any
+  /// byte-level Put or before reading buffer()/size_bytes().
+  void PutBits(uint64_t v, int nbits);
+  /// 128-bit analogue for wide packed fields (RIBLT sum deltas).
+  void PutBits128(unsigned __int128 v, int nbits);
+  /// Zero-pads the pending partial byte (no-op when already aligned).
+  void AlignToByte();
+  bool bit_aligned() const { return bit_count_ == 0; }
+
+  /// Pre-sizes the underlying buffer (capacity only). The warm serving path
+  /// reserves last sync's message size so steady-shape encodes never
+  /// reallocate (see EmdServeScratch).
+  void Reserve(size_t bytes) { buf_.reserve(bytes); }
+  /// Drops content, keeps capacity — the pooled-writer reset.
+  void Clear() {
+    buf_.clear();
+    bit_buf_ = 0;
+    bit_count_ = 0;
+  }
+
   const std::vector<uint8_t>& buffer() const { return buf_; }
   size_t size_bytes() const { return buf_.size(); }
   size_t size_bits() const { return buf_.size() * 8; }
@@ -43,6 +71,7 @@ class ByteWriter {
  private:
   template <typename T>
   void PutFixed(T v) {
+    RSR_CHECK(bit_count_ == 0);  // close bit runs with AlignToByte() first
     uint8_t tmp[sizeof(T)];
     for (size_t i = 0; i < sizeof(T); ++i) {
       tmp[i] = static_cast<uint8_t>(v >> (8 * i));
@@ -51,6 +80,9 @@ class ByteWriter {
   }
 
   std::vector<uint8_t> buf_;
+  /// Pending sub-byte bits (invariant between calls: bit_count_ < 8).
+  uint64_t bit_buf_ = 0;
+  int bit_count_ = 0;
 };
 
 /// Sticky-error binary decoder over a borrowed buffer.
@@ -70,6 +102,16 @@ class ByteReader {
   double GetDouble();
   /// Copies len bytes into out; marks failure if insufficient data.
   void GetBytes(uint8_t* out, size_t len);
+
+  /// Reads `nbits` (0..64) written by ByteWriter::PutBits. Overrunning the
+  /// buffer poisons the reader like any byte-level read.
+  uint64_t GetBits(int nbits);
+  unsigned __int128 GetBits128(int nbits);
+  /// Discards the pending partial byte's leftover bits; any nonzero padding
+  /// bit poisons the reader (the writer always zero-pads, so nonzero padding
+  /// is corruption, and accepting it would let two distinct streams decode
+  /// to one value).
+  void AlignToByte();
 
   bool failed() const { return failed_; }
   size_t remaining() const { return len_ - pos_; }
@@ -94,7 +136,7 @@ class ByteReader {
  private:
   template <typename T>
   T GetFixed() {
-    if (failed_ || len_ - pos_ < sizeof(T)) {
+    if (failed_ || bit_avail_ != 0 || len_ - pos_ < sizeof(T)) {
       failed_ = true;
       return T{0};
     }
@@ -110,6 +152,11 @@ class ByteReader {
   size_t len_;
   size_t pos_ = 0;
   bool failed_ = false;
+  /// Leftover bits from the last partially-consumed byte (invariant between
+  /// GetBits calls: bit_avail_ < 8). Byte-level reads while bits are pending
+  /// poison the reader — the stream must AlignToByte between layers.
+  uint64_t bit_buf_ = 0;
+  int bit_avail_ = 0;
 };
 
 }  // namespace rsr

@@ -1,0 +1,56 @@
+#include "util/wire.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rsr {
+
+const char* WireCodecName(WireCodec codec) {
+  switch (codec) {
+    case WireCodec::kClassic:
+      return "classic";
+    case WireCodec::kCompact:
+      return "compact";
+  }
+  return "unknown";
+}
+
+WireCodec DefaultWireCodec() {
+  static const WireCodec cached = [] {
+    const char* env = std::getenv("RSR_WIRE_CODEC");
+    if (env != nullptr && std::strcmp(env, "compact") == 0) {
+      return WireCodec::kCompact;
+    }
+    return WireCodec::kClassic;
+  }();
+  return cached;
+}
+
+void WriteWireHeader(WireCodec codec, ByteWriter* w) {
+  w->PutU8(static_cast<uint8_t>((kWireFormatVersion << 4) |
+                                static_cast<uint8_t>(codec)));
+}
+
+Result<WireCodec> ReadWireHeader(ByteReader* r) {
+  uint8_t header = r->GetU8();
+  RSR_RETURN_NOT_OK(r->status());
+  uint8_t version = header >> 4;
+  uint8_t codec = header & 0x0f;
+  if (version != kWireFormatVersion ||
+      codec > static_cast<uint8_t>(WireCodec::kCompact)) {
+    r->Invalidate();
+    return Status::Corruption("unknown wire header");
+  }
+  return static_cast<WireCodec>(codec);
+}
+
+Status ExpectWireHeader(WireCodec expected, ByteReader* r) {
+  RSR_ASSIGN_OR_RETURN(WireCodec got, ReadWireHeader(r));
+  if (got != expected) {
+    r->Invalidate();
+    return Status::Corruption("wire codec mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace rsr

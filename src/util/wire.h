@@ -1,0 +1,71 @@
+// Versioned wire-codec layer.
+//
+// Every sketch in this library serializes through a WireCodec:
+//
+//   kClassic  — the historical byte layout (varint cells, fixed-width
+//               checksums). Classic streams carry NO header byte: they are
+//               bit-identical to every transcript this library has ever
+//               produced, which is what keeps the byte-pinned transcript
+//               tests (and any stored stream) valid. Classic is implicitly
+//               "format version 0".
+//   kCompact  — bit-packed cells: frame-of-reference counts, width-packed
+//               key material, checksums truncated to the width the cell
+//               count needs, and a sparse (bitmap) mode for mostly-empty
+//               tables. See docs/WIRE.md for the exact layout.
+//
+// A compact exchange is announced by a one-byte versioned header on the
+// FIRST message of the exchange: (version << 4) | codec. Readers validate
+// both nibbles, so a future format bump (or a codec the receiver does not
+// know) fails loudly as Corruption instead of desynchronizing the parse.
+// Subsequent messages of the exchange are headerless — the codec is pinned
+// for the conversation, exactly like the rest of the shared-parameter
+// knowledge (seeds, cell counts) this library's messages assume.
+//
+// DefaultWireCodec() reads RSR_WIRE_CODEC ("classic" | "compact") once per
+// process, mirroring the RSR_FORCE_SCALAR runtime-dispatch override: CI runs
+// the serialization suites under both codecs without touching the tests.
+#ifndef RSR_UTIL_WIRE_H_
+#define RSR_UTIL_WIRE_H_
+
+#include <cstdint>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace rsr {
+
+enum class WireCodec : uint8_t {
+  kClassic = 0,
+  kCompact = 1,
+};
+
+/// Current wire-format version carried in header high nibble. Classic
+/// streams are headerless (implicit version 0); version 1 introduced the
+/// compact codec.
+inline constexpr uint8_t kWireFormatVersion = 1;
+
+const char* WireCodecName(WireCodec codec);
+
+/// Process-wide default: RSR_WIRE_CODEC=compact (or classic), else kClassic.
+/// Read once and cached; protocol params embed this as their default so the
+/// whole suite can be re-run under the compact codec from the environment.
+WireCodec DefaultWireCodec();
+
+/// Writes the one-byte versioned header. Callers emit this only on the first
+/// message of a compact exchange (classic stays headerless for byte
+/// identity); the function itself accepts either codec for tests.
+void WriteWireHeader(WireCodec codec, ByteWriter* w);
+
+/// Reads and validates a header byte: the version nibble must equal
+/// kWireFormatVersion and the codec nibble must name a known codec, else
+/// Corruption. The reader is poisoned on failure.
+Result<WireCodec> ReadWireHeader(ByteReader* r);
+
+/// Reads a header and additionally requires it to announce `expected` — the
+/// codec the exchange negotiated. A mismatch is Corruption: the peer and we
+/// disagree about the conversation's encoding.
+Status ExpectWireHeader(WireCodec expected, ByteReader* r);
+
+}  // namespace rsr
+
+#endif  // RSR_UTIL_WIRE_H_

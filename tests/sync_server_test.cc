@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "alloc_counter.h"
 #include "core/emd_protocol.h"
 #include "core/sync_server.h"
 #include "util/random.h"
@@ -85,6 +86,35 @@ TEST(SyncServerTest, SnapshotSerializesIdenticalSketchMessage) {
   ByteWriter from_cold;
   for (const Riblt& table : cold->tables) table.WriteTo(&from_cold);
   EXPECT_EQ(from_snapshot.buffer(), from_cold.buffer());
+}
+
+TEST(SyncServerTest, PooledSketchSerializeIsAllocationFreeWhenWarm) {
+  for (WireCodec codec : {WireCodec::kClassic, WireCodec::kCompact}) {
+    EmdProtocolParams params = ServerParams();
+    params.codec = codec;
+    PointStore pool = DistinctPool(48, 13);
+    PointStore alice(3);
+    for (size_t i = 0; i < 48; ++i) alice.Append(pool[i]);
+
+    auto ds = SyncDataset::Create(alice, params);
+    ASSERT_TRUE(ds.ok());
+    SyncServer server(std::move(*ds));
+    auto snap = server.AcquireSnapshot();
+    // Warm serve: the first serialize sizes the pooled buffer (the compact
+    // writers reserve their exact candidate size up front) and primes the
+    // encoders' thread-local scratch.
+    ByteWriter pooled;
+    snap->WriteSketchMessage(&pooled);
+    const size_t warm_bytes = pooled.size_bytes();
+
+    const long long before = testing::AllocationCount();
+    pooled.Clear();  // keeps capacity — the EmdServeScratch::message reset
+    snap->WriteSketchMessage(&pooled);
+    EXPECT_EQ(testing::AllocationCount(), before)
+        << "codec " << static_cast<int>(codec)
+        << " serialize allocated while warm";
+    EXPECT_EQ(pooled.size_bytes(), warm_bytes);
+  }
 }
 
 TEST(SyncServerTest, SnapshotsCachePerGenerationAndPinTheirState) {
