@@ -35,7 +35,7 @@ void RibltShapeAblation() {
         config.outliers = 2;
         config.noise = 0;
         config.outlier_dist = 100;
-        config.seed = 500 + trial;
+        config.seed = static_cast<uint64_t>(500 + trial);
         auto workload = GenerateNoisyPairStore(config);
         if (!workload.ok()) continue;
         ++trials;
@@ -48,7 +48,9 @@ void RibltShapeAblation() {
         params.d2 = 1024;
         params.num_hashes = q;
         params.cell_multiplier = mult;
-        params.seed = 31 * q + static_cast<uint64_t>(mult * 100) + trial;
+        params.seed = static_cast<uint64_t>(31 * q) +
+                      static_cast<uint64_t>(mult * 100) +
+                      static_cast<uint64_t>(trial);
         auto report =
             RunEmdProtocol(workload->alice, workload->bob, params);
         if (!report.ok() || report->failure) continue;
@@ -86,7 +88,7 @@ void FingerprintWidthAblation() {
       params.sig_cells = 128;
       params.elem_cells = 256;
       params.fingerprint_bits = bits;
-      params.seed = 900 + 10 * bits + trial;
+      params.seed = static_cast<uint64_t>(900 + 10 * bits + trial);
       auto report = ReconcileSetsOfSets(alice, bob, params);
       if (!report.ok()) continue;
       ++trials;
@@ -109,11 +111,11 @@ void StrataAblation() {
   std::printf("\n(c) strata estimator accuracy\n");
   bench::Header("  true-diff    med-estimate    med-est/true");
   Rng rng(99);
-  for (size_t diff : {16, 64, 256, 1024, 4096, 16384}) {
+  for (size_t diff : {16u, 64u, 256u, 1024u, 4096u, 16384u}) {
     std::vector<double> estimates, ratios;
     for (int trial = 0; trial < 10; ++trial) {
       StrataParams params;
-      params.seed = 3000 + trial;
+      params.seed = static_cast<uint64_t>(3000 + trial);
       StrataEstimator a(params), b(params);
       for (size_t i = 0; i < 2000; ++i) {
         uint64_t key = rng.Next();

@@ -28,7 +28,7 @@ void Run() {
   bench::Header(
       "      n   success  med-ratio  p95-ratio   med-bits   formula-bits  naive-bits");
 
-  for (size_t n : {32, 64, 128, 256}) {
+  for (size_t n : {32u, 64u, 128u, 256u}) {
     int successes = 0;
     std::vector<double> ratios, bits;
     for (int trial = 0; trial < kTrials; ++trial) {
@@ -40,7 +40,7 @@ void Run() {
       config.outliers = k;
       config.noise = 2;
       config.outlier_dist = 40;
-      config.seed = 1000 * n + trial;
+      config.seed = 1000 * n + static_cast<uint64_t>(trial);
       auto workload = GenerateNoisyPairStore(config);
       if (!workload.ok()) continue;
 
@@ -51,7 +51,7 @@ void Run() {
       params.base.k = k;
       params.base.d1 = 4.0 * k;  // noise floor: 2k noisy pairs at distance <=4
       params.base.d2 = static_cast<double>(2 * dim * n);
-      params.base.seed = 77 * n + trial;
+      params.base.seed = 77 * n + static_cast<uint64_t>(trial);
       params.interval_ratio = 4.0;
       auto report =
           RunMultiscaleEmdProtocol(workload->alice, workload->bob, params);

@@ -38,7 +38,7 @@ Outcome RunSetting(size_t n, size_t dim, Coord delta, size_t k, double d1,
     config.outliers = k;
     config.noise = 2.0;
     config.outlier_dist = 150;
-    config.seed = seed_base + trial;
+    config.seed = seed_base + static_cast<uint64_t>(trial);
     auto workload = GenerateNoisyPairStore(config);
     if (!workload.ok()) continue;
 
@@ -49,7 +49,7 @@ Outcome RunSetting(size_t n, size_t dim, Coord delta, size_t k, double d1,
     params.base.k = k;
     params.base.d1 = d1;
     params.base.d2 = d2;
-    params.base.seed = seed_base * 31 + trial;
+    params.base.seed = seed_base * 31 + static_cast<uint64_t>(trial);
     params.interval_ratio = interval_ratio;
     auto report =
         RunMultiscaleEmdProtocol(workload->alice, workload->bob, params);
@@ -79,7 +79,7 @@ void Run() {
   std::printf("\n(a) sweep n (D1=%g, D2=%g, ratio-2 intervals)\n", 8.0, 8192.0);
   bench::Header(
       "      n   success  med-ratio  p95-ratio   med-bits   formula-bits  naive-bits");
-  for (size_t n : {32, 64, 128}) {
+  for (size_t n : {32u, 64u, 128u}) {
     Outcome o = RunSetting(n, dim, delta, k, 8.0, 8192.0, 2.0, 5000 + n);
     double formula = static_cast<double>(k) * dim *
                      std::log2(double(n) * double(delta)) *

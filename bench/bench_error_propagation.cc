@@ -46,7 +46,7 @@ void Run() {
         params.num_hashes = q;
         params.dim = 1;
         params.delta = kDelta;
-        params.seed = 90000 + 1000 * q + trial +
+        params.seed = static_cast<uint64_t>(90000 + 1000 * q + trial) +
                       static_cast<uint64_t>(c * 1e6);
         Riblt table(params);
         Rng rng(params.seed ^ 0xabc);
@@ -59,7 +59,7 @@ void Run() {
         table.Insert(error_key, Point(std::vector<Coord>{kBase + kError}));
         table.Delete(error_key, Point(std::vector<Coord>{kBase}));
 
-        Rng decode_rng(trial + 1);
+        Rng decode_rng(static_cast<uint64_t>(trial + 1));
         auto result = table.Decode(keys + 2, keys + 2, &decode_rng);
         if (!result.ok()) continue;
         ++decoded;

@@ -22,7 +22,7 @@ void TwoWayTable() {
   std::printf("\n(a) two-way Gap reconciliation (l1, d=4, n sweep, k=2)\n");
   bench::Header(
       "      n   covered-A  covered-B   oneway-bits   twoway-bits   ratio");
-  for (size_t n : {32, 64, 128}) {
+  for (size_t n : {32u, 64u, 128u}) {
     int covered_a = 0, covered_b = 0, trials = 0;
     std::vector<double> oneway, twoway;
     for (int trial = 0; trial < 6; ++trial) {
@@ -34,7 +34,7 @@ void TwoWayTable() {
       config.outliers = 2;
       config.noise = 2;
       config.outlier_dist = 300;
-      config.seed = 60 * n + trial;
+      config.seed = 60 * n + static_cast<uint64_t>(trial);
       auto workload = GenerateNoisyPairStore(config);
       if (!workload.ok()) continue;
       ++trials;
@@ -46,7 +46,7 @@ void TwoWayTable() {
       params.r1 = 4;
       params.r2 = 200;
       params.k = 2;
-      params.seed = 61 * n + trial;
+      params.seed = 61 * n + static_cast<uint64_t>(trial);
       auto both = RunTwoWayGapProtocol(workload->alice, workload->bob, params);
       if (!both.ok()) continue;
       Metric metric(MetricKind::kL1);

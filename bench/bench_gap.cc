@@ -40,7 +40,7 @@ GapOutcome RunSetting(MetricKind metric_kind, size_t dim, Coord delta,
     config.outliers = k;
     config.noise = noise;
     config.outlier_dist = outlier_dist;
-    config.seed = seed_base + trial;
+    config.seed = seed_base + static_cast<uint64_t>(trial);
     auto workload = GenerateNoisyPairStore(config);
     if (!workload.ok()) continue;
     ++outcome.trials;
@@ -54,7 +54,7 @@ GapOutcome RunSetting(MetricKind metric_kind, size_t dim, Coord delta,
     params.k = k;
     params.h_multiplier = 4.0;
     params.reconciler.mode = mode;
-    params.seed = seed_base * 13 + trial;
+    params.seed = seed_base * 13 + static_cast<uint64_t>(trial);
     auto report = RunGapProtocol(workload->alice, workload->bob, params);
     if (!report.ok()) continue;
     outcome.rho = report->derived.rho;
@@ -77,8 +77,8 @@ void Run() {
   std::printf("\n(a) Hamming, d=1024, r1=4, r2=192, fingerprint reconciler\n");
   bench::Header(
       "      n    k    rho    guarantee    med-bits     naive-bits    med-|T_A|");
-  for (size_t n : {64, 128, 256}) {
-    for (size_t k : {1, 4}) {
+  for (size_t n : {64u, 128u, 256u}) {
+    for (size_t k : {1u, 4u}) {
       GapOutcome o =
           RunSetting(MetricKind::kHamming, 1024, 1, n, k, 4, 192, 2, 320,
                      SetsReconcilerMode::kFingerprint, 10 * n + k);
@@ -94,7 +94,7 @@ void Run() {
       "    significantly over the naive solution' — crossover expected)\n");
   bench::Header(
       "      d    rho    guarantee    med-bits     naive-bits    med-|T_A|");
-  for (size_t d : {8, 32, 128, 512}) {
+  for (size_t d : {8u, 32u, 128u, 512u}) {
     GapOutcome o = RunSetting(MetricKind::kL1, d, 4095, 128, 2, 4, 300, 2,
                               500, SetsReconcilerMode::kFingerprint,
                               700 * d + 2);

@@ -31,7 +31,7 @@ void Run() {
   bench::Header(
       "    d   rho_hat  lowdim-h   general-ok  lowdim-ok   gen-bits   low-bits   gen-ms   low-ms");
 
-  for (size_t dim : {2, 3, 4}) {
+  for (size_t dim : {2u, 3u, 4u}) {
     double rho_hat = r1 * static_cast<double>(dim) / r2;
     int general_ok = 0, lowdim_ok = 0, trials = 0;
     size_t lowdim_h = 0;
@@ -45,7 +45,7 @@ void Run() {
       config.outliers = k;
       config.noise = 2;
       config.outlier_dist = 600;
-      config.seed = 40 * dim + trial;
+      config.seed = 40 * dim + static_cast<uint64_t>(trial);
       auto workload = GenerateNoisyPairStore(config);
       if (!workload.ok()) continue;
       ++trials;
@@ -59,7 +59,7 @@ void Run() {
       general.r2 = r2;
       general.k = k;
       general.h_multiplier = 4.0;
-      general.seed = 91 * dim + trial;
+      general.seed = 91 * dim + static_cast<uint64_t>(trial);
       auto t0 = std::chrono::steady_clock::now();
       auto general_report =
           RunGapProtocol(workload->alice, workload->bob, general);
@@ -73,7 +73,7 @@ void Run() {
       lowdim.r2 = r2;
       lowdim.k = k;
       lowdim.h_multiplier = 2.0;
-      lowdim.seed = 92 * dim + trial;
+      lowdim.seed = 92 * dim + static_cast<uint64_t>(trial);
       auto t2 = std::chrono::steady_clock::now();
       auto lowdim_report =
           RunLowDimGapProtocol(workload->alice, workload->bob, lowdim);

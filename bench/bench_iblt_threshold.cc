@@ -42,7 +42,8 @@ void Run() {
         IbltParams params;
         params.num_cells = m;
         params.num_hashes = q;
-        params.seed = 4000 + 100 * q + trial + static_cast<uint64_t>(c * 1e4);
+        params.seed = static_cast<uint64_t>(4000 + 100 * q + trial) +
+                      static_cast<uint64_t>(c * 1e4);
         Iblt table(params);
         Rng rng(params.seed ^ 0x5eed);
         size_t keys = static_cast<size_t>(c * static_cast<double>(m));

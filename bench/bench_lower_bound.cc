@@ -38,7 +38,7 @@ void Run() {
       ++trials;
       size_t bits_used = 0;
       bool guess = OneRoundBloomIndexGuess(*instance, budget,
-                                           999 + trial, &bits_used);
+                                           static_cast<uint64_t>(999 + trial), &bits_used);
       errors += guess;  // truth is 0
     }
     std::printf("%13zu   %8.1f   %10.3f  (%d/%d)\n", budget,
@@ -49,7 +49,7 @@ void Run() {
 
   std::printf("\n(b) our 4-round Gap protocol on the same hard instances\n");
   bench::Header("      n    solved     med-bits   rounds");
-  for (size_t size : {16, 32, 64}) {
+  for (size_t size : {16u, 32u, 64u}) {
     int solved = 0, trials = 0, rounds = 0;
     std::vector<double> bits;
     for (int trial = 0; trial < 10; ++trial) {
@@ -67,7 +67,7 @@ void Run() {
       params.r1 = 1;
       params.r2 = static_cast<double>(r2);
       params.k = size;  // every Alice point is far: worst case
-      params.seed = 1717 + trial;
+      params.seed = static_cast<uint64_t>(1717 + trial);
       auto report = RunGapProtocol(instance->alice, instance->bob, params);
       if (!report.ok()) continue;
       auto answer = SolveIndexFromGapOutput(*instance, report->s_b_prime);

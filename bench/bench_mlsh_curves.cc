@@ -36,7 +36,7 @@ void RunFamily(MetricKind kind, size_t dim, Coord delta, double w) {
     double f = metric.Distance(x, y);
     if (f <= 0 || f > params.r) continue;
 
-    Rng draw_rng(1000 + step);
+    Rng draw_rng(static_cast<uint64_t>(1000 + step));
     int hits = 0;
     for (int i = 0; i < kDraws; ++i) {
       auto h = family->Draw(&draw_rng);

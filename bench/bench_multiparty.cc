@@ -35,16 +35,17 @@ void Run() {
 
   std::printf("\n(a) sweep party count (shared=400, unique/party=4)\n");
   bench::Header("      s   all-union   total-bits   bits-per-party");
-  for (size_t s : {2, 3, 5, 8, 12}) {
+  for (size_t s : {2u, 3u, 5u, 8u, 12u}) {
     int ok = 0, trials = 0;
     std::vector<double> bits;
     for (int trial = 0; trial < 8; ++trial) {
-      auto parties = MakeParties(s, 400, 4, 100 * s + trial);
+      auto parties =
+          MakeParties(s, 400, 4, 100 * s + static_cast<uint64_t>(trial));
       MultiPartyParams params;
       params.dim = 2;
       params.delta = 4095;
       params.sketch_cells = 36 * (s * 4 + 4);
-      params.seed = 55 * s + trial;
+      params.seed = 55 * s + static_cast<uint64_t>(trial);
       auto report = RunMultiPartyUnion(parties, params);
       if (!report.ok()) continue;
       ++trials;
@@ -58,16 +59,17 @@ void Run() {
 
   std::printf("\n(b) sweep shared-set size at s=4, unique/party=4\n");
   bench::Header(" shared   all-union   total-bits");
-  for (size_t shared : {100, 400, 1600, 6400}) {
+  for (size_t shared : {100u, 400u, 1600u, 6400u}) {
     int ok = 0, trials = 0;
     std::vector<double> bits;
     for (int trial = 0; trial < 6; ++trial) {
-      auto parties = MakeParties(4, shared, 4, 77 * shared + trial);
+      auto parties = MakeParties(4, shared, 4,
+                                 77 * shared + static_cast<uint64_t>(trial));
       MultiPartyParams params;
       params.dim = 2;
       params.delta = 4095;
       params.sketch_cells = 36 * 20;
-      params.seed = 99 * shared + trial;
+      params.seed = 99 * shared + static_cast<uint64_t>(trial);
       auto report = RunMultiPartyUnion(parties, params);
       if (!report.ok()) continue;
       ++trials;

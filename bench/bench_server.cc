@@ -445,14 +445,15 @@ int main() {
     const SweepResult warm = MeasureAdaptiveWarm(pool, diff);
     const SweepResult cold = MeasureColdAdaptive(pool, diff);
     std::printf("  %4zu   static-warm   %11.1f   %8.1f   %14s\n", diff,
-                static_warm.sketch_bytes / 1024.0, static_warm.syncs_per_sec,
+                static_cast<double>(static_warm.sketch_bytes) / 1024.0,
+                static_warm.syncs_per_sec,
                 "1.00x");
     std::printf("  %4zu   adaptive-warm %11.1f   %8.1f   %13.2fx\n", diff,
-                warm.sketch_bytes / 1024.0, warm.syncs_per_sec,
+                static_cast<double>(warm.sketch_bytes) / 1024.0, warm.syncs_per_sec,
                 static_cast<double>(warm.sketch_bytes) /
                     static_cast<double>(static_warm.sketch_bytes));
     std::printf("  %4zu   cold-adaptive %11.1f   %8.1f   %13.2fx\n\n", diff,
-                cold.sketch_bytes / 1024.0, cold.syncs_per_sec,
+                static_cast<double>(cold.sketch_bytes) / 1024.0, cold.syncs_per_sec,
                 static_cast<double>(cold.sketch_bytes) /
                     static_cast<double>(static_warm.sketch_bytes));
   }

@@ -29,7 +29,7 @@ void Run() {
   bench::Header(
       "    d    emd_k(med)   ours-emd(med)  ours-ratio   qt-emd(med)   qt-ratio   ours-bits     qt-bits");
 
-  for (size_t dim : {2, 4, 8, 16, 32}) {
+  for (size_t dim : {2u, 4u, 8u, 16u, 32u}) {
     std::vector<double> ours_emd, qt_emd, ours_ratio, qt_ratio, emdks;
     std::vector<double> ours_bits, qt_bits;
     for (int trial = 0; trial < kTrials; ++trial) {
@@ -41,7 +41,7 @@ void Run() {
       config.outliers = k;
       config.noise = 2;
       config.outlier_dist = 200;
-      config.seed = 100 * dim + trial;
+      config.seed = 100 * dim + static_cast<uint64_t>(trial);
       auto workload = GenerateNoisyPairStore(config);
       if (!workload.ok()) continue;
       Metric metric(MetricKind::kL1);
@@ -53,7 +53,7 @@ void Run() {
       ours.base.dim = dim;
       ours.base.delta = delta;
       ours.base.k = k;
-      ours.base.seed = 71 * dim + trial;
+      ours.base.seed = 71 * dim + static_cast<uint64_t>(trial);
       ours.base.d1 = 2.0 * static_cast<double>(n);  // noise floor ~ 2n
       ours.base.d2 = 64.0 * static_cast<double>(n) * static_cast<double>(dim);
       ours.interval_ratio = 4.0;
@@ -64,7 +64,7 @@ void Run() {
       quadtree.dim = dim;
       quadtree.delta = delta;
       quadtree.k = k;
-      quadtree.seed = 72 * dim + trial;
+      quadtree.seed = 72 * dim + static_cast<uint64_t>(trial);
       auto qt_report =
           RunQuadtreeEmdProtocol(workload->alice, workload->bob, quadtree);
 

@@ -24,7 +24,7 @@
 #               scaling — single runs there are bimodal; compare medians.
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${1:-BENCH_micro.json}
@@ -40,11 +40,18 @@ if [ ! -x "$BUILD_DIR/bench_micro" ]; then
   }
 fi
 
+# Array, not an unquoted ${FILTER:+...} expansion: a filter regex containing
+# a space (e.g. FILTER='BM_Foo<1, 2>') must stay one argument.
+FILTER_FLAGS=()
+if [ -n "${FILTER:-}" ]; then
+  FILTER_FLAGS=(--benchmark_filter="$FILTER")
+fi
+
 "$BUILD_DIR/bench_micro" \
   --benchmark_format=json \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_repetitions="$REPS" \
-  ${FILTER:+--benchmark_filter="$FILTER"} \
+  ${FILTER_FLAGS[@]+"${FILTER_FLAGS[@]}"} \
   > "$OUT"
 
 echo "wrote $OUT" >&2

@@ -1,12 +1,21 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify (Release build + full CTest run; -Wall
-# -Wextra are enabled unconditionally by CMakeLists.txt), followed by a
-# Debug + Address/UB-sanitizer configuration of the same test suite, and a
-# RelWithDebInfo + ThreadSanitizer leg over the concurrency tests (the
-# SyncServer mutate-while-sync interleaving).
+# -Wextra are enabled unconditionally by CMakeLists.txt, and the strict
+# warning wall -Wconversion/-Wsign-conversion/... by the default-ON
+# RSR_STRICT_WARNINGS option), the static-analysis wall
+# (ci/static_analysis.sh: clang-tidy + the wire-invariant linter +
+# shellcheck + scoped clang-format check — see docs/STATIC_ANALYSIS.md),
+# followed by a Debug + Address/UB-sanitizer configuration of the same test
+# suite, and a RelWithDebInfo + ThreadSanitizer leg over the concurrency
+# tests (the SyncServer mutate-while-sync interleaving).
 #
 # Usage: ci/build_and_test.sh
 # Environment:
+#   RSR_STATIC_ANALYSIS  unset/auto: run ci/static_analysis.sh after the
+#                 tier-1 leg, skipping (loudly) analysis tools the host
+#                 lacks. =1: missing tools FAIL the run. =0: skip the
+#                 static-analysis wall entirely (the strict warning wall
+#                 still applies — it is part of the compile).
 #   RSR_BENCH=1   additionally configure with -DRSR_BUILD_BENCH=ON and
 #                 FAIL LOUDLY if google-benchmark is missing (a requested
 #                 bench build must never silently skip bench_micro — that
@@ -22,7 +31,7 @@
 #                 over the flag, so both must agree).
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 BENCH_FLAGS=()
 if [[ "${RSR_BENCH:-0}" == "1" ]]; then
@@ -40,6 +49,16 @@ cmake -B build -S . "${WERROR_FLAGS[@]}" "${TIMEOUT_FLAGS[@]}" \
   ${BENCH_FLAGS[@]+"${BENCH_FLAGS[@]}"}
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j --timeout "${CTEST_TIMEOUT}"
+
+# Static-analysis wall: runs against the compile_commands.json the tier-1
+# configure just exported. Placed after the tests so a plain compile error
+# surfaces as itself, not as a wall of tidy diagnostics on a broken TU.
+if [[ "${RSR_STATIC_ANALYSIS:-auto}" == "0" ]]; then
+  echo "==== Static-analysis wall SKIPPED (RSR_STATIC_ANALYSIS=0) ===="
+else
+  echo "==== Static-analysis wall (ci/static_analysis.sh) ===="
+  BUILD_DIR=build ci/static_analysis.sh
+fi
 
 # Second leg of the dual-dispatch matrix: the identical suite with the
 # runtime dispatcher pinned to the portable scalar kernels. Guarantees the

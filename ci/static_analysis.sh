@@ -1,0 +1,158 @@
+#!/usr/bin/env bash
+# Static-analysis wall: clang-tidy (curated .clang-tidy, warnings-as-errors)
+# + the project-invariant linter (ci/lint_invariants.py) + shellcheck over
+# the CI/bench scripts + a check-only clang-format pass scoped to touched
+# files. Invoked from ci/build_and_test.sh; see docs/STATIC_ANALYSIS.md.
+#
+# Tool-availability gating: the invariant linter is pure python3 and ALWAYS
+# runs — it is the layer that cannot be skipped. clang-tidy, shellcheck, and
+# clang-format are optional toolchain extras:
+#   RSR_STATIC_ANALYSIS unset / =auto  missing optional tools SKIP with a
+#                                      loud warning (the strict-warning wall
+#                                      and the invariant linter still gate).
+#   RSR_STATIC_ANALYSIS=1              explicit request: a missing tool is a
+#                                      hard FAILURE — an explicitly requested
+#                                      analysis leg must never silently
+#                                      degrade into a no-op.
+#   RSR_STATIC_ANALYSIS=0              the caller (build_and_test.sh) skips
+#                                      this script entirely; setting it while
+#                                      invoking this script directly is an
+#                                      error (you asked for analysis and
+#                                      opted out of it at the same time).
+#
+# Environment:
+#   BUILD_DIR          build dir holding compile_commands.json (default:
+#                      build; configured on demand if absent).
+#   RSR_FORMAT_BASE    git rev to diff against for the clang-format scope
+#                      (default: HEAD — i.e. uncommitted changes; CI passes
+#                      origin/main to cover the whole branch).
+#
+# Exit status: 0 wall clean (or optional tools skipped in auto mode),
+# 1 findings or missing explicitly-required tool.
+set -euo pipefail
+
+cd "$(dirname "$0")/.." || exit 1
+
+MODE="${RSR_STATIC_ANALYSIS:-auto}"
+BUILD_DIR="${BUILD_DIR:-build}"
+FAILURES=0
+
+if [[ "$MODE" == "0" ]]; then
+  echo "error: ci/static_analysis.sh invoked with RSR_STATIC_ANALYSIS=0" >&2
+  echo "       (the opt-out is honored by ci/build_and_test.sh, which then" >&2
+  echo "       does not run this script at all)" >&2
+  exit 1
+fi
+
+# A tool gap in auto mode is a loud skip; under an explicit RSR_STATIC_ANALYSIS=1
+# it is a failure.
+missing_tool() {
+  local tool="$1" hint="$2"
+  if [[ "$MODE" == "1" ]]; then
+    echo "error: RSR_STATIC_ANALYSIS=1 but '$tool' is not installed ($hint)" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "WARNING: '$tool' not installed — SKIPPING that layer ($hint)." >&2
+    echo "         The strict-warning wall and the invariant linter still gate." >&2
+  fi
+}
+
+# ---- Layer 1: clang-tidy over the compilation database ----------------------
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+    echo "==== static-analysis: configuring $BUILD_DIR for compile_commands.json ===="
+    cmake -B "$BUILD_DIR" -S . >/dev/null
+  fi
+  echo "==== static-analysis: clang-tidy (warnings-as-errors) ===="
+  # Scope: our translation units, not third-party or generated ones. The
+  # fixture files under tests/lint_fixtures are deliberate rule violations
+  # and are not part of any build.
+  TIDY_FILES=()
+  while IFS= read -r f; do TIDY_FILES+=("$f"); done < <(
+    find src bench examples -name '*.cc' -o -name '*.cpp' 2>/dev/null | sort
+    find tests -maxdepth 1 -name '*.cc' | sort
+  )
+  RUNNER=""
+  for cand in run-clang-tidy run-clang-tidy-19 run-clang-tidy-18 \
+              run-clang-tidy-17 run-clang-tidy-16 run-clang-tidy-15 \
+              run-clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then RUNNER="$cand"; break; fi
+  done
+  if [[ -n "$RUNNER" ]]; then
+    if ! "$RUNNER" -quiet -p "$BUILD_DIR" "${TIDY_FILES[@]}"; then
+      echo "error: clang-tidy reported findings (config: .clang-tidy)" >&2
+      FAILURES=$((FAILURES + 1))
+    fi
+  else
+    # No parallel runner shipped with this clang-tidy: drive it directly.
+    if ! clang-tidy -quiet -p "$BUILD_DIR" "${TIDY_FILES[@]}"; then
+      echo "error: clang-tidy reported findings (config: .clang-tidy)" >&2
+      FAILURES=$((FAILURES + 1))
+    fi
+  fi
+else
+  missing_tool clang-tidy "apt install clang-tidy"
+fi
+
+# ---- Layer 2: project-invariant linter (always runs; no optional deps) ------
+
+echo "==== static-analysis: wire-invariant linter (ci/lint_invariants.py) ===="
+# tests/ is linted at depth 1 only: tests/lint_fixtures/ holds deliberate
+# known-bad inputs for lint_invariants_test.py.
+LINT_PATHS=(src bench examples)
+while IFS= read -r f; do LINT_PATHS+=("$f"); done < <(
+  find tests -maxdepth 1 \( -name '*.cc' -o -name '*.h' \) | sort
+)
+if ! python3 ci/lint_invariants.py --no-libclang "${LINT_PATHS[@]}"; then
+  echo "error: invariant linter reported findings (rules + suppression" >&2
+  echo "       syntax: docs/STATIC_ANALYSIS.md)" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+# ---- Layer 3: shellcheck over the CI and bench scripts ----------------------
+
+if command -v shellcheck >/dev/null 2>&1; then
+  echo "==== static-analysis: shellcheck ===="
+  if ! shellcheck ci/*.sh bench/run_bench.sh; then
+    echo "error: shellcheck reported findings" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+else
+  missing_tool shellcheck "apt install shellcheck"
+fi
+
+# ---- Layer 4: clang-format, check-only, scoped to touched files -------------
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "==== static-analysis: clang-format --dry-run (touched files only) ===="
+  BASE="${RSR_FORMAT_BASE:-HEAD}"
+  FMT_FILES=()
+  while IFS= read -r f; do
+    [[ -f "$f" ]] || continue  # skip deleted paths
+    case "$f" in
+      tests/lint_fixtures/*) continue ;;
+      *.cc|*.h|*.cpp) FMT_FILES+=("$f") ;;
+    esac
+  done < <(git diff --name-only "$BASE" -- 2>/dev/null; git diff --name-only --cached 2>/dev/null)
+  if [[ ${#FMT_FILES[@]} -gt 0 ]]; then
+    # --dry-run -Werror: report, never rewrite — no tree-wide reformat.
+    if ! clang-format --dry-run -Werror --style=file "${FMT_FILES[@]}"; then
+      echo "error: clang-format check failed on touched files (style:" >&2
+      echo "       .clang-format; run clang-format -i on the files above)" >&2
+      FAILURES=$((FAILURES + 1))
+    fi
+  else
+    echo "no touched C++ files vs $BASE; nothing to format-check"
+  fi
+else
+  missing_tool clang-format "apt install clang-format"
+fi
+
+# ---- Verdict ----------------------------------------------------------------
+
+if [[ "$FAILURES" -gt 0 ]]; then
+  echo "==== static-analysis: FAILED ($FAILURES layer(s)) ====" >&2
+  exit 1
+fi
+echo "==== static-analysis: OK ===="

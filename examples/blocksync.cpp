@@ -52,7 +52,8 @@ int main() {
     std::printf("estimate failed: %s\n", estimate.status().ToString().c_str());
     return 1;
   }
-  size_t cells = std::max<size_t>(static_cast<size_t>(*estimate * 1.6), 32);
+  size_t cells = std::max<size_t>(
+      static_cast<size_t>(static_cast<double>(*estimate) * 1.6), 32);
   std::printf("true difference: %zu   estimated: %llu   IBLT cells: %zu\n",
               kOnlyA + kOnlyB, static_cast<unsigned long long>(*estimate),
               cells);
@@ -90,6 +91,6 @@ int main() {
               strata_msg.size_bytes(), iblt_msg.size_bytes(), total_bytes,
               naive_bytes);
   std::printf("savings: %.1fx\n",
-              static_cast<double>(naive_bytes) / total_bytes);
+              static_cast<double>(naive_bytes) / static_cast<double>(total_bytes));
   return decoded.complete ? 0 : 1;
 }

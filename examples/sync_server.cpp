@@ -83,8 +83,9 @@ int main() {
   for (int round = 0; round < kRounds; ++round) {
     // One record arrives, the oldest resident one expires (n stays fixed)...
     PointStore arrival(3);
-    arrival.Append(pool[kRecords + round]);
-    std::vector<uint64_t> expired = {server.KeyOf(pool[round])};
+    arrival.Append(pool[kRecords + static_cast<size_t>(round)]);
+    std::vector<uint64_t> expired = {
+        server.KeyOf(pool[static_cast<size_t>(round)])};
     if (!server.ApplyBatch(arrival, expired).ok()) {
       std::printf("churn failed at round %d\n", round);
       return 1;
@@ -107,7 +108,7 @@ int main() {
     // Same churn volume, raw row edits only (which resident row expires is
     // irrelevant to the timing — every sync rebuilds everything anyway)...
     rebuilt_rows.RemoveRowSwap(0);
-    rebuilt_rows.Append(pool[kRecords + round]);
+    rebuilt_rows.Append(pool[kRecords + static_cast<size_t>(round)]);
     // ...then the sync pays the full rebuild.
     auto sketches = BuildEmdSketches(rebuilt_rows, params, false);
     if (!sketches.ok()) {

@@ -1,5 +1,6 @@
 #include "core/emd_sketch.h"
 
+#include <cstddef>
 #include <span>
 
 #include "core/adaptive.h"
@@ -137,6 +138,8 @@ Result<EmdSketchSet> BuildEmdSketches(const PointStore& alice,
   return set;
 }
 
+// RSR_ZERO_ALLOC: warm same-shape folds reuse the scratch tables in place
+// (FoldEmdSketchesTest.MatchesPerTableFoldAndReusesScratchWithoutAllocating).
 Status FoldEmdSketches(const EmdSketchSet& set,
                        const std::vector<size_t>& level_cells,
                        const EmdProtocolParams& params,
@@ -148,8 +151,10 @@ Status FoldEmdSketches(const EmdSketchSet& set,
   const size_t q = static_cast<size_t>(params.num_hashes);
   if (scratch->folded.size() > level_cells.size()) {
     // Shrink via erase: Riblt has no default constructor, so resize() can't.
-    scratch->folded.erase(scratch->folded.begin() + level_cells.size(),
-                          scratch->folded.end());
+    scratch->folded.erase(
+        scratch->folded.begin() +
+            static_cast<std::ptrdiff_t>(level_cells.size()),
+        scratch->folded.end());
   }
   for (size_t l = 0; l < level_cells.size(); ++l) {
     const size_t target = level_cells[l];

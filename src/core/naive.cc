@@ -42,7 +42,7 @@ namespace {
 void PackRowInto(const Coord* row, size_t dim, uint8_t* out) {
   for (size_t j = 0; j < dim; ++j) {
     uint64_t v = static_cast<uint64_t>(row[j]);
-    for (int b = 0; b < 8; ++b) {
+    for (size_t b = 0; b < 8; ++b) {
       out[j * 8 + b] = static_cast<uint8_t>(v >> (8 * b));
     }
   }
@@ -52,7 +52,7 @@ Point UnpackPoint(const std::vector<uint8_t>& bytes, size_t dim) {
   std::vector<Coord> coords(dim, 0);
   for (size_t j = 0; j < dim; ++j) {
     uint64_t v = 0;
-    for (int b = 0; b < 8; ++b) {
+    for (size_t b = 0; b < 8; ++b) {
       v |= static_cast<uint64_t>(bytes[j * 8 + b]) << (8 * b);
     }
     coords[j] = static_cast<Coord>(v);

@@ -15,7 +15,7 @@ namespace {
 std::vector<uint8_t> PackCells(const std::vector<uint64_t>& cells) {
   std::vector<uint8_t> out(cells.size() * 8);
   for (size_t j = 0; j < cells.size(); ++j) {
-    for (int b = 0; b < 8; ++b) {
+    for (size_t b = 0; b < 8; ++b) {
       out[j * 8 + b] = static_cast<uint8_t>(cells[j] >> (8 * b));
     }
   }
@@ -26,7 +26,7 @@ std::vector<uint64_t> UnpackCells(const std::vector<uint8_t>& bytes,
                                   size_t dim) {
   std::vector<uint64_t> cells(dim, 0);
   for (size_t j = 0; j < dim; ++j) {
-    for (int b = 0; b < 8; ++b) {
+    for (size_t b = 0; b < 8; ++b) {
       cells[j] |= static_cast<uint64_t>(bytes[j * 8 + b]) << (8 * b);
     }
   }

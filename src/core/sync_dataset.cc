@@ -1,6 +1,7 @@
 #include "core/sync_dataset.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "core/adaptive.h"
 #include "hashing/hash64.h"
@@ -209,6 +210,8 @@ void SyncDataset::Reserve(size_t capacity) {
   index_.ReserveFor(capacity);
 }
 
+// RSR_ZERO_ALLOC: steady-shape churn reuses the member scratch buffers
+// (SyncDatasetTest churn pin via tests/alloc_counter.h).
 void SyncDataset::ApplyInserts(std::span<const uint64_t> insert_keys) {
   const size_t m = insert_keys.size();
   if (m == 0) return;
@@ -248,6 +251,7 @@ void SyncDataset::ApplyInserts(std::span<const uint64_t> insert_keys) {
   sketches_.n = rows_.size();
 }
 
+// RSR_ZERO_ALLOC: same steady-shape churn contract as ApplyInserts.
 void SyncDataset::ApplyDeletes(std::span<const size_t> slots_desc) {
   const size_t t = sketches_.derived.levels;
 
@@ -272,9 +276,11 @@ void SyncDataset::ApplyDeletes(std::span<const size_t> slots_desc) {
     rows_.RemoveRowSwap(slot);
     if (slot != last) {
       row_keys_[slot] = row_keys_[last];
-      std::copy(row_level_keys_.begin() + last * t,
-                row_level_keys_.begin() + (last + 1) * t,
-                row_level_keys_.begin() + slot * t);
+      std::copy(
+          row_level_keys_.begin() + static_cast<std::ptrdiff_t>(last * t),
+          row_level_keys_.begin() +
+              static_cast<std::ptrdiff_t>((last + 1) * t),
+          row_level_keys_.begin() + static_cast<std::ptrdiff_t>(slot * t));
       const bool moved = index_.SetRow(row_keys_[slot],
                                        static_cast<uint32_t>(slot));
       RSR_CHECK(moved);

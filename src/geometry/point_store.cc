@@ -43,12 +43,15 @@ std::string PointRef::ToString() const {
   return os.str();
 }
 
+// RSR_ZERO_ALLOC: raw-row appends after Reserve are allocation-free
+// (PointStoreTest.AppendManyAfterReserveDoesNotAllocate).
 void PointStore::Append(const Coord* coords) {
   RSR_CHECK(dim_ > 0);
   Coord* row = AppendRow();
   std::memcpy(row, coords, dim_ * sizeof(Coord));
 }
 
+// RSR_ZERO_ALLOC: pinned by PointStoreTest.AppendManyAfterReserveDoesNotAllocate.
 void PointStore::AppendMany(const PointSet& points) {
   if (points.empty()) return;
   if (dim_ == 0) dim_ = points[0].dim();
@@ -113,6 +116,8 @@ void PointStore::RemoveRowSwap(size_t i) {
   }
 }
 
+// RSR_ZERO_ALLOC: part of the warm EMD pipeline pinned by
+// PointStoreTest.WarmEvaluateAllIntoAndInsertManyDoNotAllocate.
 void PointStore::ContentHashMany(uint64_t salt, uint64_t* out) const {
   for (size_t i = 0; i < size_; ++i) {
     out[i] = geometry_internal::RowContentHash(row(i), dim_, salt);

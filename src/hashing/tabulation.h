@@ -22,7 +22,7 @@ class TabulationHash {
 
   uint64_t Eval(uint64_t x) const {
     uint64_t h = 0;
-    for (int i = 0; i < 8; ++i) {
+    for (size_t i = 0; i < 8; ++i) {
       h ^= tables_[i][(x >> (8 * i)) & 0xff];
     }
     return h;

@@ -19,6 +19,7 @@ void WriteSet(ByteWriter* w, const SlottedSet& set) {
 
 SlottedSet ReadSet(ByteReader* r, size_t slots) {
   SlottedSet set(slots);
+  // RSR_LINT_OK(reader-check): sticky poison checked by callers' r->status().
   for (auto& v : set) v = r->GetU32();
   return set;
 }
@@ -173,7 +174,7 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
     sig_params.num_cells = sig_cells;
     sig_params.num_hashes = params.num_hashes;
     sig_params.checksum_bytes = params.checksum_bytes;
-    sig_params.seed = HashCombine(salt, 0x516'0000u + attempt);
+    sig_params.seed = HashCombine(salt, 0x516'0000u + static_cast<uint32_t>(attempt));
 
     Iblt bob_table(sig_params);
     bob_table.InsertManySharded(bob_salted, params.sketch_shards,
@@ -337,7 +338,7 @@ Result<SetsReconcilerReport> ReconcileSetsOfSets(
       elem_params.num_cells = elem_cells;
       elem_params.num_hashes = params.num_hashes;
       elem_params.checksum_bytes = params.checksum_bytes;
-      elem_params.seed = HashCombine(salt, 0xe1e'0000u + attempt);
+      elem_params.seed = HashCombine(salt, 0xe1e'0000u + static_cast<uint32_t>(attempt));
 
       Iblt elem_table(elem_params);
       elem_table.InsertManySharded(bob_words, params.sketch_shards,

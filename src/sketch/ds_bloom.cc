@@ -92,7 +92,7 @@ double DistanceSensitiveBloomFilter::VoteFraction(const Point& p) const {
   size_t hits = 0;
   for (size_t bank = 0; bank < params_.num_banks; ++bank) {
     size_t idx = BitIndex(bank, p);
-    hits += (banks_[bank][idx / 8] >> (idx % 8)) & 1;
+    hits += static_cast<size_t>(banks_[bank][idx / 8] >> (idx % 8)) & 1u;
   }
   return static_cast<double>(hits) / static_cast<double>(params_.num_banks);
 }

@@ -53,6 +53,7 @@ Iblt::Iblt(const IbltParams& params) : params_(params) {
                 0);
 }
 
+// RSR_ZERO_ALLOC: pinned by SketchHotPathTest.IbltUpdateManyDoesNotAllocate.
 void Iblt::UpdateMany(std::span<const uint64_t> keys, int direction) {
   RSR_CHECK_EQ(params_.value_size, 0u);
   for (uint64_t key : keys) UpdateUnchecked(key, nullptr, direction);
@@ -207,6 +208,8 @@ Status Iblt::SubtractInPlace(const Iblt& other) {
   return Status::OK();
 }
 
+// RSR_ZERO_ALLOC: warm folds reuse dst's arena
+// (IbltFoldTest.WarmFoldIntoPerformsZeroAllocations).
 Status Iblt::FoldInto(Iblt* dst) const {
   if (dst->params_.num_hashes != params_.num_hashes ||
       dst->params_.value_size != params_.value_size ||
@@ -434,6 +437,9 @@ int Width64(uint64_t v) { return static_cast<int>(std::bit_width(v)); }
 
 }  // namespace
 
+// RSR_ZERO_ALLOC: warm serves encode into a pooled writer without heap
+// traffic (SyncServerTest.WarmServeSerializeDoesNotAllocate); the inclusion
+// flags below are thread_local for the same reason.
 void Iblt::WriteTo(ByteWriter* w, WireCodec codec) const {
   const int64_t* counts = Counts();
   const uint64_t* keys = KeyXors();

@@ -282,11 +282,14 @@ inline void Iblt::CellsOf(uint64_t key, size_t* out) const {
   }
 }
 
+// RSR_ZERO_ALLOC: the sketch hot path pinned by
+// SketchHotPathTest.IbltUpdateDoesNotAllocate.
 inline void Iblt::Update(uint64_t key, const uint8_t* value, int direction) {
   RSR_CHECK((value != nullptr) == (params_.value_size > 0));
   UpdateUnchecked(key, value, direction);
 }
 
+// RSR_ZERO_ALLOC: same contract as Update (which inlines into this).
 inline void Iblt::UpdateUnchecked(uint64_t key, const uint8_t* value,
                                   int direction) {
   uint64_t checksum = ChecksumWithSalt(key, checksum_salt_) & checksum_mask_;

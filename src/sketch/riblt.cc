@@ -146,6 +146,7 @@ void Riblt::CellsOf(uint64_t key, size_t* out) const {
   }
 }
 
+// RSR_ZERO_ALLOC: pinned by SketchHotPathTest.RibltUpdateDoesNotAllocate.
 void Riblt::Update(uint64_t key, const Coord* value, int direction) {
   U128 key_term = key;
   U128 checksum_term = CellChecksum(key, checksum_salt_);
@@ -170,6 +171,7 @@ void Riblt::Update(uint64_t key, const Coord* value, int direction) {
   }
 }
 
+// RSR_ZERO_ALLOC: pinned by SketchHotPathTest.RibltUpdateManyDoesNotAllocate.
 void Riblt::UpdateMany(std::span<const uint64_t> keys, const PointStore& values,
                        int direction) {
   RSR_CHECK_EQ(keys.size(), values.size());
@@ -351,6 +353,8 @@ Status Riblt::AddScaled(const Riblt& other, int64_t factor) {
   return Status::OK();
 }
 
+// RSR_ZERO_ALLOC: warm folds reuse dst's slabs
+// (RibltFoldTest.WarmFoldIntoPerformsZeroAllocations).
 Status Riblt::FoldInto(Riblt* dst) const {
   if (dst->params_.num_hashes != params_.num_hashes ||
       dst->params_.dim != params_.dim ||
@@ -596,6 +600,8 @@ int RibltCompactChecksumBits(size_t num_cells, U128 mask) {
 
 }  // namespace
 
+// RSR_ZERO_ALLOC: warm serves encode into a pooled writer
+// (SyncServerTest.WarmServeSerializeDoesNotAllocate).
 void Riblt::WriteTo(ByteWriter* w, WireCodec codec) const {
   const size_t m = counts_.size();
   const size_t dim = params_.dim;

@@ -76,11 +76,11 @@ TEST(QuadtreeTest, RoundingErrorGrowsWithDimension) {
       config.outliers = 1;
       config.noise = 2;
       config.outlier_dist = 120;
-      config.seed = 100 * pass + trial;
+      config.seed = static_cast<uint64_t>(100 * pass + trial);
       auto workload = GenerateNoisyPairStore(config);
       ASSERT_TRUE(workload.ok());
       auto report = RunQuadtreeEmdProtocol(workload->alice, workload->bob,
-                                           QtParams(dim, 2047, 1, 7 + trial));
+                                           QtParams(dim, 2047, 1, static_cast<uint64_t>(7 + trial)));
       ASSERT_TRUE(report.ok());
       if (report->failure) continue;
       total_after += EmdExact(workload->alice, report->s_b_prime,
@@ -277,7 +277,7 @@ TEST(LowerBoundTest, GapProtocolSolvesIndexInstance) {
     params.r1 = 1;
     params.r2 = 24;
     params.k = 12;  // every Alice point is far from Bob's set
-    params.seed = 1000 + trial;
+    params.seed = static_cast<uint64_t>(1000 + trial);
     auto report = RunGapProtocol(instance->alice, instance->bob, params);
     ASSERT_TRUE(report.ok());
     auto answer = SolveIndexFromGapOutput(*instance, report->s_b_prime);
@@ -303,7 +303,7 @@ TEST(LowerBoundTest, BloomStrawmanErrsOnOneSide) {
     ASSERT_TRUE(instance.ok());
     size_t bits_used = 0;
     bool guess = OneRoundBloomIndexGuess(*instance, /*budget_bits=*/24,
-                                         777 + trial, &bits_used);
+                                         static_cast<uint64_t>(777 + trial), &bits_used);
     if (bit) {
       ones_correct += (guess == bit);
     } else {

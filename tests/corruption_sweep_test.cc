@@ -37,7 +37,8 @@ void SweepCorruptions(
   ASSERT_FALSE(bytes.empty());
   std::vector<uint8_t> corrupt;
   for (size_t len = 0; len < bytes.size(); ++len) {
-    corrupt.assign(bytes.begin(), bytes.begin() + len);
+    corrupt.assign(bytes.begin(),
+                   bytes.begin() + static_cast<std::ptrdiff_t>(len));
     parse(corrupt);
   }
   for (size_t bit = 0; bit < bytes.size() * 8; ++bit) {
@@ -206,7 +207,8 @@ TEST(CorruptionSweepTest, TruncationPoisonsOrShortensEveryForm) {
     table.WriteTo(&w, codec);
     const std::vector<uint8_t>& full = w.buffer();
     for (size_t len = 0; len < full.size(); ++len) {
-      std::vector<uint8_t> cut(full.begin(), full.begin() + len);
+      std::vector<uint8_t> cut(
+          full.begin(), full.begin() + static_cast<std::ptrdiff_t>(len));
       ByteReader r(cut);
       auto parsed = Riblt::ReadFrom(&r, params, codec);
       // Either the reader poisoned, or it consumed strictly less than the

@@ -117,12 +117,12 @@ TEST(EmdProtocolTest, RecoversOutlierDifferences) {
     config.outliers = k;
     config.noise = 0;  // exact shared ground truth; only outliers differ
     config.outlier_dist = 60;
-    config.seed = 1000 + trial;
+    config.seed = static_cast<uint64_t>(1000 + trial);
     auto workload = GenerateNoisyPairStore(config);
     ASSERT_TRUE(workload.ok());
 
     EmdProtocolParams params =
-        BaseParams(MetricKind::kL1, 2, 2047, k, 2000 + trial);
+        BaseParams(MetricKind::kL1, 2, 2047, k, static_cast<uint64_t>(2000 + trial));
     Metric metric(MetricKind::kL1);
     double emdk = EmdK(workload->alice, workload->bob, metric, k);
     params.d1 = 1;
@@ -174,11 +174,11 @@ TEST(EmdProtocolTest, OutputSizeAlwaysN) {
     config.outliers = 2;
     config.noise = 1.0;
     config.outlier_dist = 40;
-    config.seed = 3000 + trial;
+    config.seed = static_cast<uint64_t>(3000 + trial);
     auto workload = GenerateNoisyPairStore(config);
     ASSERT_TRUE(workload.ok());
     EmdProtocolParams params =
-        BaseParams(MetricKind::kL2, 3, 127, 2, 4000 + trial);
+        BaseParams(MetricKind::kL2, 3, 127, 2, static_cast<uint64_t>(4000 + trial));
     params.d1 = 8;
     params.d2 = 512;
     auto report = RunEmdProtocol(workload->alice, workload->bob, params);

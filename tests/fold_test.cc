@@ -358,7 +358,7 @@ TEST(FoldEmdSketchesTest, MatchesPerTableFoldAndReusesScratchWithoutAllocating) 
   // A non-rung size is rejected; the cap_sub here is even, so cap_sub - 1 is
   // odd and (for cap_sub > 3) not a divisor.
   std::vector<size_t> bad = rungs;
-  bad[0] = cap - params.num_hashes;  // one subtable-row short of the cap
+  bad[0] = cap - static_cast<size_t>(params.num_hashes);  // one row short
   if (bad[0] != RoundUpToLadder(bad[0], cap, params.num_hashes)) {
     EXPECT_FALSE(FoldEmdSketches(*set, bad, params, &scratch).ok());
   }

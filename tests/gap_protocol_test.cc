@@ -83,12 +83,12 @@ TEST(GapProtocolTest, GuaranteeHoldsWithOutliersHamming) {
     config.outliers = 2;
     config.noise = 2;          // close pairs within r1 = 4
     config.outlier_dist = 80;  // far points beyond r2 = 64
-    config.seed = 900 + trial;
+    config.seed = static_cast<uint64_t>(900 + trial);
     auto workload = GenerateNoisyPairStore(config);
     ASSERT_TRUE(workload.ok());
 
     auto report = RunGapProtocol(workload->alice, workload->bob,
-                                 HammingParams(256, 4, 64, 2, 40 + trial));
+                                 HammingParams(256, 4, 64, 2, static_cast<uint64_t>(40 + trial)));
     ASSERT_TRUE(report.ok());
     Metric metric(MetricKind::kHamming);
     if (WorstCaseGap(workload->alice, report->s_b_prime, metric) > 64.0) {
@@ -111,7 +111,7 @@ TEST(GapProtocolTest, GuaranteeHoldsL1) {
     config.outliers = 1;
     config.noise = 3;
     config.outlier_dist = 300;
-    config.seed = 700 + trial;
+    config.seed = static_cast<uint64_t>(700 + trial);
     auto workload = GenerateNoisyPairStore(config);
     ASSERT_TRUE(workload.ok());
 
@@ -122,7 +122,7 @@ TEST(GapProtocolTest, GuaranteeHoldsL1) {
     params.r1 = 3;
     params.r2 = 200;
     params.k = 1;
-    params.seed = 60 + trial;
+    params.seed = static_cast<uint64_t>(60 + trial);
     auto report = RunGapProtocol(workload->alice, workload->bob, params);
     ASSERT_TRUE(report.ok());
     Metric metric(MetricKind::kL1);
@@ -260,7 +260,7 @@ TEST(LowDimGapTest, GuaranteeHoldsL1) {
     config.outliers = 2;
     config.noise = 2;
     config.outlier_dist = 200;
-    config.seed = 500 + trial;
+    config.seed = static_cast<uint64_t>(500 + trial);
     auto workload = GenerateNoisyPairStore(config);
     ASSERT_TRUE(workload.ok());
 
@@ -272,7 +272,7 @@ TEST(LowDimGapTest, GuaranteeHoldsL1) {
     params.r2 = 100;  // rho_hat = 2*2/100 = 0.04
     params.k = 2;
     params.h_multiplier = 2.0;
-    params.seed = 80 + trial;
+    params.seed = static_cast<uint64_t>(80 + trial);
     auto report =
         RunLowDimGapProtocol(workload->alice, workload->bob, params);
     ASSERT_TRUE(report.ok());
@@ -296,7 +296,7 @@ TEST(LowDimGapTest, OneSidedErrorNeverMissesFarPoints) {
     config.outliers = 1;
     config.noise = 1;
     config.outlier_dist = 400;
-    config.seed = 5100 + trial;
+    config.seed = static_cast<uint64_t>(5100 + trial);
     auto workload = GenerateNoisyPairStore(config);
     ASSERT_TRUE(workload.ok());
 
@@ -308,7 +308,7 @@ TEST(LowDimGapTest, OneSidedErrorNeverMissesFarPoints) {
     params.r2 = 300;
     params.k = 1;
     params.h_multiplier = 2.0;
-    params.seed = 90 + trial;
+    params.seed = static_cast<uint64_t>(90 + trial);
     auto report =
         RunLowDimGapProtocol(workload->alice, workload->bob, params);
     ASSERT_TRUE(report.ok());

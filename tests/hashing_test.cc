@@ -107,7 +107,8 @@ TEST(PairwiseTest, PairwiseCollisionRateNearUniform) {
   int collisions = 0;
   for (int t = 0; t < kPairs; ++t) {
     PairwiseHash h = PairwiseHash::Draw(&rng);
-    collisions += (h.EvalBits(2 * t, kBits) == h.EvalBits(2 * t + 1, kBits));
+    collisions += (h.EvalBits(static_cast<uint64_t>(2 * t), kBits) ==
+                   h.EvalBits(static_cast<uint64_t>(2 * t + 1), kBits));
   }
   double expected = kPairs / 4096.0;
   EXPECT_NEAR(collisions, expected, 4 * std::sqrt(expected) + 3);
@@ -180,7 +181,8 @@ TEST(KIndependentTest, PairCollisionRate) {
   int collisions = 0;
   for (int t = 0; t < kTrials; ++t) {
     KIndependentHash h = KIndependentHash::Draw(3, &rng);
-    collisions += (h.Eval(t) % 1024 == h.Eval(t + kTrials) % 1024);
+    collisions += (h.Eval(static_cast<uint64_t>(t)) % 1024 ==
+                   h.Eval(static_cast<uint64_t>(t + kTrials)) % 1024);
   }
   double expected = kTrials / 1024.0;
   EXPECT_NEAR(collisions, expected, 5 * std::sqrt(expected) + 3);

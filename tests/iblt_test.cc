@@ -165,12 +165,13 @@ TEST_P(IbltLoadTest, DecodesDifferencesWithHeadroom) {
   const size_t diff = GetParam();
   // 2x headroom plus a floor: tiny tables lack the concentration the
   // asymptotic threshold c*_q promises (see bench_iblt_threshold).
-  const size_t cells = std::max<size_t>(static_cast<size_t>(diff * 2.0), 32);
+  const size_t cells = std::max<size_t>(
+      static_cast<size_t>(static_cast<double>(diff) * 2.0), 32);
   int failures = 0;
   const int kTrials = 30;
   for (int trial = 0; trial < kTrials; ++trial) {
-    Iblt table(MakeParams(cells, 4, 0, 1000 + trial));
-    Rng rng(7000 + trial);
+    Iblt table(MakeParams(cells, 4, 0, static_cast<uint64_t>(1000 + trial)));
+    Rng rng(static_cast<uint64_t>(7000 + trial));
     for (size_t i = 0; i < diff; ++i) {
       uint64_t k = rng.Next();
       if (i % 2 == 0) {

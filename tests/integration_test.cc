@@ -144,7 +144,7 @@ TEST(IntegrationTest, OursVsQuadtreeOnHighDimensionalData) {
     config.outliers = 1;
     config.noise = 2;
     config.outlier_dist = 300;
-    config.seed = 8800 + trial;
+    config.seed = static_cast<uint64_t>(8800 + trial);
     auto workload = GenerateNoisyPairStore(config);
     ASSERT_TRUE(workload.ok());
     Metric metric(MetricKind::kL1);
@@ -154,7 +154,7 @@ TEST(IntegrationTest, OursVsQuadtreeOnHighDimensionalData) {
     ours.base.dim = dim;
     ours.base.delta = 255;
     ours.base.k = 1;
-    ours.base.seed = 42 + trial;
+    ours.base.seed = static_cast<uint64_t>(42 + trial);
     ours.interval_ratio = 4.0;
     auto ours_report =
         RunMultiscaleEmdProtocol(workload->alice, workload->bob, ours);
@@ -164,7 +164,7 @@ TEST(IntegrationTest, OursVsQuadtreeOnHighDimensionalData) {
     quadtree.dim = dim;
     quadtree.delta = 255;
     quadtree.k = 1;
-    quadtree.seed = 43 + trial;
+    quadtree.seed = static_cast<uint64_t>(43 + trial);
     auto quadtree_report =
         RunQuadtreeEmdProtocol(workload->alice, workload->bob, quadtree);
     ASSERT_TRUE(quadtree_report.ok());

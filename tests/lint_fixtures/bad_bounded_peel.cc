@@ -1,0 +1,30 @@
+// Known-bad fixture for the bounded-peel rule: a peel loop with no
+// extraction cap — a corrupted table oscillating between states spins
+// forever. lint_invariants_test.py asserts one bounded-peel finding.
+#include <cstddef>
+#include <vector>
+
+namespace rsr {
+
+struct Cell {
+  int count = 0;
+};
+
+// BAD: nothing in the condition or body references a cap identifier.
+size_t PeelForever(std::vector<Cell>* cells) {
+  size_t extracted = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& c : *cells) {
+      if (c.count == 1) {
+        c.count = 0;
+        ++extracted;
+        progress = true;
+      }
+    }
+  }
+  return extracted;
+}
+
+}  // namespace rsr

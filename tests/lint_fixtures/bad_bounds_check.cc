@@ -1,0 +1,32 @@
+// Known-bad fixture for the bounds-check rule: wire-parsed counts drive an
+// allocation and a loop before any validation. lint_invariants_test.py
+// asserts one finding per Read function below.
+#include <vector>
+
+#include "util/serialize.h"
+
+namespace rsr {
+
+// BAD: `count` sizes the vector with no bound — a corrupt stream picks the
+// allocation size (the PR 9 42 GB hang class).
+std::vector<uint64_t> ReadKeysUnbounded(ByteReader* r) {
+  uint64_t count = r->GetVarint64();
+  std::vector<uint64_t> keys;
+  keys.resize(count);
+  for (auto& k : keys) k = r->GetU64();
+  if (r->failed()) keys.clear();
+  return keys;
+}
+
+// BAD: `n` bounds the loop with no validation; each iteration allocates.
+std::vector<std::vector<uint64_t>> ReadNested(ByteReader* r) {
+  uint64_t n = r->GetU32();
+  std::vector<std::vector<uint64_t>> out;
+  for (uint64_t i = 0; i < n; ++i) {
+    out.emplace_back();
+  }
+  if (r->failed()) out.clear();
+  return out;
+}
+
+}  // namespace rsr

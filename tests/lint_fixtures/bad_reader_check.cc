@@ -1,0 +1,20 @@
+// Known-bad fixture for the reader-check rule: getters are called but the
+// sticky error state is never consulted and the reader is never passed on.
+// lint_invariants_test.py asserts exactly one reader-check finding here.
+#include "util/serialize.h"
+
+namespace rsr {
+
+struct Header {
+  uint32_t mode;
+  uint64_t cells;
+};
+
+Header ReadHeader(ByteReader* r) {
+  Header h;
+  h.mode = r->GetU32();
+  h.cells = r->GetVarint64();
+  return h;  // BAD: garbage on a poisoned reader, caller can't tell.
+}
+
+}  // namespace rsr

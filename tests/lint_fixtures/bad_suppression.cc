@@ -1,0 +1,15 @@
+// Known-bad fixture for suppression hygiene: a bare marker and an
+// unknown-rule marker are both findings — a suppression must name a real
+// rule and carry a justification. lint_invariants_test.py asserts two
+// suppression findings (and that neither marker suppresses anything).
+#include <cstdint>
+
+namespace rsr {
+
+// RSR_LINT_OK
+uint64_t BareMarker() { return 0; }
+
+// RSR_LINT_OK(made-up-rule): this rule does not exist.
+uint64_t UnknownRule() { return 1; }
+
+}  // namespace rsr

@@ -1,0 +1,21 @@
+// Known-bad fixture for the zero-alloc rule: an RSR_ZERO_ALLOC-annotated
+// function that allocates directly, constructs a local container, and grows
+// a non-pooled container. lint_invariants_test.py asserts three findings.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rsr {
+
+struct Sink {
+  std::vector<uint64_t> items;
+};
+
+// RSR_ZERO_ALLOC: pinned by an alloc_counter test (fixture).
+void HotPathLeaks(Sink* out, uint64_t key) {
+  auto owned = std::make_unique<uint64_t>(key);  // BAD: direct allocation
+  std::vector<uint64_t> local;                   // BAD: local container
+  out->items.push_back(*owned);                  // BAD: non-pooled growth
+}
+
+}  // namespace rsr

@@ -1,0 +1,44 @@
+// Known-good fixture for the bounded-peel rule: loops reference an
+// extraction cap, or carry an RSR_BOUNDED annotation naming why they
+// terminate.
+#include <cstddef>
+#include <vector>
+
+namespace rsr {
+
+struct Cell {
+  int count = 0;
+};
+
+// Pattern 1: explicit extraction cap in the loop condition (the
+// Iblt::PeelInto idiom: max_entries = 2 * total + 16).
+size_t PeelCapped(std::vector<Cell>* cells, size_t total) {
+  const size_t max_entries = 2 * total + 16;
+  size_t extracted = 0;
+  bool progress = true;
+  while (progress && extracted < max_entries) {
+    progress = false;
+    for (auto& c : *cells) {
+      if (c.count == 1) {
+        c.count = 0;
+        ++extracted;
+        progress = true;
+      }
+    }
+  }
+  return extracted;
+}
+
+// Pattern 2: annotated termination argument for a structurally bounded loop.
+size_t DecodeDrain(std::vector<Cell>* cells) {
+  size_t extracted = 0;
+  size_t i = 0;
+  // RSR_BOUNDED: i only increases and the vector does not grow.
+  while (i < cells->size()) {
+    if ((*cells)[i].count == 1) ++extracted;
+    ++i;
+  }
+  return extracted;
+}
+
+}  // namespace rsr

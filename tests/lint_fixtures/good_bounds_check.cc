@@ -1,0 +1,36 @@
+// Known-good fixture for the bounds-check rule: every wire-parsed count is
+// validated (comparison + Invalidate, or a std::min clamp) before it sizes
+// an allocation or a loop.
+#include <algorithm>
+#include <vector>
+
+#include "util/serialize.h"
+
+namespace rsr {
+
+constexpr uint64_t kMaxKeys = 1u << 20;
+
+// Pattern 1: explicit range check that poisons the reader on failure.
+std::vector<uint64_t> ReadKeysBounded(ByteReader* r) {
+  uint64_t count = r->GetVarint64();
+  if (r->failed() || count > kMaxKeys) {
+    r->Invalidate();
+    return {};
+  }
+  std::vector<uint64_t> keys;
+  keys.resize(count);
+  for (auto& k : keys) k = r->GetU64();
+  return keys;
+}
+
+// Pattern 2: clamp to a caller-supplied cap before the loop.
+std::vector<uint64_t> ReadKeysClamped(ByteReader* r, uint64_t cap) {
+  uint64_t n = r->GetU32();
+  n = std::min<uint64_t>(n, cap);
+  std::vector<uint64_t> out;
+  for (uint64_t i = 0; i < n; ++i) out.push_back(r->GetU64());
+  if (r->failed()) out.clear();
+  return out;
+}
+
+}  // namespace rsr

@@ -1,0 +1,38 @@
+// Known-good fixture for the reader-check rule: each of the accepted
+// discharge patterns — checking the sticky state, poisoning explicitly,
+// propagating the reader to a callee, and a justified suppression.
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace rsr {
+
+// Pattern 1: check status() after the decode sequence.
+Status ReadChecked(ByteReader* r, uint64_t* out) {
+  *out = r->GetVarint64();
+  return r->status();
+}
+
+// Pattern 2: explicit Invalidate() on a validation failure.
+uint64_t ReadOrPoison(ByteReader* r) {
+  uint64_t v = r->GetVarint64();
+  if (v > 1000) {
+    r->Invalidate();
+    return 0;
+  }
+  return v;
+}
+
+// Pattern 3: the reader is handed to a callee that owns the check.
+Status ReadDelegating(ByteReader* r, uint64_t* out) {
+  uint64_t ignored = r->GetU64();
+  (void)ignored;
+  return ReadChecked(r, out);
+}
+
+// Pattern 4: justified suppression on the first getter line.
+uint64_t ReadSuppressed(ByteReader* r) {
+  // RSR_LINT_OK(reader-check): fixture; callers check status() themselves.
+  return r->GetU64();
+}
+
+}  // namespace rsr

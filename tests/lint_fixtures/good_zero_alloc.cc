@@ -1,0 +1,29 @@
+// Known-good fixture for the zero-alloc rule: growth only on pooled
+// storage — members (trailing underscore), `static thread_local` locals
+// (including a multi-declarator list, the riblt.cc WriteTo idiom), and a
+// scratch parameter's fields.
+#include <cstdint>
+#include <vector>
+
+namespace rsr {
+
+struct Scratch {
+  std::vector<uint64_t> keys;
+};
+
+class Table {
+ public:
+  // RSR_ZERO_ALLOC: steady-state reuse of pooled buffers only.
+  void Serve(Scratch* scratch, uint64_t key) {
+    buf_.push_back(key);            // member pool
+    scratch->keys.push_back(key);   // caller-owned scratch pool
+    static thread_local std::vector<uint64_t> lo, hi;
+    lo.assign(4, 0);                // multi-declarator thread_local pool
+    hi.assign(4, 0);
+  }
+
+ private:
+  std::vector<uint64_t> buf_;
+};
+
+}  // namespace rsr

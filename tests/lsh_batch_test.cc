@@ -160,8 +160,10 @@ TEST(LshBatchTest, VectorHashEvalBatchMatchesEvalOverRows) {
   std::vector<uint64_t> out(n);
   hash.EvalBatch(matrix.data() + offset, n, stride, len, out.data());
   for (size_t i = 0; i < n; ++i) {
-    std::vector<uint64_t> row(matrix.begin() + i * stride + offset,
-                              matrix.begin() + i * stride + offset + len);
+    std::vector<uint64_t> row(
+        matrix.begin() + static_cast<std::ptrdiff_t>(i * stride + offset),
+        matrix.begin() +
+            static_cast<std::ptrdiff_t>(i * stride + offset + len));
     EXPECT_EQ(out[i], hash.Eval(row, len)) << "row " << i;
   }
 }

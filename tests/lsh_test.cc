@@ -57,7 +57,8 @@ TEST(BitSamplingTest, CollisionMatchesAnalytic) {
     Point y = PerturbPoint(x, MetricKind::kHamming, dist, 1, &rng);
     ASSERT_EQ(HammingDistance(x, y), dist);
     double expect = family.CollisionProbability(dist);
-    double got = EmpiricalCollision(family, x, y, kDraws, 100 + dist);
+    double got = EmpiricalCollision(family, x, y, kDraws,
+                                    static_cast<uint64_t>(100 + dist));
     EXPECT_NEAR(got, expect, Margin(expect, kDraws)) << "dist=" << dist;
   }
 }
@@ -91,7 +92,8 @@ TEST(GridTest, SingleCoordinateCollisionIsExact) {
   for (Coord t : {2, 5, 10}) {
     Point y(std::vector<Coord>{50 + t, 50, 50});
     double expect = 1.0 - static_cast<double>(t) / w;
-    double got = EmpiricalCollision(family, x, y, kDraws, 200 + t);
+    double got = EmpiricalCollision(family, x, y, kDraws,
+                                    static_cast<uint64_t>(200 + t));
     EXPECT_NEAR(got, expect, Margin(expect, kDraws)) << "t=" << t;
   }
 }
@@ -131,7 +133,8 @@ TEST(PStableTest, EmpiricalMatchesAnalytic) {
     Point y(std::vector<Coord>{100 + t, 100, 100, 100});
     double dist = L2Distance(x, y);
     double expect = family.CollisionProbability(dist);
-    double got = EmpiricalCollision(family, x, y, kDraws, 300 + t);
+    double got = EmpiricalCollision(family, x, y, kDraws,
+                                    static_cast<uint64_t>(300 + t));
     EXPECT_NEAR(got, expect, Margin(expect, kDraws)) << "t=" << t;
   }
 }
@@ -163,7 +166,7 @@ TEST_P(MlshSandwichTest, CollisionProbabilityIsSandwiched) {
     double lower = std::pow(params.p, f);
     double upper = std::pow(params.p, params.alpha * f);
     double got = EmpiricalCollision(*family, x, y, kDraws,
-                                    9000 + trial);
+                                    static_cast<uint64_t>(9000 + trial));
     double margin = Margin(got, kDraws);
     EXPECT_GE(got + margin, lower) << "f=" << f;
     EXPECT_LE(got - margin, upper) << "f=" << f;

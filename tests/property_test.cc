@@ -316,7 +316,7 @@ TEST(WireRobustnessTest, CorruptedRibltDecodeIsSafe) {
     ByteReader reader(corrupted.data(), corrupted.size());
     auto restored = Riblt::ReadFrom(&reader, params);
     if (!restored.ok()) continue;
-    Rng decode_rng(trial);
+    Rng decode_rng(static_cast<uint64_t>(trial));
     auto result = restored->Decode(100, 100, &decode_rng);
     if (result.ok()) {
       // Extracted values must still respect the domain (clamping).

@@ -101,7 +101,7 @@ TEST(RibltTest, RandomizedRoundingIsUnbiased) {
     Riblt table(MakeParams(36, 1, 100, 3, 7));
     table.Insert(5, P({10}));
     table.Insert(5, P({11}));
-    Rng rng(9000 + trial);
+    Rng rng(static_cast<uint64_t>(9000 + trial));
     auto result = table.Decode(10, 10, &rng);
     ASSERT_TRUE(result.ok());
     for (size_t i = 0; i < result->inserted.size(); ++i) {
@@ -118,11 +118,11 @@ TEST(RibltTest, ExtractedValuesClampedToDomain) {
   // A canceled same-key pair leaves a negative error that drags another
   // extraction below 0; the decoder must clamp into [0, delta].
   for (int trial = 0; trial < 50; ++trial) {
-    Riblt table(MakeParams(24, 1, 20, 3, 100 + trial));
+    Riblt table(MakeParams(24, 1, 20, 3, static_cast<uint64_t>(100 + trial)));
     table.Insert(1, P({0}));
     table.Delete(1, P({20}));  // same key, value error -20 left behind
     table.Insert(2, P({1}));
-    Rng rng(trial);
+    Rng rng(static_cast<uint64_t>(trial));
     auto result = table.Decode(10, 10, &rng);
     if (!result.ok()) continue;
     for (size_t i = 0; i < result->inserted.size(); ++i) {
@@ -266,12 +266,12 @@ TEST(RibltTest, StoreNativeErrorPropagationWithMultipleCopies) {
   // every row stays in-domain, and the two copies agree (the average is
   // integral or both rows round independently but stay within 1).
   for (int trial = 0; trial < 30; ++trial) {
-    Riblt table(MakeParams(24, 1, 100, 3, 500 + trial));
+    Riblt table(MakeParams(24, 1, 100, 3, static_cast<uint64_t>(500 + trial)));
     table.Insert(1, P({40}));
     table.Delete(1, P({60}));  // error -20 hidden in key 1's cells
     table.Insert(2, P({50}));
     table.Insert(2, P({50}));  // C = 2 copies, same value
-    Rng rng(600 + trial);
+    Rng rng(static_cast<uint64_t>(600 + trial));
     auto result = table.Decode(10, 10, &rng);
     if (!result.ok()) continue;  // mixed-sign cells can legally jam
     ASSERT_EQ(result->inserted.size(), result->inserted_keys.size());
@@ -351,8 +351,9 @@ TEST_P(RibltSizeTest, PaperSizingDecodesReliably) {
   int failures = 0;
   const int kTrials = 20;
   for (int trial = 0; trial < kTrials; ++trial) {
-    Riblt table(MakeParams(cells, 2, 100, q, 5000 + trial));
-    Rng rng(6000 + trial);
+    Riblt table(
+        MakeParams(cells, 2, 100, q, static_cast<uint64_t>(5000 + trial)));
+    Rng rng(static_cast<uint64_t>(6000 + trial));
     // 2k Alice-only and 2k Bob-only pairs (the protocol's worst case).
     for (size_t i = 0; i < 2 * k; ++i) {
       table.Insert(rng.Next(), GenerateUniform(1, 2, 100, &rng)[0]);
